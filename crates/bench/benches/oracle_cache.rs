@@ -1,0 +1,41 @@
+//! Ablation A1: oracle memoization. A full constraint explanation runs the
+//! exact float solver *and* the rational cross-check — with the cache the
+//! second solve is free; without it every coalition repairs twice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trex::ConstraintGame;
+use trex_datagen::laliga;
+use trex_shapley::{shapley_exact, shapley_exact_rational};
+use trex_table::Value;
+
+fn bench_oracle_cache(c: &mut Criterion) {
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    let cell = laliga::cell_of_interest(&dirty);
+
+    let mut group = c.benchmark_group("oracle_cache");
+    group.bench_function("cached_double_solve", |b| {
+        b.iter(|| {
+            let game =
+                ConstraintGame::new(&alg, &dcs, &dirty, cell, Value::str("Spain"));
+            let f = shapley_exact(black_box(&game)).unwrap();
+            let r = shapley_exact_rational(black_box(&game)).unwrap();
+            (f, r)
+        })
+    });
+    group.bench_function("uncached_double_solve", |b| {
+        b.iter(|| {
+            let game =
+                ConstraintGame::without_cache(&alg, &dcs, &dirty, cell, Value::str("Spain"));
+            let f = shapley_exact(black_box(&game)).unwrap();
+            let r = shapley_exact_rational(black_box(&game)).unwrap();
+            (f, r)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_cache);
+criterion_main!(benches);

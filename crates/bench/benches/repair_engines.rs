@@ -1,0 +1,33 @@
+//! Repair-engine cost (supports experiment A4): wall time of each engine on
+//! standings workloads of growing size, fixed 2% dirt.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use trex_bench::standings_workload;
+use trex_repair::{FdChaseRepair, HoloCleanStyle, HolisticRepair, RepairAlgorithm};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair_engines");
+    group.sample_size(10);
+    for rows in [48usize, 96, 192] {
+        let (dirty, dcs) = standings_workload(rows, 0.02, 13);
+        group.throughput(Throughput::Elements(dirty.num_rows() as u64));
+        let engines: Vec<Box<dyn RepairAlgorithm>> = vec![
+            Box::new(trex_datagen::soccer::soccer_algorithm1()),
+            Box::new(HoloCleanStyle::new()),
+            Box::new(FdChaseRepair::new()),
+            Box::new(HolisticRepair::new()),
+        ];
+        for alg in engines {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), dirty.num_rows()),
+                &dirty,
+                |b, t| b.iter(|| alg.repair(black_box(&dcs), black_box(t))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Experiment E5 (timing side): cost of the sampling estimator as the
+//! sample count grows, on the paper's own cell game (La Liga table,
+//! Algorithm 1, cell of interest t5[Country]). The error-vs-m curve itself
+//! is produced by `cargo run -p trex-bench --bin exp_convergence`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trex::{CellGameMasked, CellGameSampled, MaskMode};
+use trex_datagen::laliga;
+use trex_shapley::{estimate_all_walk, estimate_player, SamplingConfig};
+use trex_table::Value;
+
+fn bench_cell_game_sampling(c: &mut Criterion) {
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    let cell = laliga::cell_of_interest(&dirty);
+
+    let mut group = c.benchmark_group("cell_sampling_la_liga");
+    group.sample_size(10);
+
+    // Per-player replacement sampling (Example 2.5) for one tracked cell:
+    // t5[League], located in the player list (which skips the cell of
+    // interest).
+    let sampled = CellGameSampled::new(&alg, &dcs, &dirty, cell, Value::str("Spain"));
+    let league = dirty.schema().id("League");
+    let league_player = sampled
+        .players()
+        .iter()
+        .position(|c| *c == trex_table::CellRef::new(4, league))
+        .expect("t5[League] is a player");
+    for m in [50usize, 200, 800] {
+        group.bench_with_input(
+            BenchmarkId::new("replacement_one_player", m),
+            &m,
+            |b, &m| {
+                b.iter(|| {
+                    estimate_player(
+                        black_box(&sampled),
+                        league_player,
+                        SamplingConfig { samples: m, seed: 1 },
+                    )
+                })
+            },
+        );
+    }
+
+    // Permutation-walk estimation of all 35 players under masked semantics.
+    let masked = CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), MaskMode::Null);
+    for m in [10usize, 40, 160] {
+        group.bench_with_input(BenchmarkId::new("masked_walk_all", m), &m, |b, &m| {
+            b.iter(|| {
+                estimate_all_walk(
+                    black_box(&masked),
+                    SamplingConfig { samples: m, seed: 1 },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cell_game_sampling);
+criterion_main!(benches);

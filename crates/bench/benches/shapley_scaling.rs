@@ -1,0 +1,56 @@
+//! Experiment E6: exact Shapley computation is exponential in the number of
+//! players, permutation sampling is linear in the sample count — the
+//! asymmetry that motivates the paper's two-solver design ("with DCs the
+//! naïve approach is feasible… the number of cells can be very large, so
+//! T-REx uses a sampling algorithm", §2.3).
+//!
+//! Series:
+//! * `exact/n` — subset enumeration over random monotone binary games,
+//!   n ∈ {4, 8, 12, 16} (expect ~2^n growth);
+//! * `rational/n` — the exact rational solver at the same sizes;
+//! * `sampling/m` — per-player sampling at n = 40, m ∈ {100, 1k, 10k}
+//!   (expect linear growth in m).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trex_bench::RandomBinaryGame;
+use trex_shapley::{estimate_player, shapley_exact, shapley_exact_rational, SamplingConfig};
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapley_exact");
+    for n in [4usize, 8, 12, 16] {
+        let game = RandomBinaryGame::new(n, 3, 7);
+        group.bench_with_input(BenchmarkId::new("float", n), &game, |b, g| {
+            b.iter(|| shapley_exact(black_box(g)).unwrap())
+        });
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("rational", n), &game, |b, g| {
+                b.iter(|| shapley_exact_rational(black_box(g)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapley_sampling");
+    let game = RandomBinaryGame::new(40, 5, 11);
+    for m in [100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                estimate_player(
+                    black_box(&game),
+                    0,
+                    SamplingConfig {
+                        samples: m,
+                        seed: 3,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation A2: hash-partitioned vs nested-loop violation detection on
+//! standings tables of growing size. The indexed path should win by a
+//! growing factor (quadratic vs near-linear for selective join keys).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use trex_bench::standings_workload;
+use trex_constraints::{find_violations, find_violations_indexed, DenialConstraint};
+use trex_table::Table;
+
+fn resolved(table: &Table) -> Vec<DenialConstraint> {
+    trex_datagen::soccer::soccer_constraints()
+        .iter()
+        .map(|d| d.resolved(table.schema()).unwrap())
+        .collect()
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("violation_detection");
+    for rows in [48usize, 96, 192, 384] {
+        let (table, _) = standings_workload(rows, 0.02, 3);
+        let dcs = resolved(&table);
+        group.throughput(Throughput::Elements(table.num_rows() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("nested_loop", table.num_rows()),
+            &table,
+            |b, t| {
+                b.iter(|| {
+                    dcs.iter()
+                        .map(|dc| find_violations(black_box(dc), black_box(t)).len())
+                        .sum::<usize>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("indexed", table.num_rows()),
+            &table,
+            |b, t| {
+                b.iter(|| {
+                    dcs.iter()
+                        .map(|dc| find_violations_indexed(black_box(dc), black_box(t)).len())
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment A4: repair quality (precision / recall / F1 / detection) of
+//! every engine on standings workloads across error rates — the comparison
+//! a full-paper evaluation of the underlying repairers would report, and
+//! the context for the demo's "improves the repair" claims.
+//!
+//! Run: `cargo run --release -p trex-bench --bin exp_repair_quality`
+
+use trex_datagen::{errors, soccer};
+use trex_repair::{
+    score_repair, FdChaseRepair, HoloCleanStyle, HolisticRepair, RepairAlgorithm,
+};
+
+fn main() {
+    let clean = soccer::generate_clean(&soccer::SoccerConfig {
+        countries: 4,
+        cities_per_country: 3,
+        teams_per_city: 2,
+        years: 2,
+        seed: 21,
+    });
+    let dcs = soccer::soccer_constraints();
+    println!(
+        "workload: {} rows × {} attrs; errors: out-of-domain + in-column swaps on Country/City",
+        clean.num_rows(),
+        clean.arity()
+    );
+    println!(
+        "\n{:<24} {:>6} {:>7} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "engine", "rate", "errors", "repaired", "prec", "recall", "F1", "detect"
+    );
+
+    for rate in [0.01f64, 0.03, 0.06] {
+        let injected = errors::inject_errors(
+            &clean,
+            &errors::ErrorConfig {
+                rate,
+                kind_weights: [1, 0, 2, 0],
+                columns: vec!["Country".to_string(), "City".to_string()],
+                seed: 100 + (rate * 1000.0) as u64,
+            },
+        );
+        let engines: Vec<Box<dyn RepairAlgorithm>> = vec![
+            Box::new(soccer::soccer_algorithm1()),
+            Box::new(HoloCleanStyle::new()),
+            Box::new(FdChaseRepair::new()),
+            Box::new(HolisticRepair::new()),
+        ];
+        for alg in engines {
+            let result = alg.repair(&dcs, &injected.dirty);
+            let q = score_repair(&result.changes, &injected.truth);
+            println!(
+                "{:<24} {:>6.2} {:>7} {:>10} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                alg.name(),
+                rate,
+                injected.truth.len(),
+                q.changed,
+                q.precision(),
+                q.recall(),
+                q.f1(),
+                q.detection_recall()
+            );
+        }
+        println!();
+    }
+    println!("expected shape: all engines detect nearly all errors; value-exact");
+    println!("recall is highest for the conditioned rule engine and holoclean-style,");
+    println!("with fd-chase blind to non-FD constraints and holistic trading");
+    println!("precision for minimality at higher rates.");
+}

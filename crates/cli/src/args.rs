@@ -1,0 +1,146 @@
+//! Minimal flag parser (no external dependencies).
+//!
+//! Supports `--flag value`, `--flag=value`, and boolean `--flag`, plus one
+//! leading positional argument (the subcommand). Unknown flags are errors —
+//! typos should not silently select defaults.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command line: subcommand plus flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The first positional argument.
+    pub command: Option<String>,
+    flags: HashMap<String, String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// Argument error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse from an iterator of raw arguments (without the program name).
+    pub fn parse<I, S>(raw: I) -> Result<Args, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(flag) = tok.strip_prefix("--") {
+                let (name, value) = match flag.split_once('=') {
+                    Some((n, v)) => (n.to_string(), v.to_string()),
+                    None => {
+                        // Boolean flag unless the next token is a value.
+                        match iter.peek() {
+                            Some(next) if !next.starts_with("--") => {
+                                (flag.to_string(), iter.next().unwrap())
+                            }
+                            _ => (flag.to_string(), "true".to_string()),
+                        }
+                    }
+                };
+                if args.flags.insert(name.clone(), value).is_some() {
+                    return Err(ArgError(format!("duplicate flag --{name}")));
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                return Err(ArgError(format!("unexpected positional argument {tok:?}")));
+            }
+        }
+        Ok(args)
+    }
+
+    /// Fetch an optional flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Fetch a required flag.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name)
+            .ok_or_else(|| ArgError(format!("missing required flag --{name}")))
+    }
+
+    /// Fetch a flag parsed as `T`, with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Boolean flag presence.
+    pub fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// After all flags are read, error on anything the command didn't use.
+    pub fn reject_unknown(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        for name in self.flags.keys() {
+            if !consumed.iter().any(|c| c == name) {
+                return Err(ArgError(format!("unknown flag --{name}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = Args::parse(["repair", "--table", "t.csv", "--engine=holoclean", "--train"])
+            .unwrap();
+        assert_eq!(a.command.as_deref(), Some("repair"));
+        assert_eq!(a.get("table"), Some("t.csv"));
+        assert_eq!(a.get("engine"), Some("holoclean"));
+        assert!(a.has("train"));
+        assert!(a.reject_unknown().is_ok());
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        let a = Args::parse(["explain"]).unwrap();
+        assert!(a.require("table").is_err());
+    }
+
+    #[test]
+    fn parsed_with_default() {
+        let a = Args::parse(["x", "--samples", "500"]).unwrap();
+        assert_eq!(a.get_parsed("samples", 100usize).unwrap(), 500);
+        assert_eq!(a.get_parsed("seed", 7u64).unwrap(), 7);
+        let b = Args::parse(["x", "--samples", "abc"]).unwrap();
+        assert!(b.get_parsed("samples", 100usize).is_err());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_flags_rejected() {
+        assert!(Args::parse(["x", "--a", "1", "--a", "2"]).is_err());
+        let a = Args::parse(["x", "--mystery", "1"]).unwrap();
+        assert!(a.reject_unknown().is_err());
+    }
+
+    #[test]
+    fn extra_positional_rejected() {
+        assert!(Args::parse(["x", "y"]).is_err());
+    }
+}

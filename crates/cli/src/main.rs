@@ -1,0 +1,320 @@
+//! `trex` — the T-REx system as a command-line tool.
+//!
+//! Mirrors the demo's three screens (paper §3/§4) over files instead of a
+//! web GUI:
+//!
+//! ```text
+//! trex violations --table dirty.csv --dcs constraints.txt
+//! trex repair     --table dirty.csv --dcs constraints.txt --engine holoclean
+//! trex explain    --table dirty.csv --dcs constraints.txt --cell t5.Country \
+//!                 --engine rules --rules algorithm1.rules --cells --samples 500
+//! trex demo
+//! ```
+//!
+//! Engines: `holoclean` (default; add `--train` for perceptron calibration),
+//! `rules` (requires `--rules FILE` in the `C1: Attr <- action` syntax),
+//! `chase`, `holistic`.
+
+mod args;
+
+use args::{ArgError, Args};
+use std::process::ExitCode;
+use trex::{
+    render_explanation_screen, render_input_screen, render_repair_screen, Explainer, MaskMode,
+};
+use trex_constraints::{find_all_violations_indexed, parse_dcs, DenialConstraint};
+use trex_repair::{FdChaseRepair, HoloCleanStyle, HolisticRepair, RepairAlgorithm, RuleRepair};
+use trex_shapley::SamplingConfig;
+use trex_table::{read_csv_strings, CellRef, Table};
+
+const USAGE: &str = "\
+trex — table repair explanations via Shapley values
+
+USAGE:
+  trex violations --table FILE.csv --dcs FILE.txt
+  trex repair     --table FILE.csv --dcs FILE.txt [engine flags]
+  trex explain    --table FILE.csv --dcs FILE.txt --cell tROW.Attr
+                  [--cells] [--samples N] [--seed N] [--mask null|distinct|replace]
+                  [engine flags]
+  trex mine       --table FILE.csv [--max-predicates N] [--order]
+  trex demo
+
+ENGINE FLAGS:
+  --engine holoclean   probabilistic cleaner (default); add --train to calibrate
+  --engine rules       the paper's Algorithm 1 scheme; requires --rules FILE
+  --engine chase       FD-chase baseline
+  --engine holistic    conflict-hypergraph baseline
+
+FILES:
+  tables are CSV with a header row (all columns read as strings);
+  constraints use the paper syntax, one per line:
+      C1: !(t1.Team = t2.Team & t1.City != t2.City)
+  rule files (for --engine rules), one per line:
+      C1: City <- most_common
+      C2: Country <- most_common_given(City)
+";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("violations") => cmd_violations(&args),
+        Some("repair") => cmd_repair(&args),
+        Some("explain") => cmd_explain(&args),
+        Some("mine") => cmd_mine(&args),
+        Some("demo") => cmd_demo(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(ArgError(format!("unknown command {other:?}"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_inputs(args: &Args) -> Result<(Table, Vec<DenialConstraint>), ArgError> {
+    let table_path = args.require("table")?;
+    let dcs_path = args.require("dcs")?;
+    let table_text = std::fs::read_to_string(table_path)
+        .map_err(|e| ArgError(format!("cannot read {table_path}: {e}")))?;
+    let table =
+        read_csv_strings(&table_text).map_err(|e| ArgError(format!("{table_path}: {e}")))?;
+    let dcs_text = std::fs::read_to_string(dcs_path)
+        .map_err(|e| ArgError(format!("cannot read {dcs_path}: {e}")))?;
+    let dcs = parse_dcs(&dcs_text).map_err(|e| ArgError(format!("{dcs_path}: {e}")))?;
+    Ok((table, dcs))
+}
+
+fn load_engine(args: &Args) -> Result<Box<dyn RepairAlgorithm>, ArgError> {
+    match args.get("engine").unwrap_or("holoclean") {
+        "holoclean" => {
+            let engine = if args.has("train") {
+                HoloCleanStyle::new().with_training()
+            } else {
+                HoloCleanStyle::new()
+            };
+            Ok(Box::new(engine))
+        }
+        "rules" => {
+            let path = args.require("rules").map_err(|_| {
+                ArgError("--engine rules requires --rules FILE".to_string())
+            })?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+            let engine =
+                RuleRepair::parse_rules(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+            Ok(Box::new(engine))
+        }
+        "chase" => Ok(Box::new(FdChaseRepair::new())),
+        "holistic" => Ok(Box::new(HolisticRepair::new())),
+        other => Err(ArgError(format!(
+            "unknown engine {other:?} (holoclean | rules | chase | holistic)"
+        ))),
+    }
+}
+
+/// Parse a cell reference like `t5.Country` or `5.Country` (1-based row).
+fn parse_cell(table: &Table, spec: &str) -> Result<CellRef, ArgError> {
+    let (row_part, attr_part) = spec
+        .split_once('.')
+        .ok_or_else(|| ArgError(format!("--cell {spec:?}: expected tROW.Attr")))?;
+    let row_text = row_part.strip_prefix('t').unwrap_or(row_part);
+    let row: usize = row_text
+        .parse()
+        .map_err(|_| ArgError(format!("--cell {spec:?}: bad row {row_text:?}")))?;
+    if row == 0 || row > table.num_rows() {
+        return Err(ArgError(format!(
+            "--cell {spec:?}: row {row} out of range 1..={}",
+            table.num_rows()
+        )));
+    }
+    let attr = table
+        .schema()
+        .resolve(attr_part)
+        .ok_or_else(|| ArgError(format!("--cell {spec:?}: no attribute {attr_part:?}")))?;
+    Ok(CellRef::new(row - 1, attr))
+}
+
+fn cmd_violations(args: &Args) -> Result<(), ArgError> {
+    let (table, dcs) = load_inputs(args)?;
+    args.reject_unknown()?;
+    let resolved: Result<Vec<_>, _> = dcs.iter().map(|d| d.resolved(table.schema())).collect();
+    let resolved = resolved.map_err(|e| ArgError(e.to_string()))?;
+    println!("{}", render_input_screen(&table, &dcs));
+    let violations = find_all_violations_indexed(&resolved, &table);
+    if violations.is_empty() {
+        println!("table is clean: no violations.");
+        return Ok(());
+    }
+    println!("{} violation(s):", violations.len());
+    for v in &violations {
+        println!("  {v}");
+    }
+    Ok(())
+}
+
+fn cmd_repair(args: &Args) -> Result<(), ArgError> {
+    let (table, dcs) = load_inputs(args)?;
+    let engine = load_engine(args)?;
+    args.reject_unknown()?;
+    let result = engine.repair(&dcs, &table);
+    println!("engine: {}\n", engine.name());
+    println!("{}", render_repair_screen(&table, &result.changes));
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<(), ArgError> {
+    let (table, dcs) = load_inputs(args)?;
+    let engine = load_engine(args)?;
+    let cell_spec = args.require("cell")?.to_string();
+    let cell = parse_cell(&table, &cell_spec)?;
+    let want_cells = args.has("cells");
+    let samples: usize = args.get_parsed("samples", 500)?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let mask = args.get("mask").unwrap_or("null").to_string();
+    args.reject_unknown()?;
+
+    let explainer = Explainer::new(engine.as_ref());
+    let constraints = explainer
+        .explain_constraints(&dcs, &table, cell)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let cells = if want_cells {
+        let config = SamplingConfig { samples, seed };
+        let out = match mask.as_str() {
+            "replace" => explainer.explain_cells_sampled(&dcs, &table, cell, config),
+            "null" => explainer.explain_cells_masked(&dcs, &table, cell, MaskMode::Null, config),
+            "distinct" => {
+                explainer.explain_cells_masked(&dcs, &table, cell, MaskMode::Distinct, config)
+            }
+            other => {
+                return Err(ArgError(format!(
+                    "unknown mask {other:?} (null | distinct | replace)"
+                )))
+            }
+        };
+        Some(out.map_err(|e| ArgError(e.to_string()))?)
+    } else {
+        None
+    };
+    println!("engine: {}\n", engine.name());
+    println!(
+        "{}",
+        render_explanation_screen(&cell_spec, Some(&constraints), cells.as_ref())
+    );
+    Ok(())
+}
+
+fn cmd_mine(args: &Args) -> Result<(), ArgError> {
+    let table_path = args.require("table")?.to_string();
+    let max_predicates: usize = args.get_parsed("max-predicates", 3)?;
+    let order = args.has("order");
+    args.reject_unknown()?;
+    let text = std::fs::read_to_string(&table_path)
+        .map_err(|e| ArgError(format!("cannot read {table_path}: {e}")))?;
+    let table = read_csv_strings(&text).map_err(|e| ArgError(format!("{table_path}: {e}")))?;
+    let dcs = trex_constraints::mine_dcs(
+        &table,
+        &trex_constraints::MineConfig {
+            max_predicates,
+            order_predicates: order,
+        },
+    );
+    println!(
+        "# {} minimal denial constraint(s) mined from {} ({} rows)",
+        dcs.len(),
+        table_path,
+        table.num_rows()
+    );
+    for dc in &dcs {
+        println!("{dc}");
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown()?;
+    use trex_datagen::laliga;
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    println!("{}", render_input_screen(&dirty, &dcs));
+    let result = alg.repair(&dcs, &dirty);
+    println!("{}", render_repair_screen(&dirty, &result.changes));
+    let cell = laliga::cell_of_interest(&dirty);
+    let explainer = Explainer::new(&alg);
+    let constraints = explainer
+        .explain_constraints(&dcs, &dirty, cell)
+        .expect("the demo cell is repaired");
+    let cells = explainer
+        .explain_cells_masked(
+            &dcs,
+            &dirty,
+            cell,
+            MaskMode::Null,
+            SamplingConfig {
+                samples: 800,
+                seed: 0,
+            },
+        )
+        .expect("the demo cell is repaired");
+    println!(
+        "{}",
+        render_explanation_screen("t5[Country]", Some(&constraints), Some(&cells))
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_table::TableBuilder;
+
+    fn table() -> Table {
+        TableBuilder::new()
+            .str_columns(["Team", "City"])
+            .str_row(["A", "X"])
+            .str_row(["B", "Y"])
+            .build()
+    }
+
+    #[test]
+    fn parse_cell_accepts_both_forms() {
+        let t = table();
+        let c = parse_cell(&t, "t2.City").unwrap();
+        assert_eq!(c, CellRef::new(1, t.schema().id("City")));
+        assert_eq!(parse_cell(&t, "1.Team").unwrap(), CellRef::new(0, t.schema().id("Team")));
+    }
+
+    #[test]
+    fn parse_cell_rejects_bad_specs() {
+        let t = table();
+        assert!(parse_cell(&t, "City").is_err());
+        assert!(parse_cell(&t, "t0.City").is_err());
+        assert!(parse_cell(&t, "t3.City").is_err());
+        assert!(parse_cell(&t, "t1.Nope").is_err());
+        assert!(parse_cell(&t, "tx.City").is_err());
+    }
+
+    #[test]
+    fn engine_selection() {
+        let a = Args::parse(["repair", "--engine", "chase"]).unwrap();
+        assert_eq!(load_engine(&a).unwrap().name(), "fd-chase");
+        let b = Args::parse(["repair"]).unwrap();
+        assert_eq!(load_engine(&b).unwrap().name(), "holoclean-style");
+        let c = Args::parse(["repair", "--engine", "nope"]).unwrap();
+        assert!(load_engine(&c).is_err());
+        let d = Args::parse(["repair", "--engine", "rules"]).unwrap();
+        assert!(load_engine(&d).is_err()); // missing --rules
+    }
+}

@@ -1,0 +1,494 @@
+//! Denial-constraint abstract syntax.
+//!
+//! A denial constraint (DC) over tuple variables `t1, t2` is
+//!
+//! ```text
+//! ∀ t1, t2 . ¬( p1 ∧ p2 ∧ … ∧ pk )
+//! ```
+//!
+//! where each predicate `p` compares two operands — `tX[Attr]` or a constant
+//! — with one of `=, ≠, <, ≤, >, ≥`. The constraint is *violated* by a tuple
+//! (pair) on which every predicate holds. Single-tuple DCs (only `t1`
+//! mentioned) are supported as well; they express row-local rules.
+//!
+//! Attribute references are stored by name and *resolved* against a schema
+//! into [`AttrId`]s once, so the violation-detection hot loop never touches
+//! strings.
+
+use std::fmt;
+use trex_table::{AttrId, Schema, Value};
+
+/// Tuple variable of a (at most binary) DC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TupleVar {
+    /// The first tuple, `t1`.
+    T1,
+    /// The second tuple, `t2`.
+    T2,
+}
+
+impl fmt::Display for TupleVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TupleVar::T1 => write!(f, "t1"),
+            TupleVar::T2 => write!(f, "t2"),
+        }
+    }
+}
+
+/// Comparison operator of a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Leq,
+    /// `>`
+    Gt,
+    /// `>=`
+    Geq,
+}
+
+impl CmpOp {
+    /// Evaluate the operator on two values with SQL null semantics: any
+    /// comparison involving null (or incomparable types) is false.
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => a.sql_eq(b),
+            CmpOp::Neq => a.sql_ne(b),
+            _ => match a.sql_cmp(b) {
+                None => false,
+                Some(ord) => match (self, ord) {
+                    (CmpOp::Lt, Less) => true,
+                    (CmpOp::Leq, Less | Equal) => true,
+                    (CmpOp::Gt, Greater) => true,
+                    (CmpOp::Geq, Greater | Equal) => true,
+                    _ => false,
+                },
+            },
+        }
+    }
+
+    /// The operator with its arguments swapped (`<` ↦ `>`, `=` ↦ `=`, …).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Neq => CmpOp::Neq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Leq => CmpOp::Geq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Geq => CmpOp::Leq,
+        }
+    }
+
+    /// The textual form used by the parser and `Display`.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Leq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Geq => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// One side of a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// An attribute of a tuple variable, `tX[Attr]`, stored by name and
+    /// resolved lazily (`attr_id` is filled in by
+    /// [`DenialConstraint::resolve`]).
+    Attr {
+        /// Which tuple.
+        var: TupleVar,
+        /// Attribute name as written.
+        name: String,
+        /// Resolved id, if [`DenialConstraint::resolve`] has run.
+        attr_id: Option<AttrId>,
+    },
+    /// A literal constant.
+    Const(Value),
+}
+
+impl Operand {
+    /// An attribute operand, unresolved.
+    pub fn attr(var: TupleVar, name: impl Into<String>) -> Self {
+        Operand::Attr {
+            var,
+            name: name.into(),
+            attr_id: None,
+        }
+    }
+
+    /// A constant operand.
+    pub fn constant(v: impl Into<Value>) -> Self {
+        Operand::Const(v.into())
+    }
+
+    /// Does this operand mention `t2`?
+    fn mentions_t2(&self) -> bool {
+        matches!(
+            self,
+            Operand::Attr {
+                var: TupleVar::T2,
+                ..
+            }
+        )
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Attr { var, name, .. } => write!(f, "{var}.{name}"),
+            Operand::Const(Value::Str(s)) => write!(f, "{s:?}"),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A single comparison predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Left operand.
+    pub left: Operand,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: Operand,
+}
+
+impl Predicate {
+    /// Construct a predicate.
+    pub fn new(left: Operand, op: CmpOp, right: Operand) -> Self {
+        Predicate { left, op, right }
+    }
+
+    /// Shorthand: `t1.A op t2.A` (same attribute on both tuples).
+    pub fn pair(attr: impl Into<String> + Clone, op: CmpOp) -> Self {
+        Predicate::new(
+            Operand::attr(TupleVar::T1, attr.clone()),
+            op,
+            Operand::attr(TupleVar::T2, attr),
+        )
+    }
+
+    /// Does this predicate mention `t2`?
+    pub fn mentions_t2(&self) -> bool {
+        self.left.mentions_t2() || self.right.mentions_t2()
+    }
+
+    /// Attributes mentioned, as `(var, name)` pairs.
+    pub fn attrs(&self) -> impl Iterator<Item = (TupleVar, &str)> {
+        [&self.left, &self.right]
+            .into_iter()
+            .filter_map(|o| match o {
+                Operand::Attr { var, name, .. } => Some((*var, name.as_str())),
+                Operand::Const(_) => None,
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A denial constraint: name + conjunction of predicates under negation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenialConstraint {
+    /// Human-readable identifier (`C1`, `C2`, …).
+    pub name: String,
+    /// The predicates `p1 … pk` under the negation.
+    pub predicates: Vec<Predicate>,
+}
+
+/// Error produced when resolving a DC against a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolveError {
+    /// The constraint being resolved.
+    pub constraint: String,
+    /// The attribute name that did not resolve.
+    pub attr: String,
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "constraint {}: unknown attribute {:?}",
+            self.constraint, self.attr
+        )
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+impl DenialConstraint {
+    /// Construct a DC.
+    pub fn new(name: impl Into<String>, predicates: Vec<Predicate>) -> Self {
+        DenialConstraint {
+            name: name.into(),
+            predicates,
+        }
+    }
+
+    /// `true` iff the DC mentions `t2` anywhere (binary DC).
+    pub fn is_binary(&self) -> bool {
+        self.predicates.iter().any(Predicate::mentions_t2)
+    }
+
+    /// Resolve every attribute reference against `schema`, filling in
+    /// `attr_id`s. Must be called (directly or via the evaluator) before
+    /// evaluation.
+    pub fn resolve(&mut self, schema: &Schema) -> Result<(), ResolveError> {
+        for p in &mut self.predicates {
+            for o in [&mut p.left, &mut p.right] {
+                if let Operand::Attr { name, attr_id, .. } = o {
+                    match schema.resolve(name) {
+                        Some(id) => *attr_id = Some(id),
+                        None => {
+                            return Err(ResolveError {
+                                constraint: self.name.clone(),
+                                attr: name.clone(),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A resolved copy of this DC.
+    pub fn resolved(&self, schema: &Schema) -> Result<DenialConstraint, ResolveError> {
+        let mut c = self.clone();
+        c.resolve(schema)?;
+        Ok(c)
+    }
+
+    /// All attribute names mentioned by the DC (deduplicated, in first-use
+    /// order).
+    pub fn mentioned_attrs(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for p in &self.predicates {
+            for (_, name) in p.attrs() {
+                if !out.contains(&name) {
+                    out.push(name);
+                }
+            }
+        }
+        out
+    }
+
+    /// The equality join keys of a binary DC: attributes `A` such that the
+    /// DC contains the predicate `t1.A = t2.A`. Used by the hash-partition
+    /// accelerated evaluator.
+    pub fn equality_join_attrs(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for p in &self.predicates {
+            if p.op != CmpOp::Eq {
+                continue;
+            }
+            if let (
+                Operand::Attr {
+                    var: va, name: na, ..
+                },
+                Operand::Attr {
+                    var: vb, name: nb, ..
+                },
+            ) = (&p.left, &p.right)
+            {
+                if va != vb && na == nb && !out.contains(&na.as_str()) {
+                    out.push(na.as_str());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for DenialConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: !(", self.name)?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_table::DType;
+
+    fn schema() -> Schema {
+        Schema::new([
+            ("Team", DType::Str),
+            ("City", DType::Str),
+            ("Year", DType::Int),
+        ])
+    }
+
+    #[test]
+    fn cmp_op_eval_null_semantics() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Leq,
+            CmpOp::Gt,
+            CmpOp::Geq,
+        ] {
+            assert!(!op.eval(&Value::Null, &Value::int(1)), "{op} with null");
+            assert!(!op.eval(&Value::int(1), &Value::Null), "{op} with null");
+        }
+    }
+
+    #[test]
+    fn cmp_op_eval_orderings() {
+        let a = Value::int(1);
+        let b = Value::int(2);
+        assert!(CmpOp::Lt.eval(&a, &b));
+        assert!(CmpOp::Leq.eval(&a, &b));
+        assert!(CmpOp::Leq.eval(&a, &a));
+        assert!(!CmpOp::Gt.eval(&a, &b));
+        assert!(CmpOp::Geq.eval(&b, &a));
+        assert!(CmpOp::Neq.eval(&a, &b));
+        assert!(CmpOp::Eq.eval(&a, &a));
+    }
+
+    #[test]
+    fn flipped_is_involutive_and_correct() {
+        let a = Value::int(1);
+        let b = Value::int(2);
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Leq,
+            CmpOp::Gt,
+            CmpOp::Geq,
+        ] {
+            assert_eq!(op.flipped().flipped(), op);
+            assert_eq!(op.eval(&a, &b), op.flipped().eval(&b, &a));
+        }
+    }
+
+    #[test]
+    fn resolve_fills_ids() {
+        let mut dc = DenialConstraint::new(
+            "C1",
+            vec![
+                Predicate::pair("Team", CmpOp::Eq),
+                Predicate::pair("City", CmpOp::Neq),
+            ],
+        );
+        dc.resolve(&schema()).unwrap();
+        match &dc.predicates[0].left {
+            Operand::Attr { attr_id, .. } => assert_eq!(*attr_id, Some(AttrId(0))),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn resolve_unknown_attr_errors() {
+        let mut dc = DenialConstraint::new("C", vec![Predicate::pair("Nope", CmpOp::Eq)]);
+        let err = dc.resolve(&schema()).unwrap_err();
+        assert_eq!(err.attr, "Nope");
+        assert_eq!(err.constraint, "C");
+    }
+
+    #[test]
+    fn binary_detection() {
+        let b = DenialConstraint::new("C", vec![Predicate::pair("Team", CmpOp::Eq)]);
+        assert!(b.is_binary());
+        let u = DenialConstraint::new(
+            "U",
+            vec![Predicate::new(
+                Operand::attr(TupleVar::T1, "Year"),
+                CmpOp::Lt,
+                Operand::constant(1900i64),
+            )],
+        );
+        assert!(!u.is_binary());
+    }
+
+    #[test]
+    fn equality_join_attrs_found() {
+        let dc = DenialConstraint::new(
+            "C",
+            vec![
+                Predicate::pair("Team", CmpOp::Eq),
+                Predicate::pair("Year", CmpOp::Eq),
+                Predicate::pair("City", CmpOp::Neq),
+            ],
+        );
+        assert_eq!(dc.equality_join_attrs(), vec!["Team", "Year"]);
+    }
+
+    #[test]
+    fn cross_attribute_equality_is_not_a_join_key() {
+        let dc = DenialConstraint::new(
+            "C",
+            vec![Predicate::new(
+                Operand::attr(TupleVar::T1, "Team"),
+                CmpOp::Eq,
+                Operand::attr(TupleVar::T2, "City"),
+            )],
+        );
+        assert!(dc.equality_join_attrs().is_empty());
+    }
+
+    #[test]
+    fn display_matches_parser_syntax() {
+        let dc = DenialConstraint::new(
+            "C1",
+            vec![
+                Predicate::pair("Team", CmpOp::Eq),
+                Predicate::new(
+                    Operand::attr(TupleVar::T1, "City"),
+                    CmpOp::Neq,
+                    Operand::constant("Madrid"),
+                ),
+            ],
+        );
+        assert_eq!(
+            dc.to_string(),
+            "C1: !(t1.Team = t2.Team & t1.City != \"Madrid\")"
+        );
+    }
+
+    #[test]
+    fn mentioned_attrs_dedup_in_order() {
+        let dc = DenialConstraint::new(
+            "C",
+            vec![
+                Predicate::pair("Team", CmpOp::Eq),
+                Predicate::pair("City", CmpOp::Neq),
+                Predicate::pair("Team", CmpOp::Eq),
+            ],
+        );
+        assert_eq!(dc.mentioned_attrs(), vec!["Team", "City"]);
+    }
+}

@@ -1,0 +1,455 @@
+//! Functional dependencies as a DC subset.
+//!
+//! The repair literature the paper builds on ([1, 5, 8] in its references)
+//! works heavily with functional dependencies `X → Y`: "tuples agreeing on
+//! all of X must agree on Y". Every FD is expressible as the denial
+//! constraint `¬( ⋀_{A∈X} t1.A = t2.A  ∧  t1.Y ≠ t2.Y )` — e.g. the paper's
+//! C1 is `Team → City` and C2 is `City → Country`.
+//!
+//! This module converts both ways, checks FD satisfaction, and *discovers*
+//! the FDs that hold in a table (exactly, by partition refinement) — used by
+//! the FD-chase repair baseline and by workload generators that need
+//! constraint sets consistent with generated data.
+
+use crate::ast::{CmpOp, DenialConstraint, Operand, Predicate};
+use std::collections::HashMap;
+use std::fmt;
+use trex_table::{AttrId, Table, Value};
+
+/// A functional dependency `lhs → rhs` (single consequent; `X → {Y,Z}` is
+/// two FDs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FunctionalDependency {
+    /// Determinant attribute names.
+    pub lhs: Vec<String>,
+    /// Dependent attribute name.
+    pub rhs: String,
+}
+
+impl FunctionalDependency {
+    /// Construct an FD.
+    pub fn new<I, S>(lhs: I, rhs: impl Into<String>) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        FunctionalDependency {
+            lhs: lhs.into_iter().map(Into::into).collect(),
+            rhs: rhs.into(),
+        }
+    }
+
+    /// The equivalent denial constraint, named `name`.
+    pub fn to_dc(&self, name: impl Into<String>) -> DenialConstraint {
+        let mut preds: Vec<Predicate> = self
+            .lhs
+            .iter()
+            .map(|a| Predicate::pair(a.clone(), CmpOp::Eq))
+            .collect();
+        preds.push(Predicate::pair(self.rhs.clone(), CmpOp::Neq));
+        DenialConstraint::new(name, preds)
+    }
+
+    /// Recognize an FD-shaped DC: all-equality pairs plus exactly one
+    /// same-attribute `!=` pair.
+    pub fn from_dc(dc: &DenialConstraint) -> Option<FunctionalDependency> {
+        let mut lhs = Vec::new();
+        let mut rhs: Option<String> = None;
+        for p in &dc.predicates {
+            let (a, b) = match (&p.left, &p.right) {
+                (
+                    Operand::Attr { var: va, name: na, .. },
+                    Operand::Attr { var: vb, name: nb, .. },
+                ) if va != vb && na == nb => (na.clone(), nb.clone()),
+                _ => return None,
+            };
+            debug_assert_eq!(a, b);
+            match p.op {
+                CmpOp::Eq => lhs.push(a),
+                CmpOp::Neq => {
+                    if rhs.replace(a).is_some() {
+                        return None; // two inequalities: not an FD
+                    }
+                }
+                _ => return None,
+            }
+        }
+        let rhs = rhs?;
+        if lhs.is_empty() {
+            return None;
+        }
+        Some(FunctionalDependency { lhs, rhs })
+    }
+
+    /// Does the FD hold on `table`? (Rows with a null on any involved
+    /// attribute are skipped, consistent with DC null semantics.)
+    pub fn holds(&self, table: &Table) -> bool {
+        let Some(ids) = self.resolve(table) else {
+            return false;
+        };
+        let (lhs_ids, rhs_id) = ids;
+        let mut seen: HashMap<Vec<Value>, Value> = HashMap::new();
+        for r in 0..table.num_rows() {
+            let rhs_v = table.value(r, rhs_id);
+            if rhs_v.is_null() {
+                continue;
+            }
+            let mut key = Vec::with_capacity(lhs_ids.len());
+            let mut has_null = false;
+            for a in &lhs_ids {
+                let v = table.value(r, *a);
+                if v.is_null() {
+                    has_null = true;
+                    break;
+                }
+                key.push(v.clone());
+            }
+            if has_null {
+                continue;
+            }
+            match seen.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(rhs_v.clone());
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if e.get() != rhs_v {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn resolve(&self, table: &Table) -> Option<(Vec<AttrId>, AttrId)> {
+        let lhs: Option<Vec<AttrId>> =
+            self.lhs.iter().map(|a| table.schema().resolve(a)).collect();
+        Some((lhs?, table.schema().resolve(&self.rhs)?))
+    }
+}
+
+impl fmt::Display for FunctionalDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.lhs.join(","), self.rhs)
+    }
+}
+
+/// Discover all *minimal* FDs with `lhs` of size at most `max_lhs` that hold
+/// exactly on `table`.
+///
+/// Exhaustive over attribute subsets — exponential in arity, fine for the
+/// ≤ 10-attribute tables of this workspace's workloads. An FD is reported
+/// only if no FD with a strict subset of its lhs (and the same rhs) holds.
+pub fn discover_fds(table: &Table, max_lhs: usize) -> Vec<FunctionalDependency> {
+    let names: Vec<String> = table.schema().names().map(str::to_string).collect();
+    let arity = names.len();
+    let mut found: Vec<FunctionalDependency> = Vec::new();
+
+    // Enumerate lhs subsets by increasing size so minimality is a subset
+    // check against already-found FDs.
+    let mut subsets: Vec<Vec<usize>> = vec![vec![]];
+    for size in 1..=max_lhs.min(arity.saturating_sub(1)) {
+        let mut next = Vec::new();
+        for s in subsets.iter().filter(|s| s.len() == size - 1) {
+            let start = s.last().map_or(0, |x| x + 1);
+            for a in start..arity {
+                let mut t = s.clone();
+                t.push(a);
+                next.push(t);
+            }
+        }
+        subsets.extend(next);
+    }
+
+    for lhs_idx in subsets.iter().filter(|s| !s.is_empty()) {
+        'rhs: for rhs in 0..arity {
+            if lhs_idx.contains(&rhs) {
+                continue;
+            }
+            // Minimality: skip if a subset-lhs FD with this rhs already holds.
+            for f in &found {
+                if f.rhs == names[rhs]
+                    && f.lhs.iter().all(|a| {
+                        lhs_idx
+                            .iter()
+                            .any(|i| names[*i] == *a)
+                    })
+                    && f.lhs.len() < lhs_idx.len()
+                {
+                    continue 'rhs;
+                }
+            }
+            let fd = FunctionalDependency::new(
+                lhs_idx.iter().map(|i| names[*i].clone()),
+                names[rhs].clone(),
+            );
+            if fd.holds(table) {
+                found.push(fd);
+            }
+        }
+    }
+    found
+}
+
+/// Convert every FD-shaped DC in `dcs` to an FD, skipping the rest.
+pub fn fds_of(dcs: &[DenialConstraint]) -> Vec<FunctionalDependency> {
+    dcs.iter().filter_map(FunctionalDependency::from_dc).collect()
+}
+
+impl FunctionalDependency {
+    /// The `g3` error of the FD on `table`: the minimum fraction of rows
+    /// that would have to be removed for the FD to hold exactly. For each
+    /// lhs equivalence class the kept rows are those with the class's
+    /// plurality rhs value; everything else counts as error. Rows with a
+    /// (labeled) null on any involved attribute are outside the measure.
+    ///
+    /// `g3 = 0` iff [`FunctionalDependency::holds`] (on the non-null rows);
+    /// unknown attributes yield `1.0` (maximally violated).
+    pub fn g3_error(&self, table: &Table) -> f64 {
+        let Some((lhs_ids, rhs_id)) = self.resolve(table) else {
+            return 1.0;
+        };
+        let mut classes: HashMap<Vec<Value>, HashMap<Value, usize>> = HashMap::new();
+        let mut measured = 0usize;
+        for r in 0..table.num_rows() {
+            let rhs_v = table.value(r, rhs_id);
+            if !rhs_v.is_concrete() {
+                continue;
+            }
+            let mut key = Vec::with_capacity(lhs_ids.len());
+            let mut skip = false;
+            for a in &lhs_ids {
+                let v = table.value(r, *a);
+                if !v.is_concrete() {
+                    skip = true;
+                    break;
+                }
+                key.push(v.clone());
+            }
+            if skip {
+                continue;
+            }
+            measured += 1;
+            *classes.entry(key).or_default().entry(rhs_v.clone()).or_insert(0) += 1;
+        }
+        if measured == 0 {
+            return 0.0;
+        }
+        let kept: usize = classes
+            .values()
+            .map(|counts| counts.values().copied().max().unwrap_or(0))
+            .sum();
+        (measured - kept) as f64 / measured as f64
+    }
+}
+
+/// Discover all minimal FDs that hold *approximately* on `table`: `g3`
+/// error at most `tolerance`. With `tolerance = 0` this coincides with
+/// [`discover_fds`]. Useful in the demo loop: mine plausible constraints
+/// from a *dirty* table (where exact discovery finds nothing) and let the
+/// explanation session validate them.
+pub fn discover_fds_approx(
+    table: &Table,
+    max_lhs: usize,
+    tolerance: f64,
+) -> Vec<(FunctionalDependency, f64)> {
+    let names: Vec<String> = table.schema().names().map(str::to_string).collect();
+    let arity = names.len();
+    let mut found: Vec<(FunctionalDependency, f64)> = Vec::new();
+
+    let mut subsets: Vec<Vec<usize>> = vec![vec![]];
+    for size in 1..=max_lhs.min(arity.saturating_sub(1)) {
+        let mut next = Vec::new();
+        for s in subsets.iter().filter(|s| s.len() == size - 1) {
+            let start = s.last().map_or(0, |x| x + 1);
+            for a in start..arity {
+                let mut t = s.clone();
+                t.push(a);
+                next.push(t);
+            }
+        }
+        subsets.extend(next);
+    }
+
+    for lhs_idx in subsets.iter().filter(|s| !s.is_empty()) {
+        'rhs: for rhs in 0..arity {
+            if lhs_idx.contains(&rhs) {
+                continue;
+            }
+            for (f, _) in &found {
+                if f.rhs == names[rhs]
+                    && f.lhs.iter().all(|a| lhs_idx.iter().any(|i| names[*i] == *a))
+                    && f.lhs.len() < lhs_idx.len()
+                {
+                    continue 'rhs;
+                }
+            }
+            let fd = FunctionalDependency::new(
+                lhs_idx.iter().map(|i| names[*i].clone()),
+                names[rhs].clone(),
+            );
+            let err = fd.g3_error(table);
+            if err <= tolerance {
+                found.push((fd, err));
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_dc;
+    use trex_table::TableBuilder;
+
+    fn table() -> Table {
+        TableBuilder::new()
+            .str_columns(["Team", "City", "Country"])
+            .str_row(["Real Madrid", "Madrid", "Spain"])
+            .str_row(["Barcelona", "Barcelona", "Spain"])
+            .str_row(["Atletico", "Madrid", "Spain"])
+            .build()
+    }
+
+    #[test]
+    fn fd_dc_roundtrip() {
+        let fd = FunctionalDependency::new(["Team"], "City");
+        let dc = fd.to_dc("C1");
+        assert_eq!(
+            dc.to_string(),
+            "C1: !(t1.Team = t2.Team & t1.City != t2.City)"
+        );
+        assert_eq!(FunctionalDependency::from_dc(&dc), Some(fd));
+    }
+
+    #[test]
+    fn composite_lhs_roundtrip() {
+        let fd = FunctionalDependency::new(["League", "Year"], "Champion");
+        let dc = fd.to_dc("C");
+        assert_eq!(FunctionalDependency::from_dc(&dc), Some(fd));
+    }
+
+    #[test]
+    fn non_fd_dcs_rejected() {
+        for src in [
+            "!(t1.A = t2.A)",                            // no inequality
+            "!(t1.A != t2.A & t1.B != t2.B)",            // two inequalities
+            "!(t1.A = t2.A & t1.B > t2.B)",              // order predicate
+            "!(t1.A = t2.A & t1.B != \"x\")",            // constant
+        ] {
+            let dc = parse_dc(src).unwrap();
+            assert_eq!(FunctionalDependency::from_dc(&dc), None, "{src}");
+        }
+    }
+
+    #[test]
+    fn holds_checks_agreement() {
+        let t = table();
+        assert!(FunctionalDependency::new(["Team"], "City").holds(&t));
+        assert!(FunctionalDependency::new(["City"], "Country").holds(&t));
+        assert!(!FunctionalDependency::new(["Country"], "City").holds(&t));
+    }
+
+    #[test]
+    fn holds_skips_null_rows() {
+        let mut t = table();
+        let city = t.schema().id("City");
+        t.set(trex_table::CellRef::new(0, city), Value::Null);
+        // Team -> City now vacuously holds for row 0.
+        assert!(FunctionalDependency::new(["Team"], "City").holds(&t));
+    }
+
+    #[test]
+    fn unknown_attribute_means_not_holding() {
+        let t = table();
+        assert!(!FunctionalDependency::new(["Nope"], "City").holds(&t));
+    }
+
+    #[test]
+    fn discover_finds_minimal_fds() {
+        let t = table();
+        let fds = discover_fds(&t, 2);
+        assert!(fds.contains(&FunctionalDependency::new(["Team"], "City")));
+        assert!(fds.contains(&FunctionalDependency::new(["City"], "Country")));
+        // Country -> City does not hold (Spain maps to two cities).
+        assert!(!fds.contains(&FunctionalDependency::new(["Country"], "City")));
+        // Minimality: since Team -> Country holds (via City), the composite
+        // {Team, City} -> Country must not be reported.
+        assert!(fds.contains(&FunctionalDependency::new(["Team"], "Country")));
+        assert!(!fds
+            .iter()
+            .any(|f| f.lhs.len() == 2 && f.rhs == "Country" && f.lhs.contains(&"Team".to_string())));
+    }
+
+    #[test]
+    fn discovered_fds_all_hold() {
+        let t = table();
+        for fd in discover_fds(&t, 2) {
+            assert!(fd.holds(&t), "{fd}");
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let fd = FunctionalDependency::new(["A", "B"], "C");
+        assert_eq!(fd.to_string(), "A,B -> C");
+    }
+
+    #[test]
+    fn g3_error_zero_iff_holds() {
+        let t = table();
+        assert_eq!(FunctionalDependency::new(["Team"], "City").g3_error(&t), 0.0);
+        // Country -> City fails for one of three rows under Spain.
+        let e = FunctionalDependency::new(["Country"], "City").g3_error(&t);
+        assert!((e - 1.0 / 3.0).abs() < 1e-12, "{e}");
+    }
+
+    #[test]
+    fn g3_error_of_unknown_attr_is_one() {
+        let t = table();
+        assert_eq!(FunctionalDependency::new(["Nope"], "City").g3_error(&t), 1.0);
+    }
+
+    #[test]
+    fn g3_skips_null_rows() {
+        let mut t = table();
+        t.set(trex_table::CellRef::new(0, t.schema().id("City")), Value::Null);
+        // Only rows 1 and 2 measured for Country -> City: Barcelona vs
+        // Madrid under Spain -> one must go.
+        let e = FunctionalDependency::new(["Country"], "City").g3_error(&t);
+        assert!((e - 0.5).abs() < 1e-12, "{e}");
+    }
+
+    #[test]
+    fn approx_discovery_tolerates_dirt() {
+        // Team -> City holds except for one corrupted row out of five.
+        let t = trex_table::TableBuilder::new()
+            .str_columns(["Team", "City"])
+            .str_row(["RM", "Madrid"])
+            .str_row(["RM", "Madrid"])
+            .str_row(["RM", "Madrid"])
+            .str_row(["RM", "Capital"])
+            .str_row(["FCB", "Barcelona"])
+            .build();
+        let exact = discover_fds(&t, 1);
+        assert!(!exact.contains(&FunctionalDependency::new(["Team"], "City")));
+        let approx = discover_fds_approx(&t, 1, 0.25);
+        let entry = approx
+            .iter()
+            .find(|(f, _)| *f == FunctionalDependency::new(["Team"], "City"))
+            .expect("approximate discovery finds the dirty FD");
+        assert!((entry.1 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_with_zero_tolerance_matches_exact() {
+        let t = table();
+        let exact = discover_fds(&t, 2);
+        let approx: Vec<FunctionalDependency> = discover_fds_approx(&t, 2, 0.0)
+            .into_iter()
+            .map(|(f, _)| f)
+            .collect();
+        assert_eq!(exact, approx);
+    }
+}

@@ -1,0 +1,144 @@
+//! # trex-constraints
+//!
+//! Denial constraints (DCs) for the T-REx reproduction: the constraint
+//! language the paper's repairs are driven by ([2] in its references).
+//!
+//! * [`ast`] — DC abstract syntax (`∀t1,t2.¬(p1 ∧ … ∧ pk)`), resolution
+//!   against a schema.
+//! * [`parser`] — textual syntax, `C1: !(t1.Team = t2.Team & t1.City !=
+//!   t2.City)`, with `Display` round-tripping.
+//! * [`eval`] — violation detection with full witnesses (which rows/cells).
+//! * [`index`] — hash-partitioned detection for equality-led DCs (ablation
+//!   A2 of DESIGN.md).
+//! * [`fd`] — the functional-dependency subset: FD ↔ DC conversion and
+//!   exact FD discovery.
+//! * [`gen`] — random DC generation for scaling benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod fd;
+pub mod gen;
+pub mod index;
+pub mod mine;
+pub mod parser;
+
+pub use ast::{CmpOp, DenialConstraint, Operand, Predicate, ResolveError, TupleVar};
+pub use eval::{
+    find_all_violations, find_violations, is_clean, noisy_cells, violates_binding,
+    violating_rows, violation_counts, Violation,
+};
+pub use fd::{discover_fds, discover_fds_approx, fds_of, FunctionalDependency};
+pub use gen::{generate_dcs, DcGenConfig};
+pub use index::{find_all_violations_indexed, find_violations_indexed, is_clean_indexed};
+pub use mine::{mine_dcs, MineConfig};
+pub use parser::{parse_dc, parse_dc_named, parse_dcs, ParseError};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use trex_table::{Schema, Table, Value};
+
+    /// Arbitrary DC whose predicates are same-attribute pairs over C0..C3.
+    fn arb_dc() -> impl Strategy<Value = DenialConstraint> {
+        let attr = 0usize..4;
+        let op = prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Neq),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Leq),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Geq),
+        ];
+        proptest::collection::vec((attr, op), 1..4).prop_map(|preds| {
+            DenialConstraint::new(
+                "P",
+                preds
+                    .into_iter()
+                    .map(|(a, o)| Predicate::pair(format!("C{a}"), o))
+                    .collect(),
+            )
+        })
+    }
+
+    fn arb_table() -> impl Strategy<Value = Table> {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![Just(Value::Null), (0i64..4).prop_map(Value::Int)],
+                4,
+            ),
+            0..7,
+        )
+        .prop_map(|rows| {
+            Table::from_rows(
+                Schema::new((0..4).map(|i| (format!("C{i}"), trex_table::DType::Int))),
+                rows,
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn parser_display_roundtrip(dc in arb_dc()) {
+            let printed = dc.to_string();
+            let parsed = parse_dc(&printed).unwrap();
+            prop_assert_eq!(dc, parsed);
+        }
+
+        #[test]
+        fn indexed_equals_nested_loop(dc in arb_dc(), t in arb_table()) {
+            let mut dc = dc;
+            dc.resolve(t.schema()).unwrap();
+            let mut a: Vec<(usize, Option<usize>)> = find_violations(&dc, &t)
+                .into_iter().map(|v| (v.row1, v.row2)).collect();
+            let mut b: Vec<(usize, Option<usize>)> = find_violations_indexed(&dc, &t)
+                .into_iter().map(|v| (v.row1, v.row2)).collect();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn nulling_cells_never_creates_violations(dc in arb_dc(), t in arb_table()) {
+            let mut dc = dc;
+            dc.resolve(t.schema()).unwrap();
+            let before = find_violations(&dc, &t).len();
+            if t.num_cells() > 0 {
+                let mut t2 = t.clone();
+                let cell = t2.cells().next().unwrap();
+                t2.set(cell, Value::Null);
+                let after = find_violations(&dc, &t2).len();
+                prop_assert!(after <= before,
+                    "nulling a cell increased violations: {before} -> {after}");
+            }
+        }
+
+        #[test]
+        fn all_null_table_is_clean(dc in arb_dc(), t in arb_table()) {
+            let mut dc = dc;
+            dc.resolve(t.schema()).unwrap();
+            let masked = t.masked_keep(&vec![false; t.num_cells()]);
+            prop_assert!(is_clean(&[dc], &masked));
+        }
+
+        #[test]
+        fn fd_dc_conversion_roundtrip(lhs in proptest::collection::hash_set(0usize..4, 1..3)) {
+            let fd = FunctionalDependency::new(
+                lhs.iter().map(|i| format!("C{i}")),
+                "C9",
+            );
+            let dc = fd.to_dc("X");
+            let back = FunctionalDependency::from_dc(&dc).unwrap();
+            prop_assert_eq!(back.rhs, fd.rhs);
+            let mut a = back.lhs.clone();
+            let mut b = fd.lhs.clone();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

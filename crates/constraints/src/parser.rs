@@ -1,0 +1,426 @@
+//! Textual denial-constraint syntax.
+//!
+//! The surface syntax mirrors how the paper writes DCs, ASCII-fied:
+//!
+//! ```text
+//! C1: !(t1.Team = t2.Team & t1.City != t2.City)
+//! C2: !(t1.City = t2.City & t1.Country != t2.Country)
+//! U:  !(t1.Year < 1800)
+//! K:  !(t1.City = "Madrid" & t1.Country != "Spain")
+//! ```
+//!
+//! * an optional `Name:` prefix,
+//! * `!( … )` (or `not( … )`) wrapping a `&`-separated (or `and`,
+//!   `∧`-separated) conjunction,
+//! * operands `t1.Attr` / `t2.Attr` (also `t1[Attr]`), double-quoted string
+//!   constants, integer/float literals, and `true`/`false`,
+//! * operators `=`, `==`, `!=`, `<>`, `≠`, `<`, `<=`, `≤`, `>`, `>=`, `≥`.
+//!
+//! `Display` on [`DenialConstraint`] emits the canonical form of this syntax,
+//! so parse∘display is the identity (property-tested in `lib.rs`).
+
+use crate::ast::{CmpOp, DenialConstraint, Operand, Predicate, TupleVar};
+use std::fmt;
+use trex_table::Value;
+
+/// Parse error with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(position: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.src.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), ParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.pos,
+                format!("expected {tok:?}, found {:?}", self.peek_snippet()),
+            ))
+        }
+    }
+
+    fn peek_snippet(&self) -> &'a str {
+        let r = self.rest();
+        &r[..r.len().min(12)]
+    }
+
+    fn ident(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_alphanumeric() || *c == '_'))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            None
+        } else {
+            self.pos += end;
+            Some(&rest[..end])
+        }
+    }
+
+    fn parse_op(&mut self) -> Result<CmpOp, ParseError> {
+        self.skip_ws();
+        // Longest tokens first.
+        for (tok, op) in [
+            ("==", CmpOp::Eq),
+            ("!=", CmpOp::Neq),
+            ("<>", CmpOp::Neq),
+            ("≠", CmpOp::Neq),
+            ("<=", CmpOp::Leq),
+            ("≤", CmpOp::Leq),
+            (">=", CmpOp::Geq),
+            ("≥", CmpOp::Geq),
+            ("=", CmpOp::Eq),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat(tok) {
+                return Ok(op);
+            }
+        }
+        Err(ParseError::new(
+            self.pos,
+            format!("expected comparison operator, found {:?}", self.peek_snippet()),
+        ))
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        // Caller has consumed the opening quote.
+        let mut out = String::new();
+        let mut chars = self.rest().char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    // Doubled quote = escaped quote.
+                    if self.rest()[i + 1..].starts_with('"') {
+                        out.push('"');
+                        chars.next();
+                    } else {
+                        self.pos += i + 1;
+                        return Ok(out);
+                    }
+                }
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, other)) => out.push(other),
+                    None => break,
+                },
+                other => out.push(other),
+            }
+        }
+        Err(ParseError::new(self.pos, "unterminated string literal"))
+    }
+
+    fn parse_operand(&mut self) -> Result<Operand, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.eat("\"") {
+            return Ok(Operand::Const(Value::Str(self.parse_string()?)));
+        }
+        // Number literal (optionally signed).
+        let rest = self.rest();
+        if rest.starts_with(|c: char| c.is_ascii_digit() || c == '-' || c == '+') {
+            let end = rest
+                .char_indices()
+                .skip(1)
+                .find(|(_, c)| !(c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E'))
+                .map(|(i, _)| i)
+                .unwrap_or(rest.len());
+            let text = &rest[..end];
+            if let Ok(i) = text.parse::<i64>() {
+                self.pos += end;
+                return Ok(Operand::Const(Value::Int(i)));
+            }
+            if let Ok(x) = text.parse::<f64>() {
+                self.pos += end;
+                return Ok(Operand::Const(Value::Float(x)));
+            }
+            return Err(ParseError::new(start, format!("bad number literal {text:?}")));
+        }
+        let ident = self
+            .ident()
+            .ok_or_else(|| ParseError::new(start, "expected operand"))?;
+        match ident {
+            "true" => Ok(Operand::Const(Value::Bool(true))),
+            "false" => Ok(Operand::Const(Value::Bool(false))),
+            "t1" | "t2" => {
+                let var = if ident == "t1" { TupleVar::T1 } else { TupleVar::T2 };
+                // `t1.Attr` or `t1[Attr]`
+                if self.eat(".") {
+                    let attr = self
+                        .ident()
+                        .ok_or_else(|| ParseError::new(self.pos, "expected attribute name"))?;
+                    return Ok(Operand::attr(var, attr));
+                }
+                if self.eat("[") {
+                    let attr = self
+                        .ident()
+                        .ok_or_else(|| ParseError::new(self.pos, "expected attribute name"))?;
+                    self.expect("]")?;
+                    return Ok(Operand::attr(var, attr));
+                }
+                Err(ParseError::new(
+                    self.pos,
+                    "expected '.' or '[' after tuple variable",
+                ))
+            }
+            other => Err(ParseError::new(
+                start,
+                format!("expected operand, found identifier {other:?}"),
+            )),
+        }
+    }
+
+    fn parse_conjunct_separator(&mut self) -> bool {
+        self.eat("&&") || self.eat("&") || self.eat("∧") || {
+            // word `and`
+            let save = self.pos;
+            if let Some(id) = self.ident() {
+                if id.eq_ignore_ascii_case("and") {
+                    return true;
+                }
+            }
+            self.pos = save;
+            false
+        }
+    }
+
+    fn parse_dc(&mut self, default_name: &str) -> Result<DenialConstraint, ParseError> {
+        self.skip_ws();
+        // Optional `Name:` prefix (identifier followed by ':').
+        let save = self.pos;
+        let name = match self.ident() {
+            Some(id) if self.eat(":") => id.to_string(),
+            _ => {
+                self.pos = save;
+                default_name.to_string()
+            }
+        };
+        self.skip_ws();
+        if !(self.eat("!") || {
+            let save = self.pos;
+            match self.ident() {
+                Some(id) if id.eq_ignore_ascii_case("not") => true,
+                _ => {
+                    self.pos = save;
+                    false
+                }
+            }
+        }) {
+            return Err(ParseError::new(self.pos, "expected '!' or 'not'"));
+        }
+        self.expect("(")?;
+        let mut predicates = Vec::new();
+        loop {
+            let left = self.parse_operand()?;
+            let op = self.parse_op()?;
+            let right = self.parse_operand()?;
+            predicates.push(Predicate::new(left, op, right));
+            if !self.parse_conjunct_separator() {
+                break;
+            }
+        }
+        self.expect(")")?;
+        Ok(DenialConstraint::new(name, predicates))
+    }
+}
+
+/// Parse a single DC. `default_name` is used when the input has no `Name:`
+/// prefix.
+pub fn parse_dc_named(input: &str, default_name: &str) -> Result<DenialConstraint, ParseError> {
+    let mut p = Parser::new(input);
+    let dc = p.parse_dc(default_name)?;
+    p.skip_ws();
+    if !p.rest().is_empty() {
+        return Err(ParseError::new(
+            p.pos,
+            format!("trailing input {:?}", p.peek_snippet()),
+        ));
+    }
+    Ok(dc)
+}
+
+/// Parse a single DC (default name `C`).
+pub fn parse_dc(input: &str) -> Result<DenialConstraint, ParseError> {
+    parse_dc_named(input, "C")
+}
+
+/// Parse a newline-separated list of DCs. Blank lines and `#` comment lines
+/// are skipped; unnamed DCs get names `C1, C2, …` by position.
+pub fn parse_dcs(input: &str) -> Result<Vec<DenialConstraint>, ParseError> {
+    let mut out = Vec::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let default = format!("C{}", out.len() + 1);
+        out.push(parse_dc_named(line, &default)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_c1() {
+        let dc = parse_dc("C1: !(t1.Team = t2.Team & t1.City != t2.City)").unwrap();
+        assert_eq!(dc.name, "C1");
+        assert_eq!(dc.predicates.len(), 2);
+        assert_eq!(dc.predicates[0].op, CmpOp::Eq);
+        assert_eq!(dc.predicates[1].op, CmpOp::Neq);
+        assert!(dc.is_binary());
+    }
+
+    #[test]
+    fn bracket_syntax_and_unicode_ops() {
+        let dc = parse_dc("!(t1[League] = t2[League] ∧ t1[Country] ≠ t2[Country])").unwrap();
+        assert_eq!(dc.predicates.len(), 2);
+        assert_eq!(dc.predicates[1].op, CmpOp::Neq);
+    }
+
+    #[test]
+    fn not_keyword_and_and_keyword() {
+        let dc = parse_dc("not(t1.A = t2.A and t1.B > t2.B)").unwrap();
+        assert_eq!(dc.predicates.len(), 2);
+        assert_eq!(dc.predicates[1].op, CmpOp::Gt);
+    }
+
+    #[test]
+    fn constants_of_all_kinds() {
+        let dc = parse_dc(
+            "!(t1.City = \"Madrid\" & t1.Year >= 1900 & t1.Rate < 2.5 & t1.Active = true)",
+        )
+        .unwrap();
+        assert_eq!(dc.predicates.len(), 4);
+        assert_eq!(
+            dc.predicates[0].right,
+            Operand::Const(Value::str("Madrid"))
+        );
+        assert_eq!(dc.predicates[1].right, Operand::Const(Value::int(1900)));
+        assert_eq!(dc.predicates[2].right, Operand::Const(Value::float(2.5)));
+        assert_eq!(dc.predicates[3].right, Operand::Const(Value::Bool(true)));
+        assert!(!dc.is_binary());
+    }
+
+    #[test]
+    fn negative_number_literal() {
+        let dc = parse_dc("!(t1.Temp < -5)").unwrap();
+        assert_eq!(dc.predicates[0].right, Operand::Const(Value::int(-5)));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let dc = parse_dc("!(t1.Name = \"O\"\"Brien\")").unwrap();
+        assert_eq!(
+            dc.predicates[0].right,
+            Operand::Const(Value::str("O\"Brien"))
+        );
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let src = "C3: !(t1.League = t2.League & t1.Country != t2.Country)";
+        let dc = parse_dc(src).unwrap();
+        let printed = dc.to_string();
+        let dc2 = parse_dc(&printed).unwrap();
+        assert_eq!(dc, dc2);
+    }
+
+    #[test]
+    fn parse_dcs_skips_comments_and_names_by_position() {
+        let dcs = parse_dcs(
+            "# the paper's first two constraints\n\
+             !(t1.Team = t2.Team & t1.City != t2.City)\n\
+             \n\
+             MyName: !(t1.City = t2.City & t1.Country != t2.Country)\n",
+        )
+        .unwrap();
+        assert_eq!(dcs.len(), 2);
+        assert_eq!(dcs[0].name, "C1");
+        assert_eq!(dcs[1].name, "MyName");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_dc("!(t1.A @ t2.A)").unwrap_err();
+        assert!(err.message.contains("comparison operator"), "{err}");
+        let err = parse_dc("!(t1.A = t2.A").unwrap_err();
+        assert!(err.message.contains("expected \")\""), "{err}");
+        let err = parse_dc("(t1.A = t2.A)").unwrap_err();
+        assert!(err.message.contains("'!' or 'not'"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse_dc("!(t1.A = t2.A) extra").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn double_ampersand_accepted() {
+        let dc = parse_dc("!(t1.A = t2.A && t1.B != t2.B)").unwrap();
+        assert_eq!(dc.predicates.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        let err = parse_dc("!(t1.A = \"oops)").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+    }
+}

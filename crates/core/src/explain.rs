@@ -1,0 +1,680 @@
+//! The explainer — T-REx's front door.
+//!
+//! Given the black-box repair algorithm, the constraint set, the dirty
+//! table, and a repaired cell of interest, [`Explainer`] produces the two
+//! rankings of §1: constraints by Shapley value (computed exactly, §2.3)
+//! and cells by Shapley value (approximated by permutation sampling, §2.3,
+//! or computed exactly on small tables).
+
+use crate::games::{CellGameMasked, CellGameSampled, ConstraintGame, MaskMode};
+use crate::ranking::Ranking;
+use std::fmt;
+use trex_constraints::DenialConstraint;
+use trex_repair::{RepairAlgorithm, RepairResult};
+use trex_shapley::{
+    estimate_all, estimate_all_walk, shapley_exact, shapley_exact_rational, Game, Rational,
+    SamplingConfig, StochasticGame,
+};
+use trex_table::{CellRef, Table, Value};
+
+/// Errors an explanation request can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExplainError {
+    /// The chosen cell is not repaired by the full run — the paper only
+    /// explains cells "whose value was changed" (§3).
+    CellNotRepaired {
+        /// The cell the user selected.
+        cell: CellRef,
+    },
+    /// The cell row/attr is outside the table.
+    CellOutOfRange {
+        /// The offending reference.
+        cell: CellRef,
+    },
+    /// Exact cell explanation was requested for a table with too many cells.
+    TooManyCells {
+        /// Number of player cells.
+        players: usize,
+        /// The exact-solver cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ExplainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplainError::CellNotRepaired { cell } => {
+                write!(
+                    f,
+                    "cell {cell} is not repaired by the full constraint set; only repaired cells can be explained"
+                )
+            }
+            ExplainError::CellOutOfRange { cell } => write!(f, "cell {cell} is out of range"),
+            ExplainError::TooManyCells { players, limit } => write!(
+                f,
+                "exact cell explanation over {players} cells exceeds the {limit}-player limit; use sampling"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExplainError {}
+
+/// A constraint explanation: the ranking plus the exact rational values.
+#[derive(Debug, Clone)]
+pub struct ConstraintExplanation {
+    /// Constraints ranked by Shapley value.
+    pub ranking: Ranking,
+    /// Exact values as rationals (denominator `|C|!`), in constraint order —
+    /// only present when the repair oracle is 0/1 (it always is here).
+    pub exact: Vec<(String, Rational)>,
+    /// The repaired (target) value of the cell of interest.
+    pub target: Value,
+}
+
+/// A cell explanation: the ranking over influencing cells.
+#[derive(Debug, Clone)]
+pub struct CellExplanation {
+    /// Cells ranked by (estimated) Shapley value.
+    pub ranking: Ranking,
+    /// The player cells, index-aligned with `values`.
+    pub players: Vec<CellRef>,
+    /// Raw values in player order (useful for programmatic consumers).
+    pub values: Vec<f64>,
+    /// The repaired (target) value of the cell of interest.
+    pub target: Value,
+}
+
+/// The T-REx explainer.
+///
+/// Wraps a black-box [`RepairAlgorithm`]; every method treats it purely
+/// through repeated repair queries, per the paper's design.
+pub struct Explainer<'a> {
+    alg: &'a dyn RepairAlgorithm,
+}
+
+impl<'a> Explainer<'a> {
+    /// Wrap a repair algorithm.
+    pub fn new(alg: &'a dyn RepairAlgorithm) -> Self {
+        Explainer { alg }
+    }
+
+    /// The wrapped algorithm.
+    pub fn algorithm(&self) -> &dyn RepairAlgorithm {
+        self.alg
+    }
+
+    /// Run the full repair (`Alg(C, T^d)`), the step behind the demo's
+    /// "Repair" button.
+    pub fn repair(&self, dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
+        self.alg.repair(dcs, dirty)
+    }
+
+    /// Determine the repair target of `cell`: the clean value the full run
+    /// assigns it. Errors if the cell is out of range or not repaired.
+    pub fn repair_target(
+        &self,
+        dcs: &[DenialConstraint],
+        dirty: &Table,
+        cell: CellRef,
+    ) -> Result<Value, ExplainError> {
+        if cell.row >= dirty.num_rows() || cell.attr.0 >= dirty.arity() {
+            return Err(ExplainError::CellOutOfRange { cell });
+        }
+        let result = self.alg.repair(dcs, dirty);
+        let target = result.clean.get(cell);
+        if target == dirty.get(cell) {
+            return Err(ExplainError::CellNotRepaired { cell });
+        }
+        Ok(target.clone())
+    }
+
+    /// Explain the influence of each **constraint** on the repair of
+    /// `cell`, exactly (subset enumeration over `2^|C|` coalitions, with
+    /// oracle memoization). This is the left half of the demo's
+    /// explanation screen.
+    pub fn explain_constraints(
+        &self,
+        dcs: &[DenialConstraint],
+        dirty: &Table,
+        cell: CellRef,
+    ) -> Result<ConstraintExplanation, ExplainError> {
+        let target = self.repair_target(dcs, dirty, cell)?;
+        let game = ConstraintGame::new(self.alg, dcs, dirty, cell, target.clone());
+        let values = shapley_exact(&game).expect("constraint sets are small");
+        let rationals = shapley_exact_rational(&game).expect("constraint sets are small");
+        let ranking = Ranking::new(
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (Game::player_label(&game, i), *v))
+                .collect(),
+        );
+        Ok(ConstraintExplanation {
+            ranking,
+            exact: rationals
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| (Game::player_label(&game, i), r))
+                .collect(),
+            target,
+        })
+    }
+
+    /// Pairwise **Shapley interaction indices** of the constraints for the
+    /// repair of `cell` (extension; Grabisch–Roubens). Positive entries are
+    /// complements — the paper's C1/C2, which "contributed as a pair" —
+    /// negative entries substitutes (C3 against either of them). Returns
+    /// the labeled symmetric matrix in constraint order.
+    pub fn constraint_interactions(
+        &self,
+        dcs: &[DenialConstraint],
+        dirty: &Table,
+        cell: CellRef,
+    ) -> Result<(Vec<String>, Vec<Vec<f64>>), ExplainError> {
+        let target = self.repair_target(dcs, dirty, cell)?;
+        let game = ConstraintGame::new(self.alg, dcs, dirty, cell, target);
+        let matrix = trex_shapley::shapley_interaction_exact(&game)
+            .expect("constraint sets are small");
+        let labels = (0..dcs.len())
+            .map(|i| Game::player_label(&game, i))
+            .collect();
+        Ok((labels, matrix))
+    }
+
+    /// **Banzhaf** power indices of the constraints (extension): the
+    /// unweighted-average-marginal alternative to Shapley. Useful as a
+    /// cross-check that the ranking is not an artifact of Shapley's
+    /// size weighting.
+    pub fn constraint_banzhaf(
+        &self,
+        dcs: &[DenialConstraint],
+        dirty: &Table,
+        cell: CellRef,
+    ) -> Result<Ranking, ExplainError> {
+        let target = self.repair_target(dcs, dirty, cell)?;
+        let game = ConstraintGame::new(self.alg, dcs, dirty, cell, target);
+        let values = trex_shapley::banzhaf_exact(&game).expect("constraint sets are small");
+        Ok(Ranking::new(
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (Game::player_label(&game, i), *v))
+                .collect(),
+        ))
+    }
+
+    /// Explain the influence of each **cell** via the sampling algorithm of
+    /// §2.3 / Example 2.5 (random-replacement semantics, common random
+    /// numbers, per-player permutation sampling).
+    pub fn explain_cells_sampled(
+        &self,
+        dcs: &[DenialConstraint],
+        dirty: &Table,
+        cell: CellRef,
+        config: SamplingConfig,
+    ) -> Result<CellExplanation, ExplainError> {
+        let target = self.repair_target(dcs, dirty, cell)?;
+        let game = CellGameSampled::new(self.alg, dcs, dirty, cell, target.clone());
+        let estimates = estimate_all(&game, config);
+        let players = game.players().to_vec();
+        let ranking = Ranking::with_errors(
+            estimates
+                .iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    (
+                        StochasticGame::player_label(&game, i),
+                        e.value,
+                        Some(e.std_error()),
+                    )
+                })
+                .collect(),
+        );
+        Ok(CellExplanation {
+            ranking,
+            values: estimates.iter().map(|e| e.value).collect(),
+            players,
+            target,
+        })
+    }
+
+    /// Explain cells with the **masked** (null / labeled-null) semantics of
+    /// the Shapley definition in §2.2, estimated by shared permutation
+    /// walks (`config.samples` permutations, each contributing one marginal
+    /// sample to every cell). Deterministic per seed.
+    pub fn explain_cells_masked(
+        &self,
+        dcs: &[DenialConstraint],
+        dirty: &Table,
+        cell: CellRef,
+        mode: MaskMode,
+        config: SamplingConfig,
+    ) -> Result<CellExplanation, ExplainError> {
+        let target = self.repair_target(dcs, dirty, cell)?;
+        let game = CellGameMasked::new(self.alg, dcs, dirty, cell, target.clone(), mode);
+        let estimates = estimate_all_walk(&game, config);
+        let players = game.players().to_vec();
+        let ranking = Ranking::with_errors(
+            estimates
+                .iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    (
+                        Game::player_label(&game, i),
+                        e.value,
+                        Some(e.std_error()),
+                    )
+                })
+                .collect(),
+        );
+        Ok(CellExplanation {
+            ranking,
+            values: estimates.iter().map(|e| e.value).collect(),
+            players,
+            target,
+        })
+    }
+
+    /// Two-phase cell explanation (extension): a cheap permutation-walk
+    /// *screening* pass over all cells, then a *refinement* pass that
+    /// re-estimates only the `k` screened leaders with `refine_samples`
+    /// per-player samples each. The interactive demo only ever shows the
+    /// top of the ranking, so spending the budget there cuts latency
+    /// without touching what the user sees.
+    ///
+    /// Refined entries replace their screened estimates; everything else
+    /// keeps the screening value.
+    #[allow(clippy::too_many_arguments)]
+    pub fn explain_cells_topk(
+        &self,
+        dcs: &[DenialConstraint],
+        dirty: &Table,
+        cell: CellRef,
+        mode: MaskMode,
+        k: usize,
+        screen: SamplingConfig,
+        refine_samples: usize,
+    ) -> Result<CellExplanation, ExplainError> {
+        let target = self.repair_target(dcs, dirty, cell)?;
+        let game = CellGameMasked::new(self.alg, dcs, dirty, cell, target.clone(), mode);
+        let players = game.players().to_vec();
+        let screened = estimate_all_walk(&game, screen);
+
+        // Leaders by screened value.
+        let mut order: Vec<usize> = (0..players.len()).collect();
+        order.sort_by(|a, b| screened[*b].value.total_cmp(&screened[*a].value));
+        let leaders: Vec<usize> = order.into_iter().take(k).collect();
+
+        let mut values: Vec<f64> = screened.iter().map(|e| e.value).collect();
+        let mut errors: Vec<f64> = screened.iter().map(|e| e.std_error()).collect();
+        for (slot, &p) in leaders.iter().enumerate() {
+            let refined = trex_shapley::estimate_player(
+                &game,
+                p,
+                SamplingConfig {
+                    samples: refine_samples,
+                    seed: screen.seed.wrapping_add(1000 + slot as u64),
+                },
+            );
+            values[p] = refined.value;
+            errors[p] = refined.std_error();
+        }
+        let ranking = Ranking::with_errors(
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (Game::player_label(&game, i), *v, Some(errors[i])))
+                .collect(),
+        );
+        Ok(CellExplanation {
+            ranking,
+            values,
+            players,
+            target,
+        })
+    }
+
+    /// Exact cell explanation (subset enumeration) under masked semantics —
+    /// only for tiny tables (≤ [`trex_shapley::MAX_EXACT_PLAYERS`] player
+    /// cells), used by tests and the convergence experiment as ground
+    /// truth.
+    pub fn explain_cells_exact(
+        &self,
+        dcs: &[DenialConstraint],
+        dirty: &Table,
+        cell: CellRef,
+        mode: MaskMode,
+    ) -> Result<CellExplanation, ExplainError> {
+        let target = self.repair_target(dcs, dirty, cell)?;
+        let game = CellGameMasked::new(self.alg, dcs, dirty, cell, target.clone(), mode);
+        let players = game.players().to_vec();
+        if players.len() > trex_shapley::MAX_EXACT_PLAYERS {
+            return Err(ExplainError::TooManyCells {
+                players: players.len(),
+                limit: trex_shapley::MAX_EXACT_PLAYERS,
+            });
+        }
+        let values = shapley_exact(&game).expect("player count checked");
+        let ranking = Ranking::new(
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (Game::player_label(&game, i), *v))
+                .collect(),
+        );
+        Ok(CellExplanation {
+            ranking,
+            values,
+            players,
+            target,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_datagen::laliga;
+    use trex_repair::NoOpRepair;
+    use trex_table::{AttrId, TableBuilder};
+
+    #[test]
+    fn constraint_explanation_matches_figure_1() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let ex = Explainer::new(&alg);
+        let out = ex
+            .explain_constraints(&dcs, &dirty, laliga::cell_of_interest(&dirty))
+            .unwrap();
+        assert_eq!(out.target, Value::str("Spain"));
+        // Ranking: C3 first, C4 last with value 0.
+        assert_eq!(out.ranking.top().unwrap().label, "C3");
+        assert_eq!(out.ranking.rank_of("C4"), Some(3));
+        // Exact rationals: 1/6, 1/6, 2/3, 0.
+        let by_name: Vec<(&str, String)> = out
+            .exact
+            .iter()
+            .map(|(n, r)| (n.as_str(), r.to_string()))
+            .collect();
+        assert_eq!(
+            by_name,
+            vec![
+                ("C1", "1/6".to_string()),
+                ("C2", "1/6".to_string()),
+                ("C3", "2/3".to_string()),
+                ("C4", "0".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unrepaired_cell_is_rejected() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let ex = Explainer::new(&alg);
+        // t1[Team] is never repaired.
+        let cell = CellRef::new(0, AttrId(0));
+        let err = ex.explain_constraints(&dcs, &dirty, cell).unwrap_err();
+        assert!(matches!(err, ExplainError::CellNotRepaired { .. }));
+    }
+
+    #[test]
+    fn out_of_range_cell_is_rejected() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let ex = Explainer::new(&alg);
+        let err = ex
+            .explain_constraints(&dcs, &dirty, CellRef::new(99, AttrId(0)))
+            .unwrap_err();
+        assert!(matches!(err, ExplainError::CellOutOfRange { .. }));
+    }
+
+    #[test]
+    fn noop_algorithm_repairs_nothing_so_nothing_to_explain() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let ex = Explainer::new(&NoOpRepair);
+        let err = ex
+            .explain_constraints(&dcs, &dirty, laliga::cell_of_interest(&dirty))
+            .unwrap_err();
+        assert!(matches!(err, ExplainError::CellNotRepaired { .. }));
+    }
+
+    #[test]
+    fn sampled_cell_explanation_properties() {
+        // The replacement-semantics estimator (Example 2.5 verbatim)
+        // measures a *different* game than the §2.2 null-mask definition:
+        // an out-of-coalition League cell is redrawn as "La Liga" 5 times
+        // out of 6, so C3 usually fires anyway and the influence mass
+        // shifts to the Country witness cells that make "Spain" win the
+        // vote. (EXPERIMENTS.md E4 records this side-by-side; the paper's
+        // Example-2.4 ranking is asserted on the masked game below.)
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let ex = Explainer::new(&alg);
+        let out = ex
+            .explain_cells_sampled(
+                &dcs,
+                &dirty,
+                laliga::cell_of_interest(&dirty),
+                SamplingConfig {
+                    samples: 800,
+                    seed: 7,
+                },
+            )
+            .unwrap();
+        // Example 1.1: t1[Place] has no influence — exactly zero (no
+        // constraint path from Place to Country under any replacement).
+        let place = out.ranking.get("t1[Place]").unwrap();
+        assert_eq!(place.value, 0.0);
+        assert_eq!(place.std_error, Some(0.0));
+        // The top of the ranking is a Country witness cell: one of the
+        // (League, Country) = (La Liga, Spain) rows t1, t2, t3, t6.
+        let top = out.ranking.top().unwrap();
+        assert!(
+            ["t1[Country]", "t2[Country]", "t3[Country]", "t6[Country]"]
+                .contains(&top.label.as_str()),
+            "unexpected top cell {}",
+            top.label
+        );
+        // Every Country witness strictly beats every Place cell.
+        for w in ["t1[Country]", "t2[Country]", "t3[Country]", "t6[Country]"] {
+            for p in ["t1[Place]", "t2[Place]", "t3[Place]"] {
+                assert!(
+                    out.ranking.get(w).unwrap().value > out.ranking.get(p).unwrap().value,
+                    "{w} vs {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_cell_explanation_reproduces_example_2_4_ranking() {
+        // Example 2.4's headline claims, under the definition (null-mask)
+        // semantics the example's counting argument uses:
+        //   1. t5[League] has the highest Shapley value of all cells;
+        //   2. t1[Place] has none (dummy player);
+        //   3. t5[League] is more influential than t6[City] (Example 1.1).
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let ex = Explainer::new(&alg);
+        let out = ex
+            .explain_cells_masked(
+                &dcs,
+                &dirty,
+                laliga::cell_of_interest(&dirty),
+                MaskMode::Null,
+                SamplingConfig {
+                    samples: 600,
+                    seed: 3,
+                },
+            )
+            .unwrap();
+        assert_eq!(out.ranking.top().unwrap().label, "t5[League]");
+        assert_eq!(out.ranking.get("t1[Place]").unwrap().value, 0.0);
+        let league = out.ranking.get("t5[League]").unwrap().value;
+        let t6city = out.ranking.get("t6[City]").unwrap().value;
+        assert!(league > t6city, "{league} vs {t6city}");
+    }
+
+    #[test]
+    fn masked_cell_explanation_agrees_on_the_top_cell() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let ex = Explainer::new(&alg);
+        let out = ex
+            .explain_cells_masked(
+                &dcs,
+                &dirty,
+                laliga::cell_of_interest(&dirty),
+                MaskMode::Null,
+                SamplingConfig {
+                    samples: 300,
+                    seed: 11,
+                },
+            )
+            .unwrap();
+        assert_eq!(out.ranking.top().unwrap().label, "t5[League]");
+        assert_eq!(out.players.len(), 35);
+        assert_eq!(out.values.len(), 35);
+    }
+
+    #[test]
+    fn exact_cell_explanation_on_a_tiny_table() {
+        // 2x3 table: 5 player cells — exact enumeration feasible.
+        let t = TableBuilder::new()
+            .str_columns(["League", "Country", "Pad"])
+            .str_row(["L", "Spain", "p"])
+            .str_row(["L", "España", "q"])
+            .build();
+        let dcs =
+            trex_constraints::parse_dcs("C3: !(t1.League = t2.League & t1.Country != t2.Country)")
+                .unwrap();
+        let alg = trex_repair::RuleRepair::new(vec![trex_repair::Rule::new(
+            "C3",
+            trex_repair::FixAction::MostCommon {
+                attr: "Country".into(),
+            },
+        )]);
+        let ex = Explainer::new(&alg);
+        let cell = CellRef::new(1, t.schema().id("Country"));
+        let out = ex
+            .explain_cells_exact(&dcs, &t, cell, MaskMode::Null)
+            .unwrap();
+        assert_eq!(out.target, Value::str("Spain"));
+        // The three cells that matter: t1[League], t1[Country], t2[League].
+        assert!(out.ranking.get("t1[League]").unwrap().value > 0.0);
+        assert!(out.ranking.get("t1[Country]").unwrap().value > 0.0);
+        assert!(out.ranking.get("t2[League]").unwrap().value > 0.0);
+        // Pad cells are dummies.
+        assert_eq!(out.ranking.get("t1[Pad]").unwrap().value, 0.0);
+        assert_eq!(out.ranking.get("t2[Pad]").unwrap().value, 0.0);
+        // Efficiency: the grand coalition repairs the cell.
+        assert!((out.values.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_cell_explanation_rejects_large_tables() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let ex = Explainer::new(&alg);
+        let err = ex
+            .explain_cells_exact(
+                &dcs,
+                &dirty,
+                laliga::cell_of_interest(&dirty),
+                MaskMode::Null,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ExplainError::TooManyCells { players: 35, .. }));
+    }
+
+    #[test]
+    fn topk_refinement_keeps_the_headline_and_tightens_errors() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let ex = Explainer::new(&alg);
+        let cell = laliga::cell_of_interest(&dirty);
+        let screen = SamplingConfig {
+            samples: 150,
+            seed: 9,
+        };
+        let cheap = ex
+            .explain_cells_masked(&dcs, &dirty, cell, MaskMode::Null, screen)
+            .unwrap();
+        let refined = ex
+            .explain_cells_topk(&dcs, &dirty, cell, MaskMode::Null, 3, screen, 1200)
+            .unwrap();
+        // The headline survives refinement.
+        assert_eq!(refined.ranking.top().unwrap().label, "t5[League]");
+        // The refined leader has a tighter standard error than screening.
+        let cheap_se = cheap.ranking.get("t5[League]").unwrap().std_error.unwrap();
+        let refined_se = refined
+            .ranking
+            .get("t5[League]")
+            .unwrap()
+            .std_error
+            .unwrap();
+        assert!(refined_se < cheap_se, "{refined_se} vs {cheap_se}");
+        // Non-leaders keep their screened values.
+        assert_eq!(
+            refined.ranking.get("t1[Place]").unwrap().value,
+            cheap.ranking.get("t1[Place]").unwrap().value
+        );
+    }
+
+    #[test]
+    fn constraint_interactions_show_c1_c2_complementarity() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let ex = Explainer::new(&alg);
+        let (labels, m) = ex
+            .constraint_interactions(&dcs, &dirty, laliga::cell_of_interest(&dirty))
+            .unwrap();
+        assert_eq!(labels, vec!["C1", "C2", "C3", "C4"]);
+        assert!(m[0][1] > 0.0, "C1×C2 complementary: {}", m[0][1]);
+        assert!(m[0][2] < 0.0, "C1×C3 substitutes: {}", m[0][2]);
+        assert_eq!(m[0][3], 0.0, "C4 is a dummy");
+        assert_eq!(m[0][1], m[1][0], "matrix symmetric");
+    }
+
+    #[test]
+    fn constraint_banzhaf_agrees_on_the_ordering() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let ex = Explainer::new(&alg);
+        let bz = ex
+            .constraint_banzhaf(&dcs, &dirty, laliga::cell_of_interest(&dirty))
+            .unwrap();
+        // Same ordering as Shapley: C3 ≻ C1 = C2 ≻ C4, with the known
+        // exact Banzhaf values (3/4, 1/4, 1/4, 0).
+        assert_eq!(bz.top().unwrap().label, "C3");
+        assert!((bz.get("C3").unwrap().value - 0.75).abs() < 1e-12);
+        assert!((bz.get("C1").unwrap().value - 0.25).abs() < 1e-12);
+        assert!((bz.get("C2").unwrap().value - 0.25).abs() < 1e-12);
+        assert_eq!(bz.get("C4").unwrap().value, 0.0);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let cell = CellRef::new(4, AttrId(2));
+        let e1 = ExplainError::CellNotRepaired { cell };
+        assert!(e1.to_string().contains("not repaired"));
+        let e2 = ExplainError::TooManyCells {
+            players: 100,
+            limit: 24,
+        };
+        assert!(e2.to_string().contains("100"));
+    }
+}

@@ -1,0 +1,540 @@
+//! The two cooperative games of the paper (§2.2).
+//!
+//! Both games share the same characteristic function skeleton: query the
+//! black-box repair algorithm and report whether the user's cell of interest
+//! gets repaired to its clean value.
+//!
+//! * [`ConstraintGame`] — players are the denial constraints; a coalition
+//!   `S ⊆ C` evaluates `Alg|t[A](S, T^d)` with the table fixed. Solved
+//!   exactly (few players).
+//! * [`CellGameMasked`] — players are the table cells (except the cell of
+//!   interest, which always keeps its dirty value — it is the subject of
+//!   the game, not a participant); a coalition `S ⊆ T^d` evaluates
+//!   `Alg|t[A](C, S)` where every cell outside `S` is masked. Two masking
+//!   semantics are provided (see [`MaskMode`]).
+//! * [`CellGameSampled`] — the sampling variant of Example 2.5: cells
+//!   outside the coalition are replaced by *random draws from their column
+//!   distribution* rather than masked, with common random numbers between
+//!   the `v(S ∪ {i})` / `v(S)` pair.
+
+use rand::RngCore;
+use trex_constraints::DenialConstraint;
+use trex_repair::{CachedOracle, OracleStats, RepairAlgorithm};
+use trex_shapley::{Coalition, Game, StochasticGame};
+use trex_table::{CellRef, Table, TableSamplers, Value};
+
+/// How a cell outside the coalition is represented in the masked table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaskMode {
+    /// Out-of-coalition cells become `NULL`, and a null satisfies *no*
+    /// predicate (including `≠`). This is the principled reading of the
+    /// paper's `∀ t_j[C] ∈ T^d \ S. t_j[C] = null`: an absent cell cannot
+    /// witness a violation. Default.
+    #[default]
+    Null,
+    /// Out-of-coalition cells become *labeled nulls*
+    /// ([`Value::LabeledNull`]): unknown values that are distinct from every
+    /// concrete value and from each other, never match an `=` predicate,
+    /// and never vote in repair statistics. This reproduces the reading
+    /// under which the paper counts `2^32` coalitions for the C1∧C2 route
+    /// in Example 2.4 (a masked `t5[City]` still *differs* from
+    /// `t3[City]`, so C1 fires) — see EXPERIMENTS.md E4 for the
+    /// side-by-side.
+    Distinct,
+}
+
+/// The constraint game: `Shap(C, Alg|t[A], Cᵢ)` of §2.2.
+pub struct ConstraintGame<'a> {
+    oracle: CachedOracle<'a>,
+    dcs: &'a [DenialConstraint],
+    dirty: &'a Table,
+    cell: CellRef,
+    target: Value,
+}
+
+impl<'a> ConstraintGame<'a> {
+    /// Build the game. `target` is the clean value `t^c[A]` the repair is
+    /// expected to produce (obtain it from a full repair run).
+    pub fn new(
+        alg: &'a dyn RepairAlgorithm,
+        dcs: &'a [DenialConstraint],
+        dirty: &'a Table,
+        cell: CellRef,
+        target: Value,
+    ) -> Self {
+        ConstraintGame {
+            oracle: CachedOracle::new(alg),
+            dcs,
+            dirty,
+            cell,
+            target,
+        }
+    }
+
+    /// Disable oracle caching (ablation A1).
+    pub fn without_cache(
+        alg: &'a dyn RepairAlgorithm,
+        dcs: &'a [DenialConstraint],
+        dirty: &'a Table,
+        cell: CellRef,
+        target: Value,
+    ) -> Self {
+        ConstraintGame {
+            oracle: CachedOracle::with_capacity(alg, 0),
+            dcs,
+            dirty,
+            cell,
+            target,
+        }
+    }
+
+    /// Oracle cache statistics (hits/misses) accumulated so far.
+    pub fn oracle_stats(&self) -> OracleStats {
+        self.oracle.stats()
+    }
+}
+
+impl Game for ConstraintGame<'_> {
+    fn num_players(&self) -> usize {
+        self.dcs.len()
+    }
+
+    fn value(&self, coalition: &Coalition) -> f64 {
+        let subset: Vec<DenialConstraint> =
+            coalition.iter().map(|i| self.dcs[i].clone()).collect();
+        if self
+            .oracle
+            .repairs_cell_to(&subset, self.dirty, self.cell, &self.target)
+        {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn player_label(&self, i: usize) -> String {
+        self.dcs[i].name.clone()
+    }
+}
+
+/// Enumerate the players of the cell game: every cell of `table` except
+/// `exclude` (the cell of interest), in row-major order.
+pub fn cell_players(table: &Table, exclude: CellRef) -> Vec<CellRef> {
+    table.cells().filter(|c| *c != exclude).collect()
+}
+
+fn label_of(table: &Table, cell: CellRef) -> String {
+    format!(
+        "t{}[{}]",
+        cell.row + 1,
+        table.schema().attr(cell.attr).name
+    )
+}
+
+/// The masked cell game: `Shap(T^d, Alg|t[A], tᵢ[B])` of §2.2, with
+/// out-of-coalition cells masked per [`MaskMode`].
+pub struct CellGameMasked<'a> {
+    oracle: CachedOracle<'a>,
+    dcs: &'a [DenialConstraint],
+    dirty: &'a Table,
+    cell: CellRef,
+    target: Value,
+    players: Vec<CellRef>,
+    mode: MaskMode,
+}
+
+impl<'a> CellGameMasked<'a> {
+    /// Build the game over all cells except the cell of interest.
+    pub fn new(
+        alg: &'a dyn RepairAlgorithm,
+        dcs: &'a [DenialConstraint],
+        dirty: &'a Table,
+        cell: CellRef,
+        target: Value,
+        mode: MaskMode,
+    ) -> Self {
+        CellGameMasked {
+            oracle: CachedOracle::new(alg),
+            dcs,
+            dirty,
+            cell,
+            target,
+            players: cell_players(dirty, cell),
+            mode,
+        }
+    }
+
+    /// The player list (cell references), index-aligned with Shapley output.
+    pub fn players(&self) -> &[CellRef] {
+        &self.players
+    }
+
+    /// Oracle cache statistics.
+    pub fn oracle_stats(&self) -> OracleStats {
+        self.oracle.stats()
+    }
+
+    /// Build the coalition table: players in `coalition` keep their dirty
+    /// values, the rest are masked; the cell of interest always keeps its
+    /// dirty value.
+    pub fn coalition_table(&self, coalition: &Coalition) -> Table {
+        let arity = self.dirty.arity();
+        let mut out = self.dirty.clone();
+        for (idx, player) in self.players.iter().enumerate() {
+            if !coalition.contains(idx) {
+                let masked = match self.mode {
+                    MaskMode::Null => Value::Null,
+                    MaskMode::Distinct => {
+                        Value::LabeledNull(player.flat_index(arity) as u64)
+                    }
+                };
+                out.set(*player, masked);
+            }
+        }
+        out
+    }
+}
+
+impl Game for CellGameMasked<'_> {
+    fn num_players(&self) -> usize {
+        self.players.len()
+    }
+
+    fn value(&self, coalition: &Coalition) -> f64 {
+        let table = self.coalition_table(coalition);
+        if self
+            .oracle
+            .repairs_cell_to(self.dcs, &table, self.cell, &self.target)
+        {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn player_label(&self, i: usize) -> String {
+        label_of(self.dirty, self.players[i])
+    }
+}
+
+/// The sampled cell game of Example 2.5: out-of-coalition cells take random
+/// draws from their column's empirical distribution.
+pub struct CellGameSampled<'a> {
+    alg: &'a dyn RepairAlgorithm,
+    dcs: &'a [DenialConstraint],
+    dirty: &'a Table,
+    cell: CellRef,
+    target: Value,
+    players: Vec<CellRef>,
+    samplers: TableSamplers,
+}
+
+impl<'a> CellGameSampled<'a> {
+    /// Build the game; column samplers are derived from the dirty table.
+    pub fn new(
+        alg: &'a dyn RepairAlgorithm,
+        dcs: &'a [DenialConstraint],
+        dirty: &'a Table,
+        cell: CellRef,
+        target: Value,
+    ) -> Self {
+        CellGameSampled {
+            alg,
+            dcs,
+            dirty,
+            cell,
+            target,
+            players: cell_players(dirty, cell),
+            samplers: TableSamplers::new(dirty),
+        }
+    }
+
+    /// The player list (cell references), index-aligned with Shapley output.
+    pub fn players(&self) -> &[CellRef] {
+        &self.players
+    }
+
+    fn eval(&self, table: &Table) -> f64 {
+        if trex_repair::repairs_cell_to(self.alg, self.dcs, table, self.cell, &self.target) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+impl StochasticGame for CellGameSampled<'_> {
+    fn num_players(&self) -> usize {
+        self.players.len()
+    }
+
+    /// Example 2.5, verbatim: build *one* replacement table in which
+    /// coalition cells keep their original values and all other cells get
+    /// random draws; evaluate it once with the player's original value and
+    /// once with the player's value also replaced by a draw.
+    fn eval_pair(&self, coalition: &Coalition, player: usize, rng: &mut dyn RngCore) -> (f64, f64) {
+        debug_assert!(!coalition.contains(player));
+        let mut table = self.dirty.clone();
+        for (idx, cellref) in self.players.iter().enumerate() {
+            if idx != player && !coalition.contains(idx) {
+                let draw = self.samplers.sample(cellref.attr, rng);
+                table.set(*cellref, draw);
+            }
+        }
+        // Instance 1: player keeps its original value (already in place).
+        let with = self.eval(&table);
+        // Instance 2: player's value replaced by a random draw too.
+        let player_cell = self.players[player];
+        let draw = self.samplers.sample(player_cell.attr, rng);
+        table.set(player_cell, draw);
+        let without = self.eval(&table);
+        (with, without)
+    }
+
+    fn player_label(&self, i: usize) -> String {
+        label_of(self.dirty, self.players[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_datagen::laliga;
+    use trex_shapley::{shapley_exact_rational, Rational};
+
+    #[test]
+    fn constraint_game_reproduces_example_2_3() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let game = ConstraintGame::new(&alg, &dcs, &dirty, cell, Value::str("Spain"));
+        let phi = shapley_exact_rational(&game).unwrap();
+        assert_eq!(phi[0], Rational { num: 1, den: 6 }); // C1
+        assert_eq!(phi[1], Rational { num: 1, den: 6 }); // C2
+        assert_eq!(phi[2], Rational { num: 2, den: 3 }); // C3
+        assert_eq!(phi[3], Rational { num: 0, den: 1 }); // C4
+    }
+
+    #[test]
+    fn constraint_game_labels_are_dc_names() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let game = ConstraintGame::new(&alg, &dcs, &dirty, cell, Value::str("Spain"));
+        assert_eq!(Game::player_label(&game, 0), "C1");
+        assert_eq!(Game::player_label(&game, 3), "C4");
+    }
+
+    #[test]
+    fn oracle_cache_pays_off_across_solver_runs() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let game = ConstraintGame::new(&alg, &dcs, &dirty, cell, Value::str("Spain"));
+        // The subset-enumeration solver evaluates each of the 16 coalitions
+        // exactly once...
+        let _ = trex_shapley::shapley_exact(&game).unwrap();
+        assert_eq!(game.oracle_stats(), trex_repair::OracleStats { hits: 0, misses: 16 });
+        // ...and a second solve (e.g. the rational cross-check an explainer
+        // also runs) is answered entirely from cache.
+        let _ = trex_shapley::shapley_exact_rational(&game).unwrap();
+        let stats = game.oracle_stats();
+        assert_eq!(stats.misses, 16);
+        assert_eq!(stats.hits, 16);
+    }
+
+    #[test]
+    fn cell_game_has_35_players_for_the_paper_table() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let game =
+            CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), MaskMode::Null);
+        assert_eq!(Game::num_players(&game), 35);
+        assert!(!game.players().contains(&cell));
+    }
+
+    #[test]
+    fn empty_coalition_value_is_zero() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        for mode in [MaskMode::Null, MaskMode::Distinct] {
+            let game =
+                CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), mode);
+            let empty = Coalition::empty(Game::num_players(&game));
+            assert_eq!(game.value(&empty), 0.0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn full_coalition_repairs_the_cell() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        for mode in [MaskMode::Null, MaskMode::Distinct] {
+            let game =
+                CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), mode);
+            let full = Coalition::full(Game::num_players(&game));
+            assert_eq!(game.value(&full), 1.0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn example_2_4_c3_route_single_pair_suffices() {
+        // {t5[League]} ∪ {t1[Country], t1[League]} repairs t5[Country].
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let game =
+            CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), MaskMode::Null);
+        let league = dirty.schema().id("League");
+        let country = dirty.schema().id("Country");
+        let wanted = [
+            CellRef::new(4, league),
+            CellRef::new(0, league),
+            CellRef::new(0, country),
+        ];
+        let players = game.players();
+        let coalition = Coalition::from_players(
+            players.len(),
+            wanted
+                .iter()
+                .map(|c| players.iter().position(|p| p == c).unwrap()),
+        );
+        assert_eq!(game.value(&coalition), 1.0);
+        // Without t5[League], the same witness pair does nothing.
+        let coalition2 = Coalition::from_players(
+            players.len(),
+            wanted[1..]
+                .iter()
+                .map(|c| players.iter().position(|p| p == c).unwrap()),
+        );
+        assert_eq!(game.value(&coalition2), 0.0);
+    }
+
+    #[test]
+    fn example_2_4_c1c2_route_under_both_mask_modes() {
+        // The paper's minimal C1∧C2-route coalition is {t3[Team], t3[City],
+        // t3[Country], t5[Team]}. Under Distinct masking (the paper's
+        // counting semantics) this suffices: the masked t5[City] still
+        // *differs* from t3[City], so C1 fires and repairs it. Under Null
+        // masking the route needs more: t5[City] itself (a null cannot
+        // witness the C1 violation) plus one more Madrid vote (t6[City]),
+        // without which the 1-vs-1 City tie swaps t3's value away and
+        // breaks the C2 join.
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let team = dirty.schema().id("Team");
+        let city = dirty.schema().id("City");
+        let country = dirty.schema().id("Country");
+        let base = [
+            CellRef::new(2, team),
+            CellRef::new(2, city),
+            CellRef::new(2, country),
+            CellRef::new(4, team),
+        ];
+
+        let by_mode = |mode: MaskMode, cells: &[CellRef]| {
+            let game =
+                CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), mode);
+            let players = game.players().to_vec();
+            let coalition = Coalition::from_players(
+                players.len(),
+                cells
+                    .iter()
+                    .map(|c| players.iter().position(|p| p == c).unwrap()),
+            );
+            game.value(&coalition)
+        };
+
+        assert_eq!(by_mode(MaskMode::Distinct, &base), 1.0);
+        assert_eq!(by_mode(MaskMode::Null, &base), 0.0);
+        let mut bigger = base.to_vec();
+        bigger.push(CellRef::new(4, city));
+        assert_eq!(by_mode(MaskMode::Null, &bigger), 0.0);
+        bigger.push(CellRef::new(5, city));
+        assert_eq!(by_mode(MaskMode::Null, &bigger), 1.0);
+    }
+
+    #[test]
+    fn sampled_game_eval_pair_uses_common_randomness() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let game = CellGameSampled::new(&alg, &dcs, &dirty, cell, Value::str("Spain"));
+        let n = StochasticGame::num_players(&game);
+        assert_eq!(n, 35);
+        let mut rng = StdRng::seed_from_u64(0);
+        // Full coalition minus one player: v(S∪{i}) must be 1 regardless of
+        // the single draw for `without`.
+        let mut everyone = Coalition::full(n);
+        everyone.remove(0);
+        let (with, _without) = game.eval_pair(&everyone, 0, &mut rng);
+        assert_eq!(with, 1.0);
+    }
+
+    #[test]
+    fn cell_game_labels_use_one_based_rows_and_attr_names() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let game =
+            CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), MaskMode::Null);
+        assert_eq!(Game::player_label(&game, 0), "t1[Team]");
+        // Player index of t5[League]: players skip t5[Country].
+        let league = dirty.schema().id("League");
+        let idx = game
+            .players()
+            .iter()
+            .position(|c| *c == CellRef::new(4, league))
+            .unwrap();
+        assert_eq!(Game::player_label(&game, idx), "t5[League]");
+    }
+
+    #[test]
+    fn distinct_mask_uses_labeled_nulls() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let game = CellGameMasked::new(
+            &alg,
+            &dcs,
+            &dirty,
+            cell,
+            Value::str("Spain"),
+            MaskMode::Distinct,
+        );
+        let table = game.coalition_table(&Coalition::empty(Game::num_players(&game)));
+        // Every player cell is a labeled null; labels are pairwise distinct;
+        // the cell of interest keeps its dirty value.
+        let mut labels = Vec::new();
+        for (c, v) in table.cells_with_values() {
+            if c == cell {
+                assert_eq!(v, &Value::str("España"));
+            } else {
+                match v {
+                    Value::LabeledNull(id) => labels.push(*id),
+                    other => panic!("expected labeled null, got {other:?}"),
+                }
+            }
+        }
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 35);
+    }
+}

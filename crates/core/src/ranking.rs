@@ -1,0 +1,288 @@
+//! Rankings — the deliverable of an explanation.
+//!
+//! "T-REx then ranks the constraints and table cells according to their
+//! importance in the repair of this cell" (§1). A [`Ranking`] is a list of
+//! labeled Shapley values sorted from most to least influential, with the
+//! intensity buckets the demo GUI renders as shades of green ("the darker
+//! the color, the more influencing", §3).
+
+use std::fmt;
+
+/// One ranked item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankEntry {
+    /// Human-readable label (`"C3"`, `"t5[League]"`, …).
+    pub label: String,
+    /// The (exact or estimated) Shapley value.
+    pub value: f64,
+    /// Standard error of the estimate, when the value came from sampling.
+    pub std_error: Option<f64>,
+}
+
+/// A sorted ranking of players by Shapley value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Ranking {
+    entries: Vec<RankEntry>,
+}
+
+/// Number of intensity buckets (0 = no influence … 4 = strongest).
+pub const INTENSITY_LEVELS: usize = 5;
+
+impl Ranking {
+    /// Build a ranking from `(label, value)` pairs; sorts by value
+    /// descending, ties broken by label for determinism.
+    pub fn new(items: Vec<(String, f64)>) -> Self {
+        Self::with_errors(items.into_iter().map(|(l, v)| (l, v, None)).collect())
+    }
+
+    /// Build a ranking with optional standard errors.
+    pub fn with_errors(items: Vec<(String, f64, Option<f64>)>) -> Self {
+        let mut entries: Vec<RankEntry> = items
+            .into_iter()
+            .map(|(label, value, std_error)| RankEntry {
+                label,
+                value,
+                std_error,
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            b.value
+                .partial_cmp(&a.value)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.label.cmp(&b.label))
+        });
+        Ranking { entries }
+    }
+
+    /// The sorted entries, most influential first.
+    pub fn entries(&self) -> &[RankEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff the ranking is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for `label`, if present.
+    pub fn get(&self, label: &str) -> Option<&RankEntry> {
+        self.entries.iter().find(|e| e.label == label)
+    }
+
+    /// 0-based rank of `label` (0 = most influential).
+    pub fn rank_of(&self, label: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.label == label)
+    }
+
+    /// The top entry, if any.
+    pub fn top(&self) -> Option<&RankEntry> {
+        self.entries.first()
+    }
+
+    /// The first `k` entries.
+    pub fn top_k(&self, k: usize) -> &[RankEntry] {
+        &self.entries[..k.min(self.entries.len())]
+    }
+
+    /// Intensity bucket of an entry: 0 for non-positive values, else
+    /// `1..=4` proportional to the maximum value in the ranking. This is
+    /// the "shade of green" of the demo's explanation screen.
+    pub fn intensity(&self, entry: &RankEntry) -> usize {
+        let max = self.entries.first().map_or(0.0, |e| e.value);
+        if entry.value <= 0.0 || max <= 0.0 {
+            return 0;
+        }
+        let frac = entry.value / max;
+        // 1..=4
+        ((frac * (INTENSITY_LEVELS - 1) as f64).ceil() as usize)
+            .clamp(1, INTENSITY_LEVELS - 1)
+    }
+
+    /// Sum of all values — for a complete constraint game this is
+    /// `v(C) − v(∅)`, i.e. 1.0 when the full constraint set repairs the
+    /// cell (efficiency axiom).
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|e| e.value).sum()
+    }
+
+    /// Kendall rank-correlation coefficient `τ` between this ranking and
+    /// another over their shared labels: +1 = identical order, −1 =
+    /// reversed, 0 = unrelated. Pairs tied in either ranking contribute 0
+    /// (τ-a convention). Returns `None` with fewer than two shared labels.
+    ///
+    /// Used to compare attribution methods (e.g. Shapley vs Banzhaf, or
+    /// masked vs replacement semantics) — "do they tell the user the same
+    /// story?" is a one-number answer.
+    pub fn kendall_tau(&self, other: &Ranking) -> Option<f64> {
+        let shared: Vec<&RankEntry> = self
+            .entries
+            .iter()
+            .filter(|e| other.get(&e.label).is_some())
+            .collect();
+        let n = shared.len();
+        if n < 2 {
+            return None;
+        }
+        let mut concordant = 0i64;
+        let mut discordant = 0i64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let a = shared[i].value - shared[j].value;
+                let b = other.get(&shared[i].label).unwrap().value
+                    - other.get(&shared[j].label).unwrap().value;
+                let sign = (a * b).partial_cmp(&0.0);
+                match sign {
+                    Some(std::cmp::Ordering::Greater) => concordant += 1,
+                    Some(std::cmp::Ordering::Less) => discordant += 1,
+                    _ => {}
+                }
+            }
+        }
+        let pairs = (n * (n - 1) / 2) as f64;
+        Some((concordant - discordant) as f64 / pairs)
+    }
+}
+
+impl fmt::Display for Ranking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.entries.iter().enumerate() {
+            let bar = "█".repeat(self.intensity(e));
+            write!(f, "{:>3}. {:<16} {:+.4}", i + 1, e.label, e.value)?;
+            if let Some(se) = e.std_error {
+                write!(f, " ± {se:.4}")?;
+            }
+            writeln!(f, "  {bar}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranking() -> Ranking {
+        Ranking::new(vec![
+            ("C1".into(), 1.0 / 6.0),
+            ("C2".into(), 1.0 / 6.0),
+            ("C3".into(), 2.0 / 3.0),
+            ("C4".into(), 0.0),
+        ])
+    }
+
+    #[test]
+    fn sorted_descending_with_label_ties() {
+        let r = ranking();
+        let labels: Vec<&str> = r.entries().iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, vec!["C3", "C1", "C2", "C4"]);
+        assert_eq!(r.top().unwrap().label, "C3");
+    }
+
+    #[test]
+    fn rank_and_get() {
+        let r = ranking();
+        assert_eq!(r.rank_of("C3"), Some(0));
+        assert_eq!(r.rank_of("C4"), Some(3));
+        assert_eq!(r.rank_of("C9"), None);
+        assert!((r.get("C1").unwrap().value - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intensity_buckets() {
+        let r = ranking();
+        let by_label = |l: &str| r.intensity(r.get(l).unwrap());
+        assert_eq!(by_label("C3"), 4); // the max
+        assert_eq!(by_label("C1"), 1); // quarter of max
+        assert_eq!(by_label("C4"), 0); // zero influence
+    }
+
+    #[test]
+    fn negative_values_rank_last_with_zero_intensity() {
+        let r = Ranking::new(vec![("a".into(), 0.5), ("b".into(), -0.25)]);
+        assert_eq!(r.rank_of("b"), Some(1));
+        assert_eq!(r.intensity(r.get("b").unwrap()), 0);
+    }
+
+    #[test]
+    fn total_reflects_efficiency() {
+        let r = ranking();
+        assert!((r.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_values_and_bars() {
+        let r = ranking();
+        let s = r.to_string();
+        assert!(s.contains("C3"));
+        assert!(s.contains("████"));
+        assert!(s.contains("+0.6667"));
+    }
+
+    #[test]
+    fn display_includes_std_errors_when_present() {
+        let r = Ranking::with_errors(vec![("x".into(), 0.5, Some(0.01))]);
+        assert!(r.to_string().contains("± 0.0100"));
+    }
+
+    #[test]
+    fn top_k_clamps() {
+        let r = ranking();
+        assert_eq!(r.top_k(2).len(), 2);
+        assert_eq!(r.top_k(99).len(), 4);
+        assert!(Ranking::default().is_empty());
+    }
+
+    #[test]
+    fn kendall_tau_extremes_and_ties() {
+        let a = Ranking::new(vec![
+            ("x".into(), 3.0),
+            ("y".into(), 2.0),
+            ("z".into(), 1.0),
+        ]);
+        let same = Ranking::new(vec![
+            ("x".into(), 30.0),
+            ("y".into(), 20.0),
+            ("z".into(), 10.0),
+        ]);
+        let reversed = Ranking::new(vec![
+            ("x".into(), 1.0),
+            ("y".into(), 2.0),
+            ("z".into(), 3.0),
+        ]);
+        assert_eq!(a.kendall_tau(&same), Some(1.0));
+        assert_eq!(a.kendall_tau(&reversed), Some(-1.0));
+        // Ties contribute 0: all-equal other gives tau 0.
+        let flat = Ranking::new(vec![
+            ("x".into(), 1.0),
+            ("y".into(), 1.0),
+            ("z".into(), 1.0),
+        ]);
+        assert_eq!(a.kendall_tau(&flat), Some(0.0));
+    }
+
+    #[test]
+    fn kendall_tau_uses_shared_labels_only() {
+        let a = Ranking::new(vec![("x".into(), 2.0), ("y".into(), 1.0)]);
+        let b = Ranking::new(vec![
+            ("y".into(), 5.0),
+            ("x".into(), 9.0),
+            ("unrelated".into(), 100.0),
+        ]);
+        assert_eq!(a.kendall_tau(&b), Some(1.0));
+        let disjoint = Ranking::new(vec![("p".into(), 1.0)]);
+        assert_eq!(a.kendall_tau(&disjoint), None);
+    }
+
+    #[test]
+    fn all_zero_ranking_has_zero_intensity() {
+        let r = Ranking::new(vec![("a".into(), 0.0), ("b".into(), 0.0)]);
+        for e in r.entries() {
+            assert_eq!(r.intensity(e), 0);
+        }
+    }
+}

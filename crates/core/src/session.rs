@@ -1,0 +1,300 @@
+//! The interactive session of the demo scenario (§4).
+//!
+//! The demo's loop: load table + DCs → repair → pick a repaired cell →
+//! explain → *act on the explanation* (change DCs or cell values) → repair
+//! again → compare. [`Session`] packages that loop as an owned, mutable
+//! object so example binaries and integration tests can drive exactly the
+//! workflow the demonstration walks the audience through.
+
+use crate::explain::{CellExplanation, ConstraintExplanation, ExplainError, Explainer};
+use crate::games::MaskMode;
+use trex_constraints::DenialConstraint;
+use trex_repair::{RepairAlgorithm, RepairResult};
+use trex_shapley::SamplingConfig;
+use trex_table::{CellRef, Table, Value};
+
+/// One entry of the session's repair history.
+#[derive(Debug, Clone)]
+pub struct HistoryEntry {
+    /// What the user changed before this repair (human-readable).
+    pub action: String,
+    /// Number of cells the repair changed.
+    pub cells_repaired: usize,
+}
+
+/// An interactive T-REx session.
+pub struct Session {
+    alg: Box<dyn RepairAlgorithm>,
+    table: Table,
+    dcs: Vec<DenialConstraint>,
+    history: Vec<HistoryEntry>,
+}
+
+impl Session {
+    /// Start a session over a dirty table and constraint set.
+    pub fn new(alg: Box<dyn RepairAlgorithm>, table: Table, dcs: Vec<DenialConstraint>) -> Self {
+        Session {
+            alg,
+            table,
+            dcs,
+            history: Vec::new(),
+        }
+    }
+
+    /// The current (possibly user-edited) dirty table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The current constraint set.
+    pub fn constraints(&self) -> &[DenialConstraint] {
+        &self.dcs
+    }
+
+    /// The session history (one entry per repair run).
+    pub fn history(&self) -> &[HistoryEntry] {
+        &self.history
+    }
+
+    /// The "Repair" button: run the black box on the current inputs.
+    pub fn repair(&mut self) -> RepairResult {
+        let result = self.alg.repair(&self.dcs, &self.table);
+        self.history.push(HistoryEntry {
+            action: "repair".to_string(),
+            cells_repaired: result.changes.len(),
+        });
+        result
+    }
+
+    /// The "Explain" button, constraint half: Shapley values of the DCs for
+    /// the repair of `cell`.
+    pub fn explain_constraints(
+        &self,
+        cell: CellRef,
+    ) -> Result<ConstraintExplanation, ExplainError> {
+        Explainer::new(self.alg.as_ref()).explain_constraints(&self.dcs, &self.table, cell)
+    }
+
+    /// The "Explain" button, cell half (sampling estimator of §2.3).
+    pub fn explain_cells(
+        &self,
+        cell: CellRef,
+        config: SamplingConfig,
+    ) -> Result<CellExplanation, ExplainError> {
+        Explainer::new(self.alg.as_ref()).explain_cells_sampled(
+            &self.dcs,
+            &self.table,
+            cell,
+            config,
+        )
+    }
+
+    /// Cell explanation under masked (definition) semantics.
+    pub fn explain_cells_masked(
+        &self,
+        cell: CellRef,
+        mode: MaskMode,
+        config: SamplingConfig,
+    ) -> Result<CellExplanation, ExplainError> {
+        Explainer::new(self.alg.as_ref()).explain_cells_masked(
+            &self.dcs,
+            &self.table,
+            cell,
+            mode,
+            config,
+        )
+    }
+
+    /// User edit: overwrite a cell of the input table ("changing specific
+    /// cells to make the repair more accurate", §1). Returns the previous
+    /// value.
+    pub fn set_cell(&mut self, cell: CellRef, value: Value) -> Value {
+        self.history.push(HistoryEntry {
+            action: format!("set {cell} := {value}"),
+            cells_repaired: 0,
+        });
+        self.table.set(cell, value)
+    }
+
+    /// User edit: remove a constraint by name ("modify the most influencing
+    /// constraints", §1). Returns it if present.
+    pub fn remove_constraint(&mut self, name: &str) -> Option<DenialConstraint> {
+        let idx = self.dcs.iter().position(|d| d.name == name)?;
+        self.history.push(HistoryEntry {
+            action: format!("remove constraint {name}"),
+            cells_repaired: 0,
+        });
+        Some(self.dcs.remove(idx))
+    }
+
+    /// Suggest constraints mined from the current table (FastDC-style, see
+    /// `trex_constraints::mine_dcs`) that are **not already implied** by
+    /// the session's constraint set — the natural "what am I missing?"
+    /// companion to the §4 debugging loop. Suggestions are named
+    /// `S1, S2, …` and capped at `limit`.
+    pub fn suggest_constraints(&self, limit: usize) -> Vec<DenialConstraint> {
+        let mined = trex_constraints::mine_dcs(
+            &self.table,
+            &trex_constraints::MineConfig::default(),
+        );
+        let mut out = Vec::new();
+        // Compare by rendered predicate text: resolution state (attr ids
+        // filled in or not) must not affect duplicate detection.
+        let rendered = |dc: &DenialConstraint| {
+            let mut preds: Vec<String> =
+                dc.predicates.iter().map(|p| p.to_string()).collect();
+            preds.sort();
+            preds
+        };
+        let have: Vec<Vec<String>> = self.dcs.iter().map(&rendered).collect();
+        for dc in mined {
+            let duplicate = have.contains(&rendered(&dc));
+            if !duplicate {
+                let mut named = dc;
+                named.name = format!("S{}", out.len() + 1);
+                out.push(named);
+                if out.len() == limit {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// User edit: add (or replace, by name) a constraint.
+    pub fn upsert_constraint(&mut self, dc: DenialConstraint) {
+        self.history.push(HistoryEntry {
+            action: format!("upsert constraint {}", dc.name),
+            cells_repaired: 0,
+        });
+        match self.dcs.iter_mut().find(|d| d.name == dc.name) {
+            Some(slot) => *slot = dc,
+            None => self.dcs.push(dc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_datagen::laliga;
+    use trex_table::Value;
+
+    fn session() -> Session {
+        Session::new(
+            Box::new(laliga::algorithm1()),
+            laliga::dirty_table(),
+            laliga::constraints(),
+        )
+    }
+
+    #[test]
+    fn repair_then_explain_loop() {
+        let mut s = session();
+        let r = s.repair();
+        assert_eq!(r.changes.len(), 2);
+        let cell = laliga::cell_of_interest(s.table());
+        let cons = s.explain_constraints(cell).unwrap();
+        assert_eq!(cons.ranking.top().unwrap().label, "C3");
+        assert_eq!(s.history().len(), 1);
+    }
+
+    #[test]
+    fn removing_the_top_constraint_changes_the_repair_path() {
+        // Demo scenario: act on the explanation by removing C3; the repair
+        // still happens (via C1∧C2) but the explanation shifts.
+        let mut s = session();
+        let cell = laliga::cell_of_interest(s.table());
+        let removed = s.remove_constraint("C3").unwrap();
+        assert_eq!(removed.name, "C3");
+        assert_eq!(s.constraints().len(), 3);
+        let cons = s.explain_constraints(cell).unwrap();
+        // With C3 gone, C1 and C2 carry the repair equally (1/2 each).
+        assert_eq!(cons.exact[0].1.to_string(), "1/2"); // C1
+        assert_eq!(cons.exact[1].1.to_string(), "1/2"); // C2
+    }
+
+    #[test]
+    fn editing_a_cell_affects_the_next_repair() {
+        // Fix t5[City] by hand; C1 then has nothing to do and the repair
+        // touches only t5[Country].
+        let mut s = session();
+        let city = s.table().schema().id("City");
+        let old = s.set_cell(CellRef::new(4, city), Value::str("Madrid"));
+        assert_eq!(old, Value::str("Capital"));
+        let r = s.repair();
+        assert_eq!(r.changes.len(), 1);
+        assert_eq!(r.changes[0].cell.attr, s.table().schema().id("Country"));
+    }
+
+    #[test]
+    fn upsert_replaces_by_name() {
+        let mut s = session();
+        let replacement =
+            trex_constraints::parse_dc_named("C3: !(t1.League = t2.League & t1.Year != t2.Year)", "C3")
+                .unwrap();
+        s.upsert_constraint(replacement.clone());
+        assert_eq!(s.constraints().len(), 4);
+        assert_eq!(
+            s.constraints()
+                .iter()
+                .find(|d| d.name == "C3")
+                .unwrap()
+                .predicates,
+            replacement.predicates
+        );
+        // And adding a brand-new one grows the set.
+        let extra = trex_constraints::parse_dc_named("C5: !(t1.Place < 1)", "C5").unwrap();
+        s.upsert_constraint(extra);
+        assert_eq!(s.constraints().len(), 5);
+    }
+
+    #[test]
+    fn history_records_actions() {
+        let mut s = session();
+        let city = s.table().schema().id("City");
+        s.set_cell(CellRef::new(4, city), Value::str("Madrid"));
+        s.remove_constraint("C4");
+        s.repair();
+        let actions: Vec<&str> = s.history().iter().map(|h| h.action.as_str()).collect();
+        assert_eq!(actions.len(), 3);
+        assert!(actions[0].starts_with("set t5["));
+        assert_eq!(actions[1], "remove constraint C4");
+        assert_eq!(actions[2], "repair");
+        assert_eq!(s.history()[2].cells_repaired, 1);
+    }
+
+    #[test]
+    fn suggestions_exclude_constraints_already_in_the_session() {
+        let s = session();
+        let suggestions = s.suggest_constraints(50);
+        assert!(!suggestions.is_empty());
+        // None of the suggestions equals C1..C4 (up to predicate text).
+        let have: Vec<String> = s
+            .constraints()
+            .iter()
+            .map(|d| {
+                let mut p: Vec<String> =
+                    d.predicates.iter().map(|x| x.to_string()).collect();
+                p.sort();
+                p.join(" & ")
+            })
+            .collect();
+        for sug in &suggestions {
+            let mut p: Vec<String> =
+                sug.predicates.iter().map(|x| x.to_string()).collect();
+            p.sort();
+            assert!(!have.contains(&p.join(" & ")), "{sug} duplicates a session DC");
+            assert!(sug.name.starts_with('S'));
+        }
+        // Cap respected.
+        assert!(s.suggest_constraints(2).len() <= 2);
+    }
+
+    #[test]
+    fn removing_missing_constraint_is_none() {
+        let mut s = session();
+        assert!(s.remove_constraint("C9").is_none());
+        assert_eq!(s.history().len(), 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Error injection with ground truth.
+//!
+//! The demo "manually adds errors into the table" (§4); this module does it
+//! reproducibly. Given a clean table, the injector dirties a configurable
+//! fraction of cells with a mix of realistic error kinds and returns the
+//! dirty table together with the ground-truth diff, which the repair-quality
+//! harness (experiment A4) scores against.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trex_table::{CellChange, CellRef, ColumnStats, Table, Value};
+
+/// Kinds of injected errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Replace the value with another value drawn from the same column
+    /// (a plausible-but-wrong entry, like `"Madrid" → "Barcelona"`).
+    SwapInColumn,
+    /// Mangle a string value's characters (a typo, like `"Spain" →
+    /// `"Spian"`); integers are perturbed by ±1..3.
+    Typo,
+    /// Replace with a fresh out-of-domain token (like `"Capital"` or
+    /// `"España"` in the paper's table: values appearing nowhere else).
+    OutOfDomain,
+    /// Null the cell out (a missing value).
+    Null,
+}
+
+/// Injection configuration.
+#[derive(Debug, Clone)]
+pub struct ErrorConfig {
+    /// Fraction of cells to dirty (rounded down to a count, but at least 1
+    /// if the table is non-empty and the rate is positive).
+    pub rate: f64,
+    /// Relative frequency of each error kind, in
+    /// `[SwapInColumn, Typo, OutOfDomain, Null]` order.
+    pub kind_weights: [u32; 4],
+    /// Restrict injection to these columns (names); empty = all columns.
+    pub columns: Vec<String>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ErrorConfig {
+    fn default() -> Self {
+        ErrorConfig {
+            rate: 0.05,
+            kind_weights: [3, 1, 1, 1],
+            columns: Vec::new(),
+            seed: 0,
+        }
+    }
+}
+
+/// The output of an injection run.
+#[derive(Debug, Clone)]
+pub struct InjectionResult {
+    /// The dirtied table.
+    pub dirty: Table,
+    /// Ground truth: for every injected cell, `from` is the dirty value and
+    /// `to` is the original clean value — i.e. the diff `dirty → clean`,
+    /// directly comparable with a repair's changes.
+    pub truth: Vec<CellChange>,
+}
+
+fn pick_kind(weights: &[u32; 4], rng: &mut StdRng) -> ErrorKind {
+    let total: u32 = weights.iter().sum();
+    assert!(total > 0, "all error-kind weights are zero");
+    let mut x = rng.gen_range(0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return match i {
+                0 => ErrorKind::SwapInColumn,
+                1 => ErrorKind::Typo,
+                2 => ErrorKind::OutOfDomain,
+                _ => ErrorKind::Null,
+            };
+        }
+        x -= w;
+    }
+    ErrorKind::Null
+}
+
+fn typo(v: &Value, rng: &mut StdRng) -> Value {
+    match v {
+        Value::Str(s) if s.chars().count() >= 2 => {
+            let chars: Vec<char> = s.chars().collect();
+            let mut out = chars.clone();
+            let i = rng.gen_range(0..chars.len() - 1);
+            out.swap(i, i + 1);
+            if out == chars {
+                out.push('x');
+            }
+            Value::Str(out.into_iter().collect())
+        }
+        Value::Str(s) => Value::Str(format!("{s}x")),
+        Value::Int(i) => {
+            let delta = rng.gen_range(1..=3i64);
+            Value::Int(if rng.gen_bool(0.5) { i + delta } else { i - delta })
+        }
+        Value::Float(x) => Value::Float(x + 1.0),
+        Value::Bool(b) => Value::Bool(!b),
+        Value::Null | Value::LabeledNull(_) => v.clone(),
+    }
+}
+
+fn swap_in_column(table: &Table, cell: CellRef, rng: &mut StdRng) -> Option<Value> {
+    let stats = ColumnStats::from_column(table, cell.attr);
+    let current = table.get(cell);
+    let mut others: Vec<&Value> = stats.ranked().iter().map(|(v, _)| *v).collect();
+    others.retain(|v| *v != current);
+    if others.is_empty() {
+        None
+    } else {
+        Some(others[rng.gen_range(0..others.len())].clone())
+    }
+}
+
+fn out_of_domain(v: &Value, serial: usize) -> Value {
+    match v {
+        Value::Int(_) => Value::Int(-9_000_000 - serial as i64),
+        Value::Float(_) => Value::Float(-9e9 - serial as f64),
+        _ => Value::Str(format!("__ERR_{serial}__")),
+    }
+}
+
+/// Inject errors into a copy of `clean`.
+///
+/// Cells are chosen uniformly without replacement among the non-null cells
+/// of the allowed columns. Deterministic per seed.
+pub fn inject_errors(clean: &Table, config: &ErrorConfig) -> InjectionResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let allowed: Vec<usize> = if config.columns.is_empty() {
+        (0..clean.arity()).collect()
+    } else {
+        config
+            .columns
+            .iter()
+            .filter_map(|n| clean.schema().resolve(n).map(|a| a.0))
+            .collect()
+    };
+    let mut eligible: Vec<CellRef> = clean
+        .cells()
+        .filter(|c| allowed.contains(&c.attr.0) && !clean.get(*c).is_null())
+        .collect();
+    let want = if config.rate <= 0.0 || eligible.is_empty() {
+        0
+    } else {
+        ((eligible.len() as f64 * config.rate) as usize).max(1)
+    };
+    // Partial Fisher–Yates to pick `want` distinct cells.
+    let picks = want.min(eligible.len());
+    for i in 0..picks {
+        let j = rng.gen_range(i..eligible.len());
+        eligible.swap(i, j);
+    }
+    let mut dirty = clean.clone();
+    let mut truth = Vec::with_capacity(picks);
+    for (serial, &cell) in eligible[..picks].iter().enumerate() {
+        let original = clean.get(cell).clone();
+        let kind = pick_kind(&config.kind_weights, &mut rng);
+        let corrupted = match kind {
+            ErrorKind::SwapInColumn => match swap_in_column(clean, cell, &mut rng) {
+                Some(v) => v,
+                None => out_of_domain(&original, serial),
+            },
+            ErrorKind::Typo => typo(&original, &mut rng),
+            ErrorKind::OutOfDomain => out_of_domain(&original, serial),
+            ErrorKind::Null => Value::Null,
+        };
+        if corrupted == original {
+            continue; // degenerate corruption; skip rather than lie
+        }
+        dirty.set(cell, corrupted.clone());
+        truth.push(CellChange {
+            cell,
+            from: corrupted,
+            to: original,
+        });
+    }
+    InjectionResult { dirty, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soccer::{generate_clean, SoccerConfig};
+
+    fn clean() -> Table {
+        generate_clean(&SoccerConfig {
+            countries: 3,
+            cities_per_country: 2,
+            teams_per_city: 2,
+            years: 2,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn injects_about_the_requested_rate() {
+        let c = clean();
+        let res = inject_errors(
+            &c,
+            &ErrorConfig {
+                rate: 0.1,
+                ..Default::default()
+            },
+        );
+        let expected = (c.num_cells() as f64 * 0.1) as usize;
+        assert!(res.truth.len() <= expected);
+        assert!(res.truth.len() >= expected.saturating_sub(3));
+    }
+
+    #[test]
+    fn truth_diff_restores_the_clean_table() {
+        let c = clean();
+        let res = inject_errors(
+            &c,
+            &ErrorConfig {
+                rate: 0.2,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let restored = trex_table::apply(&res.dirty, &res.truth);
+        assert_eq!(restored, c);
+        // And the reported truth matches the actual diff.
+        let diff = trex_table::diff(&res.dirty, &c);
+        assert_eq!(diff.len(), res.truth.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = clean();
+        let cfg = ErrorConfig {
+            rate: 0.15,
+            seed: 99,
+            ..Default::default()
+        };
+        let a = inject_errors(&c, &cfg);
+        let b = inject_errors(&c, &cfg);
+        assert_eq!(a.dirty, b.dirty);
+    }
+
+    #[test]
+    fn column_restriction_respected() {
+        let c = clean();
+        let res = inject_errors(
+            &c,
+            &ErrorConfig {
+                rate: 0.3,
+                columns: vec!["Country".to_string()],
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let country = c.schema().id("Country");
+        assert!(!res.truth.is_empty());
+        assert!(res.truth.iter().all(|ch| ch.cell.attr == country));
+    }
+
+    #[test]
+    fn null_kind_produces_nulls() {
+        let c = clean();
+        let res = inject_errors(
+            &c,
+            &ErrorConfig {
+                rate: 0.1,
+                kind_weights: [0, 0, 0, 1],
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        assert!(!res.truth.is_empty());
+        assert!(res.truth.iter().all(|ch| ch.from.is_null()));
+    }
+
+    #[test]
+    fn out_of_domain_values_are_fresh() {
+        let c = clean();
+        let res = inject_errors(
+            &c,
+            &ErrorConfig {
+                rate: 0.1,
+                kind_weights: [0, 0, 1, 0],
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        for ch in &res.truth {
+            // The corrupted value must not appear anywhere in the clean table.
+            assert!(c.cells_with_values().all(|(_, v)| v != &ch.from));
+        }
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let c = clean();
+        let res = inject_errors(
+            &c,
+            &ErrorConfig {
+                rate: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(res.truth.is_empty());
+        assert_eq!(res.dirty, c);
+    }
+
+    #[test]
+    fn typos_change_values() {
+        let c = clean();
+        let res = inject_errors(
+            &c,
+            &ErrorConfig {
+                rate: 0.1,
+                kind_weights: [0, 1, 0, 0],
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        for ch in &res.truth {
+            assert_ne!(ch.from, ch.to);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # trex-datagen
+//!
+//! Workloads for the T-REx reproduction.
+//!
+//! * [`laliga`] — the paper's running example, byte-for-byte: the Figure 2
+//!   dirty/clean tables, the Figure 1 constraints, and Algorithm 1. This is
+//!   the oracle dataset every paper-example test asserts against.
+//! * [`soccer`] — a synthetic standings generator reproducing the demo's
+//!   Wikipedia-scrape workload shape at arbitrary scale (clean by
+//!   construction).
+//! * [`errors`] — reproducible error injection with ground truth, standing
+//!   in for the demo's "errors will be manually added" protocol (§4).
+//! * [`adult`] — a census-shaped second domain (HoloClean's home turf) to
+//!   show the pipeline generalizes.
+
+#![warn(missing_docs)]
+
+pub mod adult;
+pub mod errors;
+pub mod laliga;
+pub mod soccer;
+
+pub use adult::{census_constraints, generate_census, CensusConfig};
+pub use errors::{inject_errors, ErrorConfig, ErrorKind, InjectionResult};
+pub use soccer::{generate_clean, soccer_algorithm1, soccer_constraints, SoccerConfig};

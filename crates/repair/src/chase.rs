@@ -1,0 +1,220 @@
+//! FD-chase repair baseline.
+//!
+//! In the style of Bohannon et al. ([1] in the paper's references): for each
+//! functional dependency `X → Y`, group rows into equivalence classes by
+//! their `X` value and force every class to agree on `Y` by rewriting the
+//! minority to the class's plurality value. Classes are chased to a fixpoint
+//! (a fix under one FD can merge or split classes of another).
+//!
+//! Only the FD-shaped subset of the constraint set is used; other DCs are
+//! ignored (this is a *baseline*, and its blindness to non-FD constraints is
+//! exactly what experiment A4 measures). Within a class, the plurality vote
+//! breaks ties toward the smaller value for determinism.
+
+use crate::traits::{RepairAlgorithm, RepairResult};
+use std::collections::HashMap;
+use trex_constraints::{fds_of, DenialConstraint, FunctionalDependency};
+use trex_table::{AttrId, CellRef, Table, Value};
+
+/// The FD-chase repairer.
+#[derive(Debug, Clone)]
+pub struct FdChaseRepair {
+    max_rounds: usize,
+}
+
+impl Default for FdChaseRepair {
+    fn default() -> Self {
+        FdChaseRepair { max_rounds: 8 }
+    }
+}
+
+impl FdChaseRepair {
+    /// Build with the default round bound.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the fixpoint round bound.
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds.max(1);
+        self
+    }
+
+    /// One chase step for one FD. Returns number of changed cells.
+    fn chase_fd(fd: &FunctionalDependency, table: &mut Table) -> usize {
+        let schema = table.schema().clone();
+        let lhs: Option<Vec<AttrId>> = fd.lhs.iter().map(|a| schema.resolve(a)).collect();
+        let (Some(lhs), Some(rhs)) = (lhs, schema.resolve(&fd.rhs)) else {
+            return 0;
+        };
+        // Group rows by lhs key (null keys are out, as in DC semantics).
+        let mut classes: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for r in 0..table.num_rows() {
+            let mut key = Vec::with_capacity(lhs.len());
+            let mut has_null = false;
+            for a in &lhs {
+                let v = table.value(r, *a);
+                if !v.is_concrete() {
+                    has_null = true;
+                    break;
+                }
+                key.push(v.clone());
+            }
+            if !has_null {
+                classes.entry(key).or_default().push(r);
+            }
+        }
+        let mut changed = 0;
+        let mut groups: Vec<Vec<usize>> = classes.into_values().collect();
+        groups.sort_by_key(|g| g[0]);
+        for rows in groups {
+            if rows.len() < 2 {
+                continue;
+            }
+            // Plurality of non-null rhs values; smaller value wins ties.
+            let mut counts: HashMap<&Value, usize> = HashMap::new();
+            for &r in &rows {
+                let v = table.value(r, rhs);
+                if v.is_concrete() {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+            }
+            let Some(winner) = counts
+                .into_iter()
+                .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| vb.cmp(va)))
+                .map(|(v, _)| v.clone())
+            else {
+                continue;
+            };
+            for &r in &rows {
+                let cell = CellRef::new(r, rhs);
+                let v = table.get(cell);
+                if v.is_concrete() && v != &winner {
+                    table.set(cell, winner.clone());
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+}
+
+impl RepairAlgorithm for FdChaseRepair {
+    fn name(&self) -> &str {
+        "fd-chase"
+    }
+
+    fn repair(&self, dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
+        let fds = fds_of(dcs);
+        let mut table = dirty.clone();
+        for _ in 0..self.max_rounds {
+            let mut changed = 0;
+            for fd in &fds {
+                changed += Self::chase_fd(fd, &mut table);
+            }
+            if changed == 0 {
+                break;
+            }
+        }
+        RepairResult::from_tables(dirty, table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_constraints::parse_dcs;
+    use trex_table::TableBuilder;
+
+    fn dcs() -> Vec<DenialConstraint> {
+        parse_dcs(
+            "C1: !(t1.Team = t2.Team & t1.City != t2.City)\n\
+             C2: !(t1.City = t2.City & t1.Country != t2.Country)\n",
+        )
+        .unwrap()
+    }
+
+    fn dirty() -> Table {
+        TableBuilder::new()
+            .str_columns(["Team", "City", "Country"])
+            .str_row(["Real Madrid", "Madrid", "Spain"])
+            .str_row(["Real Madrid", "Madrid", "Spain"])
+            .str_row(["Real Madrid", "Capital", "Spain"])
+            .str_row(["Barcelona", "Barcelona", "España"])
+            .str_row(["Barcelona", "Barcelona", "Spain"])
+            .str_row(["Barcelona", "Barcelona", "Spain"])
+            .build()
+    }
+
+    #[test]
+    fn chases_to_plurality_values() {
+        let r = FdChaseRepair::new().repair(&dcs(), &dirty());
+        let t = &r.clean;
+        let city = t.schema().id("City");
+        let country = t.schema().id("Country");
+        // Team=Real Madrid class: City plurality Madrid (2-1).
+        assert_eq!(t.value(2, city), &Value::str("Madrid"));
+        // City=Barcelona class: Country plurality Spain (2-1).
+        assert_eq!(t.value(3, country), &Value::str("Spain"));
+        assert_eq!(r.changes.len(), 2);
+    }
+
+    #[test]
+    fn cascading_fix_across_fds() {
+        // Fixing City via C1 merges row 2 into the Madrid class of C2,
+        // whose Country values then must agree.
+        let t = TableBuilder::new()
+            .str_columns(["Team", "City", "Country"])
+            .str_row(["Real Madrid", "Madrid", "Spain"])
+            .str_row(["Real Madrid", "Madrid", "Spain"])
+            .str_row(["Real Madrid", "Capital", "Narnia"])
+            .build();
+        let r = FdChaseRepair::new().repair(&dcs(), &t);
+        let country = t.schema().id("Country");
+        assert_eq!(r.clean.value(2, country), &Value::str("Spain"));
+    }
+
+    #[test]
+    fn ignores_non_fd_constraints() {
+        let other = parse_dcs("X: !(t1.Country = \"Narnia\")").unwrap();
+        let r = FdChaseRepair::new().repair(&other, &dirty());
+        assert!(r.changes.is_empty());
+    }
+
+    #[test]
+    fn clean_table_is_fixpoint() {
+        let r = FdChaseRepair::new().repair(&dcs(), &dirty());
+        let again = FdChaseRepair::new().repair(&dcs(), &r.clean);
+        assert!(again.changes.is_empty());
+    }
+
+    #[test]
+    fn null_keys_and_values_skipped() {
+        let mut t = dirty();
+        let team = t.schema().id("Team");
+        let city = t.schema().id("City");
+        t.set(CellRef::new(2, team), Value::Null);
+        let r = FdChaseRepair::new().repair(&dcs(), &t);
+        // Row 2 left the Real Madrid class; its Capital City survives.
+        assert_eq!(r.clean.value(2, city), &Value::str("Capital"));
+    }
+
+    #[test]
+    fn two_row_tie_breaks_to_smaller_value() {
+        let t = TableBuilder::new()
+            .str_columns(["Team", "City"])
+            .str_row(["X", "Beta"])
+            .str_row(["X", "Alpha"])
+            .build();
+        let dc = parse_dcs("C: !(t1.Team = t2.Team & t1.City != t2.City)").unwrap();
+        let r = FdChaseRepair::new().repair(&dc, &t);
+        let city = t.schema().id("City");
+        assert_eq!(r.clean.value(0, city), &Value::str("Alpha"));
+        assert_eq!(r.clean.value(1, city), &Value::str("Alpha"));
+    }
+
+    #[test]
+    fn name_reported() {
+        assert_eq!(FdChaseRepair::new().name(), "fd-chase");
+    }
+}

@@ -1,0 +1,257 @@
+//! Candidate-domain generation (HoloClean's "domain pruning").
+//!
+//! For every *noisy* cell (a cell implicated in some constraint violation)
+//! we build a pruned set of candidate repair values. Following HoloClean
+//! [5], a value `v` of attribute `A` is a candidate for cell `t[A]` when it
+//! co-occurs sufficiently often with one of the row's other attribute
+//! values: `P(A = v | B = t[B]) ≥ τ` for some attribute `B ≠ A`. The cell's
+//! original value is always a candidate (the minimality prior needs it), and
+//! the domain is capped at the `max_candidates` best-scoring values.
+
+use std::collections::HashMap;
+use trex_table::{AttrId, CellRef, ConditionalStats, Table, Value};
+
+/// Domain-generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainConfig {
+    /// Co-occurrence threshold `τ`: minimum `P(A=v | B=t[B])` for `v` to
+    /// enter the domain through attribute `B`.
+    pub tau: f64,
+    /// Maximum number of candidates per cell (the original value does not
+    /// count against the cap).
+    pub max_candidates: usize,
+}
+
+impl Default for DomainConfig {
+    fn default() -> Self {
+        DomainConfig {
+            tau: 0.05,
+            max_candidates: 16,
+        }
+    }
+}
+
+/// Pairwise conditional statistics `P(target = v | given = g)` for every
+/// ordered attribute pair, computed once per repair run.
+#[derive(Debug)]
+pub struct CooccurrenceModel {
+    /// `stats[given][target]`, `given != target`.
+    stats: Vec<Vec<Option<ConditionalStats>>>,
+    arity: usize,
+}
+
+impl CooccurrenceModel {
+    /// Build the model from a table snapshot.
+    pub fn build(table: &Table) -> Self {
+        let arity = table.arity();
+        let mut stats: Vec<Vec<Option<ConditionalStats>>> = Vec::with_capacity(arity);
+        for given in 0..arity {
+            let mut row = Vec::with_capacity(arity);
+            for target in 0..arity {
+                if given == target {
+                    row.push(None);
+                } else {
+                    row.push(Some(ConditionalStats::from_columns(
+                        table,
+                        AttrId(given),
+                        AttrId(target),
+                    )));
+                }
+            }
+            stats.push(row);
+        }
+        CooccurrenceModel { stats, arity }
+    }
+
+    /// `P(target = v | given = g)`.
+    pub fn probability(&self, given: AttrId, target: AttrId, g: &Value, v: &Value) -> f64 {
+        match &self.stats[given.0][target.0] {
+            Some(s) => s.probability_given(g, v),
+            None => 0.0,
+        }
+    }
+
+    /// Mean co-occurrence of `v` at `(row, attr)` over the row's other
+    /// non-null attributes — the main signal of the scoring model.
+    pub fn mean_cooccurrence(&self, table: &Table, cell: CellRef, v: &Value) -> f64 {
+        let mut total = 0.0;
+        let mut used = 0usize;
+        for b in 0..self.arity {
+            if b == cell.attr.0 {
+                continue;
+            }
+            let g = table.value(cell.row, AttrId(b));
+            if !g.is_concrete() {
+                continue;
+            }
+            total += self.probability(AttrId(b), cell.attr, g, v);
+            used += 1;
+        }
+        if used == 0 {
+            0.0
+        } else {
+            total / used as f64
+        }
+    }
+}
+
+/// The candidate domain of one cell.
+#[derive(Debug, Clone)]
+pub struct CellDomain {
+    /// The cell this domain belongs to.
+    pub cell: CellRef,
+    /// Candidate values, original value first, then by descending
+    /// co-occurrence score (ties toward smaller values).
+    pub candidates: Vec<Value>,
+}
+
+/// Build the candidate domain of `cell` from the co-occurrence model.
+pub fn cell_domain(
+    table: &Table,
+    model: &CooccurrenceModel,
+    cell: CellRef,
+    config: &DomainConfig,
+) -> CellDomain {
+    let original = table.get(cell).clone();
+    // Score every distinct column value by its best single-attribute
+    // conditional probability; keep those crossing τ.
+    let mut scores: HashMap<Value, f64> = HashMap::new();
+    for r in 0..table.num_rows() {
+        let v = table.value(r, cell.attr);
+        if !v.is_concrete() || scores.contains_key(v) {
+            continue;
+        }
+        let mut best = 0.0f64;
+        for b in 0..table.arity() {
+            if b == cell.attr.0 {
+                continue;
+            }
+            let g = table.value(cell.row, AttrId(b));
+            if !g.is_concrete() {
+                continue;
+            }
+            best = best.max(model.probability(AttrId(b), cell.attr, g, v));
+        }
+        scores.insert(v.clone(), best);
+    }
+    let mut ranked: Vec<(Value, f64)> = scores
+        .into_iter()
+        .filter(|(v, s)| *s >= config.tau && *v != original)
+        .collect();
+    ranked.sort_by(|(va, sa), (vb, sb)| {
+        sb.partial_cmp(sa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| va.cmp(vb))
+    });
+    ranked.truncate(config.max_candidates);
+
+    let mut candidates = Vec::with_capacity(ranked.len() + 1);
+    if original.is_concrete() {
+        candidates.push(original);
+    }
+    candidates.extend(ranked.into_iter().map(|(v, _)| v));
+    CellDomain { cell, candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_table::TableBuilder;
+
+    fn table() -> Table {
+        TableBuilder::new()
+            .str_columns(["City", "Country"])
+            .str_row(["Madrid", "Spain"])
+            .str_row(["Madrid", "Spain"])
+            .str_row(["Madrid", "Spain"])
+            .str_row(["Paris", "France"])
+            .str_row(["Madrid", "España"])
+            .build()
+    }
+
+    #[test]
+    fn cooccurrence_probabilities() {
+        let t = table();
+        let m = CooccurrenceModel::build(&t);
+        let city = t.schema().id("City");
+        let country = t.schema().id("Country");
+        let p = m.probability(city, country, &Value::str("Madrid"), &Value::str("Spain"));
+        assert!((p - 0.75).abs() < 1e-12);
+        let q = m.probability(city, country, &Value::str("Paris"), &Value::str("France"));
+        assert!((q - 1.0).abs() < 1e-12);
+        // Same-attribute pairs are undefined → 0.
+        assert_eq!(
+            m.probability(city, city, &Value::str("Madrid"), &Value::str("Madrid")),
+            0.0
+        );
+    }
+
+    #[test]
+    fn mean_cooccurrence_of_candidate() {
+        let t = table();
+        let m = CooccurrenceModel::build(&t);
+        let country = t.schema().id("Country");
+        let cell = CellRef::new(4, country); // the España row
+        let spain = m.mean_cooccurrence(&t, cell, &Value::str("Spain"));
+        let espana = m.mean_cooccurrence(&t, cell, &Value::str("España"));
+        assert!(spain > espana, "{spain} vs {espana}");
+    }
+
+    #[test]
+    fn domain_contains_original_and_cooccurring() {
+        let t = table();
+        let m = CooccurrenceModel::build(&t);
+        let country = t.schema().id("Country");
+        let d = cell_domain(&t, &m, CellRef::new(4, country), &DomainConfig::default());
+        assert_eq!(d.candidates[0], Value::str("España")); // original first
+        assert!(d.candidates.contains(&Value::str("Spain")));
+        // France never co-occurs with Madrid: pruned.
+        assert!(!d.candidates.contains(&Value::str("France")));
+    }
+
+    #[test]
+    fn cap_limits_domain_size() {
+        let t = table();
+        let m = CooccurrenceModel::build(&t);
+        let country = t.schema().id("Country");
+        let d = cell_domain(
+            &t,
+            &m,
+            CellRef::new(4, country),
+            &DomainConfig {
+                tau: 0.0,
+                max_candidates: 1,
+            },
+        );
+        // original + exactly one other.
+        assert_eq!(d.candidates.len(), 2);
+    }
+
+    #[test]
+    fn high_tau_prunes_everything_but_original() {
+        let t = table();
+        let m = CooccurrenceModel::build(&t);
+        let country = t.schema().id("Country");
+        let d = cell_domain(
+            &t,
+            &m,
+            CellRef::new(4, country),
+            &DomainConfig {
+                tau: 1.1,
+                max_candidates: 8,
+            },
+        );
+        assert_eq!(d.candidates, vec![Value::str("España")]);
+    }
+
+    #[test]
+    fn null_original_is_not_a_candidate() {
+        let mut t = table();
+        let country = t.schema().id("Country");
+        t.set(CellRef::new(4, country), Value::Null);
+        let m = CooccurrenceModel::build(&t);
+        let d = cell_domain(&t, &m, CellRef::new(4, country), &DomainConfig::default());
+        assert!(!d.candidates.iter().any(Value::is_null));
+        assert!(d.candidates.contains(&Value::str("Spain")));
+    }
+}

@@ -1,0 +1,256 @@
+//! Featurization of repair candidates.
+//!
+//! HoloClean [5] grounds a probabilistic model whose factors come from
+//! several signals; we reproduce the three families that drive its observable
+//! behaviour, plus a global-frequency prior:
+//!
+//! * **co-occurrence** — how well the candidate agrees with the row's other
+//!   attribute values (`mean_cooccurrence` over the pairwise conditional
+//!   model);
+//! * **minimality** — a prior for keeping the original value (repairs should
+//!   be minimal);
+//! * **constraint** — (negated) number of violations the row would
+//!   participate in if the cell took this value, normalized by row count;
+//! * **frequency** — the candidate's marginal probability in its column.
+//!
+//! A candidate's score is the dot product with [`FeatureWeights`]; the
+//! inference loop picks the argmax per cell.
+
+use super::domain::CooccurrenceModel;
+use trex_constraints::{violates_binding, DenialConstraint};
+use trex_table::{CellRef, ColumnStats, Table, Value};
+
+/// The feature vector of one `(cell, candidate)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureVector {
+    /// Mean conditional co-occurrence with the row's other values.
+    pub cooccurrence: f64,
+    /// 1.0 iff the candidate equals the cell's current value.
+    pub minimality: f64,
+    /// Violations (involving this row) per row if the candidate is placed,
+    /// negated — higher is better, like every other feature.
+    pub constraint: f64,
+    /// Marginal column frequency of the candidate.
+    pub frequency: f64,
+}
+
+impl FeatureVector {
+    /// Dot product with weights.
+    pub fn score(&self, w: &FeatureWeights) -> f64 {
+        self.cooccurrence * w.cooccurrence
+            + self.minimality * w.minimality
+            + self.constraint * w.constraint
+            + self.frequency * w.frequency
+    }
+
+    /// The vector as an array (training code iterates features).
+    pub fn as_array(&self) -> [f64; 4] {
+        [
+            self.cooccurrence,
+            self.minimality,
+            self.constraint,
+            self.frequency,
+        ]
+    }
+}
+
+/// Learnable weights of the scoring model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureWeights {
+    /// Weight of the co-occurrence feature.
+    pub cooccurrence: f64,
+    /// Weight of the minimality prior.
+    pub minimality: f64,
+    /// Weight of the (negated) violation count.
+    pub constraint: f64,
+    /// Weight of the frequency prior.
+    pub frequency: f64,
+}
+
+impl Default for FeatureWeights {
+    /// Hand-calibrated defaults. The constraint weight is deliberately
+    /// *moderate*: in a 1-vs-1 conflict both sides can clear their
+    /// violations by capitulating to the other's value, and only the
+    /// frequency/minimality priors tell the clean majority cell to stand
+    /// its ground while the dirty minority cell switches. With these
+    /// weights a cell flips exactly when the violation relief plus
+    /// frequency gain outweigh the minimality prior — majority wins.
+    fn default() -> Self {
+        FeatureWeights {
+            cooccurrence: 2.0,
+            minimality: 0.4,
+            constraint: 1.0,
+            frequency: 1.0,
+        }
+    }
+}
+
+impl FeatureWeights {
+    /// Build from an array in [`FeatureVector::as_array`] order.
+    pub fn from_array(a: [f64; 4]) -> Self {
+        FeatureWeights {
+            cooccurrence: a[0],
+            minimality: a[1],
+            constraint: a[2],
+            frequency: a[3],
+        }
+    }
+
+    /// The weights as an array.
+    pub fn as_array(&self) -> [f64; 4] {
+        [
+            self.cooccurrence,
+            self.minimality,
+            self.constraint,
+            self.frequency,
+        ]
+    }
+}
+
+/// Number of violations row `cell.row` participates in (as either tuple)
+/// when `cell` is set to `candidate`, counting ordered pairs once per
+/// direction, plus unary violations of the row.
+pub fn row_violations_with(
+    dcs: &[DenialConstraint],
+    table: &mut Table,
+    cell: CellRef,
+    candidate: &Value,
+) -> usize {
+    let original = table.set(cell, candidate.clone());
+    let r = cell.row;
+    let n = table.num_rows();
+    let mut count = 0usize;
+    for dc in dcs {
+        if dc.is_binary() {
+            for j in 0..n {
+                if j == r {
+                    continue;
+                }
+                if violates_binding(dc, table, r, j) {
+                    count += 1;
+                }
+                if violates_binding(dc, table, j, r) {
+                    count += 1;
+                }
+            }
+        } else if violates_binding(dc, table, r, r) {
+            count += 1;
+        }
+    }
+    table.set(cell, original);
+    count
+}
+
+/// Compute the feature vector of `(cell, candidate)`.
+///
+/// `table` is borrowed mutably only to place/restore the candidate while
+/// counting violations; it is returned unchanged.
+pub fn featurize(
+    dcs: &[DenialConstraint],
+    table: &mut Table,
+    model: &CooccurrenceModel,
+    column_stats: &ColumnStats,
+    cell: CellRef,
+    candidate: &Value,
+) -> FeatureVector {
+    let cooccurrence = model.mean_cooccurrence(table, cell, candidate);
+    let minimality = if table.get(cell) == candidate { 1.0 } else { 0.0 };
+    let violations = row_violations_with(dcs, table, cell, candidate);
+    let rows = table.num_rows().max(1) as f64;
+    FeatureVector {
+        cooccurrence,
+        minimality,
+        constraint: -(violations as f64) / rows,
+        frequency: column_stats.probability(candidate),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_constraints::parse_dcs;
+    use trex_table::TableBuilder;
+
+    fn setup() -> (Table, Vec<DenialConstraint>) {
+        let t = TableBuilder::new()
+            .str_columns(["City", "Country"])
+            .str_row(["Madrid", "Spain"])
+            .str_row(["Madrid", "Spain"])
+            .str_row(["Madrid", "España"])
+            .build();
+        let dcs = parse_dcs("C2: !(t1.City = t2.City & t1.Country != t2.Country)")
+            .unwrap()
+            .into_iter()
+            .map(|d| d.resolved(t.schema()).unwrap())
+            .collect();
+        (t, dcs)
+    }
+
+    #[test]
+    fn violation_counting_with_candidate() {
+        let (mut t, dcs) = setup();
+        let country = t.schema().id("Country");
+        let cell = CellRef::new(2, country);
+        // Keeping España: conflicts with rows 0 and 1, both directions = 4.
+        assert_eq!(row_violations_with(&dcs, &mut t, cell, &Value::str("España")), 4);
+        // Switching to Spain: zero.
+        assert_eq!(row_violations_with(&dcs, &mut t, cell, &Value::str("Spain")), 0);
+        // Table restored.
+        assert_eq!(t.get(cell), &Value::str("España"));
+    }
+
+    #[test]
+    fn features_favor_the_consistent_candidate() {
+        let (mut t, dcs) = setup();
+        let country = t.schema().id("Country");
+        let cell = CellRef::new(2, country);
+        let model = CooccurrenceModel::build(&t);
+        let stats = ColumnStats::from_column(&t, country);
+        let f_spain = featurize(&dcs, &mut t, &model, &stats, cell, &Value::str("Spain"));
+        let f_espana = featurize(&dcs, &mut t, &model, &stats, cell, &Value::str("España"));
+        let w = FeatureWeights::default();
+        assert!(f_spain.score(&w) > f_espana.score(&w));
+        // Minimality is the only feature favoring España.
+        assert_eq!(f_espana.minimality, 1.0);
+        assert_eq!(f_spain.minimality, 0.0);
+        assert!(f_spain.constraint > f_espana.constraint);
+        assert!(f_spain.frequency > f_espana.frequency);
+    }
+
+    #[test]
+    fn unary_constraints_count_once() {
+        let t = TableBuilder::new()
+            .str_columns(["City"])
+            .str_row(["Capital"])
+            .build();
+        let dcs: Vec<DenialConstraint> = parse_dcs("U: !(t1.City = \"Capital\")")
+            .unwrap()
+            .into_iter()
+            .map(|d| d.resolved(t.schema()).unwrap())
+            .collect();
+        let mut t = t;
+        let cell = CellRef::new(0, t.schema().id("City"));
+        assert_eq!(
+            row_violations_with(&dcs, &mut t, cell, &Value::str("Capital")),
+            1
+        );
+        assert_eq!(
+            row_violations_with(&dcs, &mut t, cell, &Value::str("Madrid")),
+            0
+        );
+    }
+
+    #[test]
+    fn weights_array_roundtrip() {
+        let w = FeatureWeights::default();
+        assert_eq!(FeatureWeights::from_array(w.as_array()), w);
+        let f = FeatureVector {
+            cooccurrence: 1.0,
+            minimality: 0.0,
+            constraint: -0.5,
+            frequency: 0.25,
+        };
+        let expect = 1.0 * w.cooccurrence - 0.5 * w.constraint + 0.25 * w.frequency;
+        assert!((f.score(&w) - expect).abs() < 1e-12);
+    }
+}

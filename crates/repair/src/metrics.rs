@@ -1,0 +1,189 @@
+//! Repair-quality metrics.
+//!
+//! The demo scenario (§4) evaluates whether acting on an explanation
+//! "improves the repair of the specified table cell". To quantify that we
+//! compare a repair's cell-level diff against the ground-truth diff of an
+//! error-injected workload (the generator in `trex-datagen` keeps ground
+//! truth): precision / recall / F1 over repaired cells, plus
+//! value-correctness.
+
+use trex_table::{CellChange, CellRef, Table};
+
+/// Precision/recall-style quality of one repair against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairQuality {
+    /// Cells changed by the repair.
+    pub changed: usize,
+    /// Cells that actually needed repair.
+    pub needed: usize,
+    /// Changed cells that needed repair *and* received exactly the true
+    /// clean value.
+    pub correct: usize,
+    /// Changed cells that needed repair (regardless of the chosen value).
+    pub detected: usize,
+}
+
+impl RepairQuality {
+    /// Precision: fraction of performed changes that were exactly right.
+    /// Defined as 1 when nothing was changed (no false positives).
+    pub fn precision(&self) -> f64 {
+        if self.changed == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.changed as f64
+        }
+    }
+
+    /// Recall: fraction of needed repairs performed exactly right. Defined
+    /// as 1 when nothing needed repair.
+    pub fn recall(&self) -> f64 {
+        if self.needed == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.needed as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Detection recall: fraction of erroneous cells the repair *touched*,
+    /// even if the replacement value was wrong.
+    pub fn detection_recall(&self) -> f64 {
+        if self.needed == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.needed as f64
+        }
+    }
+}
+
+/// Score `repair_changes` (the diff produced by a repair of the dirty
+/// table) against `truth_changes` (the injected-error diff `dirty → true
+/// clean`).
+pub fn score_repair(repair_changes: &[CellChange], truth_changes: &[CellChange]) -> RepairQuality {
+    let truth_at = |cell: CellRef| truth_changes.iter().find(|c| c.cell == cell);
+    let mut correct = 0usize;
+    let mut detected = 0usize;
+    for ch in repair_changes {
+        if let Some(truth) = truth_at(ch.cell) {
+            detected += 1;
+            if ch.to == truth.to {
+                correct += 1;
+            }
+        }
+    }
+    RepairQuality {
+        changed: repair_changes.len(),
+        needed: truth_changes.len(),
+        correct,
+        detected,
+    }
+}
+
+/// Convenience: score a repaired table against the true clean table, both
+/// relative to the same dirty table.
+pub fn score_tables(dirty: &Table, repaired: &Table, truth: &Table) -> RepairQuality {
+    score_repair(
+        &trex_table::diff(dirty, repaired),
+        &trex_table::diff(dirty, truth),
+    )
+}
+
+/// Fraction of *all* cells whose repaired value equals the true clean value.
+pub fn cell_accuracy(repaired: &Table, truth: &Table) -> f64 {
+    assert_eq!(repaired.num_cells(), truth.num_cells(), "shape mismatch");
+    if repaired.num_cells() == 0 {
+        return 1.0;
+    }
+    let equal = repaired
+        .cells()
+        .filter(|c| repaired.get(*c) == truth.get(*c))
+        .count();
+    equal as f64 / repaired.num_cells() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_table::{AttrId, TableBuilder, Value};
+
+    fn t(rows: &[[&str; 2]]) -> Table {
+        let mut b = TableBuilder::new().str_columns(["A", "B"]);
+        for r in rows {
+            b = b.str_row(r.iter().copied());
+        }
+        b.build()
+    }
+
+    #[test]
+    fn perfect_repair_scores_one() {
+        let dirty = t(&[["x", "BAD"], ["y", "q"]]);
+        let truth = t(&[["x", "p"], ["y", "q"]]);
+        let q = score_tables(&dirty, &truth, &truth);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.f1(), 1.0);
+        assert_eq!(q.detection_recall(), 1.0);
+    }
+
+    #[test]
+    fn no_op_repair_has_full_precision_zero_recall() {
+        let dirty = t(&[["x", "BAD"]]);
+        let truth = t(&[["x", "p"]]);
+        let q = score_tables(&dirty, &dirty, &truth);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 0.0);
+        assert_eq!(q.f1(), 0.0);
+    }
+
+    #[test]
+    fn wrong_value_counts_as_detected_not_correct() {
+        let dirty = t(&[["x", "BAD"]]);
+        let repaired = t(&[["x", "WRONG"]]);
+        let truth = t(&[["x", "p"]]);
+        let q = score_tables(&dirty, &repaired, &truth);
+        assert_eq!(q.detected, 1);
+        assert_eq!(q.correct, 0);
+        assert_eq!(q.precision(), 0.0);
+        assert_eq!(q.detection_recall(), 1.0);
+    }
+
+    #[test]
+    fn overzealous_repair_loses_precision() {
+        let dirty = t(&[["x", "BAD"], ["y", "q"]]);
+        let repaired = t(&[["x", "p"], ["CHANGED", "q"]]);
+        let truth = t(&[["x", "p"], ["y", "q"]]);
+        let q = score_tables(&dirty, &repaired, &truth);
+        assert_eq!(q.changed, 2);
+        assert_eq!(q.correct, 1);
+        assert!((q.precision() - 0.5).abs() < 1e-12);
+        assert_eq!(q.recall(), 1.0);
+        assert!((q.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_workload_scores_one_by_convention() {
+        let clean = t(&[["x", "y"]]);
+        let q = score_tables(&clean, &clean, &clean);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+    }
+
+    #[test]
+    fn cell_accuracy_counts_matches() {
+        let a = t(&[["x", "y"], ["p", "q"]]);
+        let mut b = a.clone();
+        b.set(trex_table::CellRef::new(0, AttrId(1)), Value::str("z"));
+        assert!((cell_accuracy(&a, &b) - 0.75).abs() < 1e-12);
+        assert_eq!(cell_accuracy(&a, &a), 1.0);
+    }
+}

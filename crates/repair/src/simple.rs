@@ -1,0 +1,617 @@
+//! The paper's Algorithm 1: a simple rule-based repairer.
+//!
+//! Algorithm 1 associates each denial constraint with a *fix action*: "if
+//! tuple `t` has a contradiction according to `Cᵢ` then attribute `A` will
+//! be modified to the most common value" (or the most probable value
+//! conditioned on another attribute of `t`). [`RuleRepair`] generalizes this
+//! scheme to arbitrary constraint/action lists.
+//!
+//! # Semantics (pinned down where the paper is informal)
+//!
+//! * Rules are applied **in constraint order**; each rule sees the table as
+//!   left by earlier rules. This is what makes the paper's Example 1.1 work:
+//!   "C1 caused the change of *Capital* to *Madrid* first and then C2 caused
+//!   the change of the value in the Country cell".
+//! * Within one rule application, the violating rows are computed on a
+//!   snapshot and all fixes derive from **that snapshot** (simultaneous
+//!   application): fixes of one row never feed into another row's statistics
+//!   in the same step, keeping the result independent of row order.
+//! * Modes are computed over **all rows** (the row under repair votes too,
+//!   matching `argmax_c P[...]` literally), but ties break **away from the
+//!   row's current value**: the rule fired because that value is suspicious,
+//!   and switching is the only resolution that can remove the violation.
+//!   This is what makes single-witness coalitions in the cell game behave
+//!   as Example 2.4 expects — the partner's value beats the dirty value
+//!   instead of tying with it. Remaining ties break toward the smaller
+//!   value, keeping the algorithm a deterministic function of its input.
+//! * Nulls never vote and are never used as a repair value; a rule with no
+//!   non-null evidence is skipped for that row.
+//! * By default the rule list is applied in **one sequential pass**, exactly
+//!   as Algorithm 1 is written; an optional round bound re-applies the pass
+//!   until a fixpoint. (Degenerate 50/50 conflicts swap values every round
+//!   under the tie-break, so fixpoint mode bounds rounds and stays
+//!   deterministic.)
+
+use crate::traits::{RepairAlgorithm, RepairResult};
+use std::collections::HashMap;
+use trex_constraints::{find_violations_indexed, DenialConstraint};
+use trex_table::{AttrId, CellRef, Table, Value};
+
+/// What to do to a violating tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FixAction {
+    /// Set `attr` to the most common value of that column
+    /// (`argmax_c P[attr = c]`), with ties breaking away from the repaired
+    /// row's current value.
+    MostCommon {
+        /// Attribute to overwrite.
+        attr: String,
+    },
+    /// Set `attr` to the most probable value given the row's value of
+    /// `given` (`argmax_c P[attr = c | given = t[given]]`), with the same
+    /// tie-break.
+    MostCommonGiven {
+        /// Attribute to overwrite.
+        attr: String,
+        /// Conditioning attribute (read from the violating row).
+        given: String,
+    },
+    /// Set `attr` to a fixed constant.
+    SetConstant {
+        /// Attribute to overwrite.
+        attr: String,
+        /// The value to write.
+        value: Value,
+    },
+}
+
+impl FixAction {
+    fn target_attr(&self) -> &str {
+        match self {
+            FixAction::MostCommon { attr }
+            | FixAction::MostCommonGiven { attr, .. }
+            | FixAction::SetConstant { attr, .. } => attr,
+        }
+    }
+}
+
+/// One rule: when `constraint` (by name) is violated, apply `action` to each
+/// violating tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Name of the constraint this rule reacts to.
+    pub constraint: String,
+    /// The fix applied to violating tuples.
+    pub action: FixAction,
+}
+
+impl Rule {
+    /// Construct a rule.
+    pub fn new(constraint: impl Into<String>, action: FixAction) -> Self {
+        Rule {
+            constraint: constraint.into(),
+            action,
+        }
+    }
+}
+
+/// The generalized Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct RuleRepair {
+    rules: Vec<Rule>,
+    max_rounds: usize,
+    name: String,
+}
+
+impl RuleRepair {
+    /// Default number of rounds: **one**, matching the paper's Algorithm 1,
+    /// which is a single sequential pass over the constraint list (rule `i`
+    /// sees the fixes of rules `1..i−1`; that sequencing is all Example 1.1
+    /// needs). More rounds can be requested via
+    /// [`RuleRepair::with_max_rounds`]; note that simultaneous 1-vs-1 tie
+    /// repairs *swap* the two values, so even round counts can undo them.
+    pub const DEFAULT_MAX_ROUNDS: usize = 1;
+
+    /// Build a repairer from rules (applied in the order of the constraint
+    /// list passed to [`RepairAlgorithm::repair`], not rule order).
+    pub fn new(rules: Vec<Rule>) -> Self {
+        RuleRepair {
+            rules,
+            max_rounds: Self::DEFAULT_MAX_ROUNDS,
+            name: "algorithm1".to_string(),
+        }
+    }
+
+    /// Override the fixpoint round bound.
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds.max(1);
+        self
+    }
+
+    /// Override the reported name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The rule attached to a constraint name, if any.
+    pub fn rule_for(&self, constraint: &str) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.constraint == constraint)
+    }
+
+    /// Pick the argmax of `counts` with the repair tie-break: highest count;
+    /// ties prefer values *different* from `current`; remaining ties prefer
+    /// the smaller value.
+    fn pick_mode(counts: HashMap<&Value, usize>, current: &Value) -> Option<Value> {
+        counts
+            .into_iter()
+            .max_by(|(va, ca), (vb, cb)| {
+                ca.cmp(cb)
+                    .then_with(|| (*va != current).cmp(&(*vb != current)))
+                    .then_with(|| vb.cmp(va))
+            })
+            .map(|(v, _)| v.clone())
+    }
+
+    /// Mode of `attr` over all rows of `table`, with the repair tie-break
+    /// relative to `current` (the repaired row's present value).
+    fn mode(table: &Table, attr: AttrId, current: &Value) -> Option<Value> {
+        let mut counts: HashMap<&Value, usize> = HashMap::new();
+        for r in 0..table.num_rows() {
+            let v = table.value(r, attr);
+            if v.is_concrete() {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        Self::pick_mode(counts, current)
+    }
+
+    /// Conditional mode of `attr` given `given = g` over all rows, with the
+    /// repair tie-break relative to `current`.
+    fn conditional_mode(
+        table: &Table,
+        attr: AttrId,
+        given: AttrId,
+        g: &Value,
+        current: &Value,
+    ) -> Option<Value> {
+        if !g.is_concrete() {
+            return None;
+        }
+        let mut counts: HashMap<&Value, usize> = HashMap::new();
+        for r in 0..table.num_rows() {
+            if !table.value(r, given).sql_eq(g) {
+                continue;
+            }
+            let v = table.value(r, attr);
+            if v.is_concrete() {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        Self::pick_mode(counts, current)
+    }
+
+    /// Apply one rule to the violations of one constraint on `table`.
+    /// Returns the number of cells changed.
+    fn apply_rule(&self, dc: &DenialConstraint, action: &FixAction, table: &mut Table) -> usize {
+        let snapshot = table.clone();
+        let mut rows: Vec<usize> = Vec::new();
+        for v in find_violations_indexed(dc, &snapshot) {
+            for r in [Some(v.row1), v.row2].into_iter().flatten() {
+                if !rows.contains(&r) {
+                    rows.push(r);
+                }
+            }
+        }
+        rows.sort_unstable();
+
+        let Some(attr) = snapshot.schema().resolve(action.target_attr()) else {
+            return 0;
+        };
+        let mut changed = 0;
+        for r in rows {
+            let current = snapshot.value(r, attr).clone();
+            let new_value = match action {
+                FixAction::MostCommon { .. } => Self::mode(&snapshot, attr, &current),
+                FixAction::MostCommonGiven { given, .. } => {
+                    let Some(given_id) = snapshot.schema().resolve(given) else {
+                        continue;
+                    };
+                    let g = snapshot.value(r, given_id).clone();
+                    Self::conditional_mode(&snapshot, attr, given_id, &g, &current)
+                }
+                FixAction::SetConstant { value, .. } => Some(value.clone()),
+            };
+            if let Some(v) = new_value {
+                let cell = CellRef::new(r, attr);
+                if table.get(cell) != &v {
+                    table.set(cell, v);
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// Error from [`RuleRepair::parse_rules`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for RuleParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rule parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RuleParseError {}
+
+impl RuleRepair {
+    /// Parse a rule list from text, one rule per line:
+    ///
+    /// ```text
+    /// # constraint: Attr <- action
+    /// C1: City <- most_common
+    /// C2: Country <- most_common_given(City)
+    /// U:  City <- const("Madrid")
+    /// ```
+    ///
+    /// Blank lines and `#` comments are skipped.
+    pub fn parse_rules(input: &str) -> Result<RuleRepair, RuleParseError> {
+        let mut rules = Vec::new();
+        for (i, raw) in input.lines().enumerate() {
+            let line = i + 1;
+            let text = raw.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            let err = |message: &str| RuleParseError {
+                line,
+                message: message.to_string(),
+            };
+            let (constraint, rest) = text.split_once(':').ok_or_else(|| err("missing ':'"))?;
+            let (attr, action) = rest.split_once("<-").ok_or_else(|| err("missing '<-'"))?;
+            let constraint = constraint.trim().to_string();
+            let attr = attr.trim().to_string();
+            let action = action.trim();
+            let fix = if action == "most_common" {
+                FixAction::MostCommon { attr }
+            } else if let Some(arg) = action
+                .strip_prefix("most_common_given(")
+                .and_then(|s| s.strip_suffix(')'))
+            {
+                FixAction::MostCommonGiven {
+                    attr,
+                    given: arg.trim().to_string(),
+                }
+            } else if let Some(arg) = action
+                .strip_prefix("const(")
+                .and_then(|s| s.strip_suffix(')'))
+            {
+                let arg = arg.trim();
+                let value = if let Some(s) =
+                    arg.strip_prefix('"').and_then(|s| s.strip_suffix('"'))
+                {
+                    Value::str(s)
+                } else if let Ok(n) = arg.parse::<i64>() {
+                    Value::Int(n)
+                } else if let Ok(x) = arg.parse::<f64>() {
+                    Value::Float(x)
+                } else {
+                    return Err(err("const() takes a quoted string or a number"));
+                };
+                FixAction::SetConstant { attr, value }
+            } else {
+                return Err(err(
+                    "unknown action (expected most_common, most_common_given(Attr), or const(v))",
+                ));
+            };
+            rules.push(Rule::new(constraint, fix));
+        }
+        Ok(RuleRepair::new(rules))
+    }
+}
+
+impl RepairAlgorithm for RuleRepair {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn repair(&self, dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
+        let resolved: Vec<DenialConstraint> = dcs
+            .iter()
+            .map(|dc| {
+                dc.resolved(dirty.schema())
+                    .unwrap_or_else(|e| panic!("cannot resolve constraint: {e}"))
+            })
+            .collect();
+        let mut table = dirty.clone();
+        for _ in 0..self.max_rounds {
+            let mut changed = 0;
+            for dc in &resolved {
+                if let Some(rule) = self.rule_for(&dc.name) {
+                    changed += self.apply_rule(dc, &rule.action, &mut table);
+                }
+            }
+            if changed == 0 {
+                break;
+            }
+        }
+        RepairResult::from_tables(dirty, table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trex_constraints::parse_dcs;
+    use trex_table::TableBuilder;
+
+    /// The paper's running example, reduced: Team→City (C1), City→Country
+    /// (C2), League→Country (C3).
+    fn dcs() -> Vec<DenialConstraint> {
+        parse_dcs(
+            "C1: !(t1.Team = t2.Team & t1.City != t2.City)\n\
+             C2: !(t1.City = t2.City & t1.Country != t2.Country)\n\
+             C3: !(t1.League = t2.League & t1.Country != t2.Country)\n",
+        )
+        .unwrap()
+    }
+
+    fn rules() -> RuleRepair {
+        RuleRepair::new(vec![
+            Rule::new(
+                "C1",
+                FixAction::MostCommon {
+                    attr: "City".into(),
+                },
+            ),
+            Rule::new(
+                "C2",
+                FixAction::MostCommonGiven {
+                    attr: "Country".into(),
+                    given: "City".into(),
+                },
+            ),
+            Rule::new(
+                "C3",
+                FixAction::MostCommon {
+                    attr: "Country".into(),
+                },
+            ),
+        ])
+    }
+
+    fn dirty() -> Table {
+        TableBuilder::new()
+            .str_columns(["Team", "City", "Country", "League"])
+            .str_row(["Barcelona", "Barcelona", "Spain", "La Liga"])
+            .str_row(["Atletico Madrid", "Madrid", "Spain", "La Liga"])
+            .str_row(["Real Madrid", "Madrid", "Spain", "La Liga"])
+            .str_row(["Real Madrid", "Capital", "España", "La Liga"])
+            .build()
+    }
+
+    #[test]
+    fn repairs_the_running_example() {
+        let r = rules().repair(&dcs(), &dirty());
+        let t = &r.clean;
+        let city = t.schema().id("City");
+        let country = t.schema().id("Country");
+        assert_eq!(t.value(3, city), &Value::str("Madrid"));
+        assert_eq!(t.value(3, country), &Value::str("Spain"));
+        assert_eq!(r.changes.len(), 2);
+    }
+
+    #[test]
+    fn c1_fires_before_c2_sequentially() {
+        // Drop C3: the Country repair then depends on C1 having fixed City.
+        let two = &dcs()[..2];
+        let r = rules().repair(two, &dirty());
+        let t = &r.clean;
+        assert_eq!(t.value(3, t.schema().id("City")), &Value::str("Madrid"));
+        assert_eq!(t.value(3, t.schema().id("Country")), &Value::str("Spain"));
+    }
+
+    #[test]
+    fn c2_alone_cannot_repair() {
+        // "Capital" matches no other city, so City→Country never fires.
+        let only_c2 = &dcs()[1..2];
+        let r = rules().repair(only_c2, &dirty());
+        assert!(r.changes.is_empty());
+    }
+
+    #[test]
+    fn c3_alone_repairs_country_but_not_city() {
+        let only_c3 = &dcs()[2..3];
+        let r = rules().repair(only_c3, &dirty());
+        let t = &r.clean;
+        assert_eq!(t.value(3, t.schema().id("City")), &Value::str("Capital"));
+        assert_eq!(t.value(3, t.schema().id("Country")), &Value::str("Spain"));
+    }
+
+    #[test]
+    fn clean_table_is_a_fixpoint() {
+        let r = rules().repair(&dcs(), &dirty());
+        let again = rules().repair(&dcs(), &r.clean);
+        assert!(again.changes.is_empty());
+        assert_eq!(again.clean, r.clean);
+    }
+
+    #[test]
+    fn empty_constraint_set_changes_nothing() {
+        let r = rules().repair(&[], &dirty());
+        assert!(r.changes.is_empty());
+    }
+
+    #[test]
+    fn ties_break_away_from_the_current_value() {
+        // Two rows conflict 1-vs-1: each row's repair prefers the *other*
+        // value (the current one is suspicious), so a single round swaps
+        // them. This is the behaviour Example 2.4's single-witness
+        // coalitions rely on: the witness's value beats the dirty value.
+        let t = TableBuilder::new()
+            .str_columns(["League", "Country"])
+            .str_row(["L", "Spain"])
+            .str_row(["L", "España"])
+            .build();
+        let dcs =
+            parse_dcs("C3: !(t1.League = t2.League & t1.Country != t2.Country)").unwrap();
+        let alg = RuleRepair::new(vec![Rule::new(
+            "C3",
+            FixAction::MostCommon {
+                attr: "Country".into(),
+            },
+        )])
+        .with_max_rounds(1);
+        let r = alg.repair(&dcs, &t);
+        let country = t.schema().id("Country");
+        assert_eq!(r.clean.value(0, country), &Value::str("España"));
+        assert_eq!(r.clean.value(1, country), &Value::str("Spain"));
+        // And the unbounded version is still deterministic.
+        let full = RuleRepair::new(alg.rules.clone());
+        assert_eq!(full.repair(&dcs, &t).clean, full.repair(&dcs, &t).clean);
+    }
+
+    #[test]
+    fn majority_beats_tie_break() {
+        let t = TableBuilder::new()
+            .str_columns(["League", "Country"])
+            .str_row(["L", "Spain"])
+            .str_row(["L", "Spain"])
+            .str_row(["L", "España"])
+            .build();
+        let dcs =
+            parse_dcs("C3: !(t1.League = t2.League & t1.Country != t2.Country)").unwrap();
+        let alg = RuleRepair::new(vec![Rule::new(
+            "C3",
+            FixAction::MostCommon {
+                attr: "Country".into(),
+            },
+        )]);
+        let r = alg.repair(&dcs, &t);
+        assert_eq!(r.changes.len(), 1);
+        assert_eq!(
+            r.clean.value(2, t.schema().id("Country")),
+            &Value::str("Spain")
+        );
+    }
+
+    #[test]
+    fn null_evidence_is_skipped() {
+        let t = TableBuilder::new()
+            .str_columns(["League", "Country"])
+            .str_row(["L", "Spain"])
+            .str_row(["L", ""])
+            .build();
+        // Make row1's Country null, row0 vs row1 do not even violate.
+        let mut t = t;
+        t.set(CellRef::new(1, t.schema().id("Country")), Value::Null);
+        let dcs =
+            parse_dcs("C3: !(t1.League = t2.League & t1.Country != t2.Country)").unwrap();
+        let alg = RuleRepair::new(vec![Rule::new(
+            "C3",
+            FixAction::MostCommon {
+                attr: "Country".into(),
+            },
+        )]);
+        let r = alg.repair(&dcs, &t);
+        assert!(r.changes.is_empty());
+    }
+
+    #[test]
+    fn set_constant_action() {
+        let t = TableBuilder::new()
+            .str_columns(["City"])
+            .str_row(["Capital"])
+            .str_row(["Madrid"])
+            .build();
+        let dcs = parse_dcs("U: !(t1.City = \"Capital\")").unwrap();
+        let alg = RuleRepair::new(vec![Rule::new(
+            "U",
+            FixAction::SetConstant {
+                attr: "City".into(),
+                value: Value::str("Madrid"),
+            },
+        )]);
+        let r = alg.repair(&dcs, &t);
+        assert_eq!(r.changes.len(), 1);
+        assert_eq!(r.clean.value(0, AttrId(0)), &Value::str("Madrid"));
+    }
+
+    #[test]
+    fn constraints_without_rules_are_ignored() {
+        let r = RuleRepair::new(vec![]).repair(&dcs(), &dirty());
+        assert!(r.changes.is_empty());
+    }
+
+    #[test]
+    fn conditional_with_null_given_is_skipped() {
+        let mut t = dirty();
+        let city = t.schema().id("City");
+        t.set(CellRef::new(3, city), Value::Null);
+        // C2 can't condition on a null City; C1's violation also vanishes
+        // (null city). Only C3 fires.
+        let r = rules().repair(&dcs(), &t);
+        let country = t.schema().id("Country");
+        assert_eq!(r.clean.value(3, country), &Value::str("Spain"));
+        // City stays null: C1 has no violation to react to.
+        assert_eq!(r.clean.value(3, city), &Value::Null);
+    }
+
+    #[test]
+    fn max_rounds_bounds_oscillation() {
+        let alg = rules().with_max_rounds(1);
+        // One round is enough for the running example anyway.
+        let r = alg.repair(&dcs(), &dirty());
+        assert_eq!(r.changes.len(), 2);
+    }
+
+    #[test]
+    fn name_is_reported() {
+        assert_eq!(rules().name(), "algorithm1");
+        assert_eq!(rules().with_name("alg1-variant").name(), "alg1-variant");
+    }
+
+    #[test]
+    fn parse_rules_round_trip() {
+        let alg = RuleRepair::parse_rules(
+            "# Algorithm 1\n\
+             C1: City <- most_common\n\
+             C2: Country <- most_common_given(City)\n\
+             U: City <- const(\"Madrid\")\n\
+             N: Place <- const(1)\n",
+        )
+        .unwrap();
+        assert_eq!(alg.rule_for("C1").unwrap().action, FixAction::MostCommon { attr: "City".into() });
+        assert_eq!(
+            alg.rule_for("C2").unwrap().action,
+            FixAction::MostCommonGiven { attr: "Country".into(), given: "City".into() }
+        );
+        assert_eq!(
+            alg.rule_for("U").unwrap().action,
+            FixAction::SetConstant { attr: "City".into(), value: Value::str("Madrid") }
+        );
+        assert_eq!(
+            alg.rule_for("N").unwrap().action,
+            FixAction::SetConstant { attr: "Place".into(), value: Value::int(1) }
+        );
+    }
+
+    #[test]
+    fn parse_rules_reports_errors_with_lines() {
+        let err = RuleRepair::parse_rules("C1: City <- teleport").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unknown action"));
+        let err = RuleRepair::parse_rules("\nCity most_common").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("':'"), "{err}");
+        let err = RuleRepair::parse_rules("C1: City <- const(nope)").unwrap_err();
+        assert!(err.message.contains("const()"));
+    }
+}

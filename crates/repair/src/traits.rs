@@ -1,0 +1,470 @@
+//! The black-box repair interface.
+//!
+//! T-REx "treats the repair algorithm as a black box and only queries it"
+//! (§1): the entire explanation machinery sees a repair algorithm only
+//! through two operations —
+//!
+//! * `Alg(C, T^d) = T^c` — run a full repair ([`RepairAlgorithm::repair`]);
+//! * `Alg|t[A](C, T^d) ∈ {0, 1}` — did the repair set cell `t[A]` to a given
+//!   target value? ([`repairs_cell_to`], §2.1's binary view).
+//!
+//! Shapley computation evaluates the binary view on thousands of coalition
+//! variants of `(C, T^d)`; [`CachedOracle`] memoizes those queries keyed by
+//! `(constraints, table, cell, target)` fingerprints so that coalitions
+//! revisited by different permutation samples are computed once (ablation
+//! A1 of DESIGN.md measures the effect).
+
+use std::cell::RefCell;
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use trex_constraints::DenialConstraint;
+use trex_table::{CellChange, CellRef, Table, Value};
+
+/// The output of one repair run: the clean table and the cell-level diff.
+#[derive(Debug, Clone)]
+pub struct RepairResult {
+    /// The repaired table `T^c`.
+    pub clean: Table,
+    /// The repaired cells (`dirty → clean` diff), in cell order.
+    pub changes: Vec<CellChange>,
+}
+
+impl RepairResult {
+    /// Build a result from the dirty table and its repaired copy, computing
+    /// the diff.
+    pub fn from_tables(dirty: &Table, clean: Table) -> Self {
+        let changes = trex_table::diff(dirty, &clean);
+        RepairResult { clean, changes }
+    }
+
+    /// The change applied to `cell`, if any.
+    pub fn change_at(&self, cell: CellRef) -> Option<&CellChange> {
+        self.changes.iter().find(|c| c.cell == cell)
+    }
+}
+
+/// A table-repair algorithm, as the paper's `Alg : (C, T^d) → T^c`.
+///
+/// Implementations must be deterministic functions of their inputs
+/// (randomized repairers should fix their seed per instance): Shapley values
+/// of a non-deterministic characteristic function are not well defined, and
+/// the memoizing oracle assumes query stability.
+///
+/// Implementations never mutate the input and never add/remove rows — the
+/// paper's repair model is cell updates only.
+pub trait RepairAlgorithm {
+    /// A short identifier for reports and experiment output.
+    fn name(&self) -> &str;
+
+    /// Run a full repair of `dirty` under the constraint set `dcs`.
+    ///
+    /// `dcs` may be unresolved; implementations resolve names against
+    /// `dirty.schema()` themselves. Constraints mentioning attributes that
+    /// do not exist in the schema are a caller bug and may panic.
+    fn repair(&self, dcs: &[DenialConstraint], dirty: &Table) -> RepairResult;
+}
+
+/// The binary view `Alg|t[A](C, T^d)` of §2.1: `true` iff running the repair
+/// changes `cell` from its (different) dirty value to exactly `target`.
+///
+/// When the dirty value already equals `target`, the answer is `false` — the
+/// paper's `1` signals "the value *is repaired* to `t^c[A]`", which requires
+/// a change.
+pub fn repairs_cell_to(
+    alg: &dyn RepairAlgorithm,
+    dcs: &[DenialConstraint],
+    dirty: &Table,
+    cell: CellRef,
+    target: &Value,
+) -> bool {
+    if dirty.get(cell) == target {
+        return false;
+    }
+    let result = alg.repair(dcs, dirty);
+    result.clean.get(cell) == target
+}
+
+fn hash_dcs(dcs: &[DenialConstraint]) -> u64 {
+    let mut h = DefaultHasher::new();
+    dcs.len().hash(&mut h);
+    for dc in dcs {
+        dc.to_string().hash(&mut h);
+    }
+    h.finish()
+}
+
+fn hash_value(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Cache statistics of a [`CachedOracle`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Queries answered from the cache.
+    pub hits: usize,
+    /// Queries that ran the underlying repair.
+    pub misses: usize,
+}
+
+impl OracleStats {
+    /// Total queries.
+    pub fn total(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// Fraction of queries served from cache (0 when no queries).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// A memoizing wrapper around the binary repair oracle.
+///
+/// Keys are `(dcs, table, cell, target)` fingerprints. The cache is bounded:
+/// once `capacity` entries are stored, further distinct queries are computed
+/// but not inserted (coalition spaces are enormous; an unbounded cache could
+/// eat the heap during long sampling runs).
+pub struct CachedOracle<'a> {
+    alg: &'a dyn RepairAlgorithm,
+    capacity: usize,
+    cache: RefCell<HashMap<(u64, u64, CellRef, u64), bool>>,
+    stats: RefCell<OracleStats>,
+}
+
+impl<'a> CachedOracle<'a> {
+    /// Default cache capacity (entries).
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Wrap `alg` with the default capacity.
+    pub fn new(alg: &'a dyn RepairAlgorithm) -> Self {
+        Self::with_capacity(alg, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Wrap `alg` with an explicit cache capacity.
+    pub fn with_capacity(alg: &'a dyn RepairAlgorithm, capacity: usize) -> Self {
+        CachedOracle {
+            alg,
+            capacity,
+            cache: RefCell::new(HashMap::new()),
+            stats: RefCell::new(OracleStats::default()),
+        }
+    }
+
+    /// The underlying algorithm.
+    pub fn algorithm(&self) -> &dyn RepairAlgorithm {
+        self.alg
+    }
+
+    /// Memoized `Alg|cell(dcs, table) == target` query.
+    pub fn repairs_cell_to(
+        &self,
+        dcs: &[DenialConstraint],
+        table: &Table,
+        cell: CellRef,
+        target: &Value,
+    ) -> bool {
+        let key = (hash_dcs(dcs), table.fingerprint(), cell, hash_value(target));
+        if let Some(hit) = self.cache.borrow().get(&key) {
+            self.stats.borrow_mut().hits += 1;
+            return *hit;
+        }
+        let answer = repairs_cell_to(self.alg, dcs, table, cell, target);
+        self.stats.borrow_mut().misses += 1;
+        let mut cache = self.cache.borrow_mut();
+        if cache.len() < self.capacity {
+            if let Entry::Vacant(e) = cache.entry(key) {
+                e.insert(answer);
+            }
+        }
+        answer
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> OracleStats {
+        *self.stats.borrow()
+    }
+
+    /// Drop all cached entries and reset statistics.
+    pub fn clear(&self) {
+        self.cache.borrow_mut().clear();
+        *self.stats.borrow_mut() = OracleStats::default();
+    }
+}
+
+/// Failure-isolation wrapper: catches panics in the wrapped algorithm and
+/// degrades to "no repair" (identity) for that query.
+///
+/// The Shapley engines feed black boxes thousands of *weird* coalition
+/// tables (mostly-null, mixed-type after random replacement); a brittle
+/// third-party repairer must not take the whole explanation down. A panic
+/// maps to the clean answer "this coalition repairs nothing", which is the
+/// conservative reading — and the number of caught panics is reported so
+/// callers can decide whether the explanation is trustworthy.
+pub struct PanicGuard<A> {
+    inner: A,
+    panics: std::cell::Cell<usize>,
+}
+
+impl<A: RepairAlgorithm> PanicGuard<A> {
+    /// Wrap an algorithm.
+    pub fn new(inner: A) -> Self {
+        PanicGuard {
+            inner,
+            panics: std::cell::Cell::new(0),
+        }
+    }
+
+    /// How many repair invocations panicked so far.
+    pub fn panic_count(&self) -> usize {
+        self.panics.get()
+    }
+
+    /// The wrapped algorithm.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: RepairAlgorithm> RepairAlgorithm for PanicGuard<A> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn repair(&self, dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
+        // The panic counter (a Cell) is only touched after the unwind is
+        // caught, so asserting unwind safety over the closure is sound.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.inner.repair(dcs, dirty)
+        }));
+        match result {
+            Ok(r) => r,
+            Err(_) => {
+                self.panics.set(self.panics.get() + 1);
+                RepairResult {
+                    clean: dirty.clone(),
+                    changes: Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+/// A trivial repair algorithm that changes nothing — the identity black box.
+/// Useful as a degenerate case in tests: every Shapley value it induces is 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOpRepair;
+
+impl RepairAlgorithm for NoOpRepair {
+    fn name(&self) -> &str {
+        "noop"
+    }
+
+    fn repair(&self, _dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
+        RepairResult {
+            clean: dirty.clone(),
+            changes: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use trex_table::{AttrId, TableBuilder};
+
+    /// Test double: repairs cell (0,0) to "FIXED" iff at least `need` DCs
+    /// are passed; counts invocations.
+    struct CountingRepair {
+        need: usize,
+        calls: Cell<usize>,
+    }
+
+    impl RepairAlgorithm for CountingRepair {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn repair(&self, dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
+            self.calls.set(self.calls.get() + 1);
+            let mut clean = dirty.clone();
+            if dcs.len() >= self.need {
+                clean.set(CellRef::new(0, AttrId(0)), Value::str("FIXED"));
+            }
+            RepairResult::from_tables(dirty, clean)
+        }
+    }
+
+    fn table() -> Table {
+        TableBuilder::new()
+            .str_columns(["A"])
+            .str_row(["dirty"])
+            .build()
+    }
+
+    fn dc() -> DenialConstraint {
+        trex_constraints::parse_dc("!(t1.A != t2.A)").unwrap()
+    }
+
+    #[test]
+    fn repairs_cell_to_checks_target() {
+        let alg = CountingRepair {
+            need: 1,
+            calls: Cell::new(0),
+        };
+        let t = table();
+        let cell = CellRef::new(0, AttrId(0));
+        assert!(repairs_cell_to(&alg, &[dc()], &t, cell, &Value::str("FIXED")));
+        assert!(!repairs_cell_to(&alg, &[dc()], &t, cell, &Value::str("OTHER")));
+        assert!(!repairs_cell_to(&alg, &[], &t, cell, &Value::str("FIXED")));
+    }
+
+    #[test]
+    fn already_target_counts_as_not_repaired() {
+        let alg = NoOpRepair;
+        let t = table();
+        let cell = CellRef::new(0, AttrId(0));
+        assert!(!repairs_cell_to(&alg, &[], &t, cell, &Value::str("dirty")));
+    }
+
+    #[test]
+    fn cached_oracle_deduplicates() {
+        let alg = CountingRepair {
+            need: 1,
+            calls: Cell::new(0),
+        };
+        let oracle = CachedOracle::new(&alg);
+        let t = table();
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        for _ in 0..5 {
+            assert!(oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED")));
+        }
+        assert_eq!(alg.calls.get(), 1);
+        let stats = oracle.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 4);
+        assert!((stats.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_keys_distinguish_inputs() {
+        let alg = CountingRepair {
+            need: 1,
+            calls: Cell::new(0),
+        };
+        let oracle = CachedOracle::new(&alg);
+        let t = table();
+        let mut t2 = t.clone();
+        t2.set(CellRef::new(0, AttrId(0)), Value::str("other"));
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        let _ = oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED"));
+        let _ = oracle.repairs_cell_to(&dcs, &t2, cell, &Value::str("FIXED"));
+        let _ = oracle.repairs_cell_to(&[], &t, cell, &Value::str("FIXED"));
+        // Three distinct inputs → three misses, three underlying runs.
+        assert_eq!(alg.calls.get(), 3);
+        assert_eq!(oracle.stats().misses, 3);
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let alg = CountingRepair {
+            need: 1,
+            calls: Cell::new(0),
+        };
+        let oracle = CachedOracle::with_capacity(&alg, 0);
+        let t = table();
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        for _ in 0..3 {
+            let _ = oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED"));
+        }
+        assert_eq!(alg.calls.get(), 3);
+        assert_eq!(oracle.stats().hits, 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let alg = CountingRepair {
+            need: 1,
+            calls: Cell::new(0),
+        };
+        let oracle = CachedOracle::new(&alg);
+        let t = table();
+        let cell = CellRef::new(0, AttrId(0));
+        let _ = oracle.repairs_cell_to(&[dc()], &t, cell, &Value::str("FIXED"));
+        oracle.clear();
+        assert_eq!(oracle.stats(), OracleStats::default());
+        let _ = oracle.repairs_cell_to(&[dc()], &t, cell, &Value::str("FIXED"));
+        assert_eq!(alg.calls.get(), 2);
+    }
+
+    /// A repairer that panics whenever the table contains a null — the kind
+    /// of brittleness coalition tables provoke.
+    struct Brittle;
+
+    impl RepairAlgorithm for Brittle {
+        fn name(&self) -> &str {
+            "brittle"
+        }
+        fn repair(&self, _dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
+            assert!(
+                dirty.cells_with_values().all(|(_, v)| !v.is_null()),
+                "brittle repairer cannot handle nulls"
+            );
+            let mut clean = dirty.clone();
+            clean.set(CellRef::new(0, AttrId(0)), Value::str("FIXED"));
+            RepairResult::from_tables(dirty, clean)
+        }
+    }
+
+    #[test]
+    fn panic_guard_degrades_to_identity() {
+        let guard = PanicGuard::new(Brittle);
+        let ok = table();
+        let r = guard.repair(&[], &ok);
+        assert_eq!(r.changes.len(), 1);
+        assert_eq!(guard.panic_count(), 0);
+
+        let mut with_null = table();
+        with_null.set(CellRef::new(0, AttrId(0)), Value::Null);
+        // Silence the default panic hook for this expected panic.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = guard.repair(&[], &with_null);
+        std::panic::set_hook(prev);
+        assert!(r.changes.is_empty());
+        assert_eq!(r.clean, with_null);
+        assert_eq!(guard.panic_count(), 1);
+        assert_eq!(guard.name(), "brittle");
+        assert_eq!(guard.inner().name(), "brittle");
+    }
+
+    #[test]
+    fn noop_repair_is_identity() {
+        let t = table();
+        let r = NoOpRepair.repair(&[dc()], &t);
+        assert_eq!(r.clean, t);
+        assert!(r.changes.is_empty());
+        assert_eq!(NoOpRepair.name(), "noop");
+    }
+
+    #[test]
+    fn repair_result_change_at() {
+        let t = table();
+        let mut clean = t.clone();
+        let cell = CellRef::new(0, AttrId(0));
+        clean.set(cell, Value::str("x"));
+        let r = RepairResult::from_tables(&t, clean);
+        assert_eq!(r.changes.len(), 1);
+        assert!(r.change_at(cell).is_some());
+        assert_eq!(r.change_at(cell).unwrap().to, Value::str("x"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Shapley interaction indices.
+//!
+//! The paper's Example 2.3 observes that C1 and C2 "contributed, **as a
+//! pair**, half that of C3" — the two constraints only matter together
+//! (City must be fixed before the City→Country rule can fire). Individual
+//! Shapley values cannot express this complementarity; the *Shapley
+//! interaction index* of Grabisch & Roubens does:
+//!
+//! ```text
+//! I(i,j) = Σ_{S ⊆ N\{i,j}}  |S|!(n−|S|−2)!/(n−1)!  · Δ_{ij} v(S)
+//! Δ_{ij} v(S) = v(S∪{i,j}) − v(S∪{i}) − v(S∪{j}) + v(S)
+//! ```
+//!
+//! `I(i,j) > 0` means complementary players (like C1, C2), `< 0`
+//! substitutes (like C3 with either of them — each makes the other less
+//! necessary), `0` independence. The `exp_interaction` harness computes
+//! these for the paper's constraint game.
+
+use crate::exact::{ExactError, MAX_EXACT_PLAYERS};
+use crate::game::{Coalition, Game};
+
+/// Exact pairwise Shapley interaction index `I(i, j)` for all pairs, by
+/// subset enumeration. Returns an `n × n` symmetric matrix with zero
+/// diagonal (the self-interaction slot is unused).
+pub fn shapley_interaction_exact<G: Game + ?Sized>(game: &G) -> Result<Vec<Vec<f64>>, ExactError> {
+    let n = game.num_players();
+    if n > MAX_EXACT_PLAYERS {
+        return Err(ExactError::TooManyPlayers {
+            n,
+            limit: MAX_EXACT_PLAYERS,
+        });
+    }
+    if n < 2 {
+        return Ok(vec![vec![0.0; n]; n]);
+    }
+    let size = 1usize << n;
+    let mut values = vec![0.0f64; size];
+    for (mask, slot) in values.iter_mut().enumerate() {
+        *slot = game.value(&Coalition::from_mask(n, mask as u64));
+    }
+    // factorials up to n
+    let mut fact = vec![1.0f64; n + 1];
+    for i in 1..=n {
+        fact[i] = fact[i - 1] * i as f64;
+    }
+    let mut out = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut total = 0.0;
+            let pair = (1usize << i) | (1usize << j);
+            for mask in 0..size {
+                if mask & pair != 0 {
+                    continue; // S must exclude both
+                }
+                let s = (mask as u64).count_ones() as usize;
+                let weight = fact[s] * fact[n - s - 2] / fact[n - 1];
+                let delta = values[mask | pair] - values[mask | (1 << i)]
+                    - values[mask | (1 << j)]
+                    + values[mask];
+                total += weight * delta;
+            }
+            out[i][j] = total;
+            out[j][i] = total;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::fixtures;
+
+    #[test]
+    fn additive_games_have_zero_interaction() {
+        let g = fixtures::additive(vec![1.0, 2.0, 3.0]);
+        let m = shapley_interaction_exact(&g).unwrap();
+        for row in &m {
+            for v in row {
+                assert!(v.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn unanimity_pair_is_complementary() {
+        // v = 1 iff {0,1} ⊆ S: the two carriers are pure complements.
+        let g = fixtures::unanimity(3, vec![0, 1]);
+        let m = shapley_interaction_exact(&g).unwrap();
+        assert!(m[0][1] > 0.0);
+        // Player 2 is a dummy: zero interaction with everyone.
+        assert!(m[0][2].abs() < 1e-12);
+        assert!(m[1][2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_game_interactions_match_the_papers_story() {
+        // C1, C2 are complements (the pair carries the C1∧C2 route); C3 is
+        // a substitute for each of them (it repairs alone).
+        let g = fixtures::paper_example_2_3();
+        let m = shapley_interaction_exact(&g).unwrap();
+        assert!(m[0][1] > 0.0, "C1×C2 should be complementary: {}", m[0][1]);
+        assert!(m[0][2] < 0.0, "C1×C3 should be substitutes: {}", m[0][2]);
+        assert!(m[1][2] < 0.0, "C2×C3 should be substitutes: {}", m[1][2]);
+        // C4 is a dummy: zero interaction across the board.
+        for k in 0..3 {
+            assert!(m[k][3].abs() < 1e-12);
+        }
+        // Symmetry of the matrix and of the symmetric players C1/C2.
+        assert_eq!(m[0][2], m[2][0]);
+        assert!((m[0][2] - m[1][2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gloves_left_right_interaction_positive() {
+        // A left and a right glove complement each other.
+        let g = fixtures::gloves(1, 1);
+        let m = shapley_interaction_exact(&g).unwrap();
+        assert!(m[0][1] > 0.0);
+    }
+
+    #[test]
+    fn small_games_are_fine_large_rejected() {
+        let g0 = crate::game::FnGame::new(1, |_: &Coalition| 0.0);
+        assert_eq!(shapley_interaction_exact(&g0).unwrap(), vec![vec![0.0]]);
+        let g = crate::game::FnGame::new(30, |_: &Coalition| 0.0);
+        assert!(shapley_interaction_exact(&g).is_err());
+    }
+}

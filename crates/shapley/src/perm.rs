@@ -1,0 +1,131 @@
+//! Exact Shapley values by permutation enumeration — a reference
+//! implementation.
+//!
+//! The Shapley value has an equivalent form as the average marginal
+//! contribution over all `n!` player orderings:
+//!
+//! ```text
+//! Shap(i) = 1/n! · Σ_{π ∈ S_n} ( v(pred_π(i) ∪ {i}) − v(pred_π(i)) )
+//! ```
+//!
+//! Enumerating `n!` permutations is hopeless beyond `n ≈ 10`, but it is an
+//! *independent* derivation from the subset-enumeration solver in
+//! [`crate::exact`], which makes it a high-value cross-check: the two
+//! solvers agreeing on random games (see the property tests in `lib.rs`)
+//! guards against weight-formula bugs that a single implementation's unit
+//! tests would miss. It is also the exact counterpart of the sampling
+//! estimator in [`crate::sampling`], which averages the same summand over
+//! random `π` instead of all of them.
+
+use crate::game::{Coalition, Game};
+
+/// Hard cap: `10! = 3.6M` permutations, each costing `n` evaluations.
+pub const MAX_PERM_PLAYERS: usize = 10;
+
+/// Exact Shapley values by enumerating all `n!` permutations.
+///
+/// # Panics
+/// Panics if `n > MAX_PERM_PLAYERS` — this is a reference solver for tests,
+/// not a production path, so misuse should fail loudly.
+pub fn shapley_permutation_exact<G: Game + ?Sized>(game: &G) -> Vec<f64> {
+    let n = game.num_players();
+    assert!(
+        n <= MAX_PERM_PLAYERS,
+        "permutation enumeration over {n} players ({}! orders) is not feasible",
+        n
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut phi = vec![0.0f64; n];
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut count = 0u64;
+
+    // Heap's algorithm, iterative.
+    let mut c = vec![0usize; n];
+    loop {
+        // Walk this permutation: incremental coalition, n evaluations.
+        let mut s = Coalition::empty(n);
+        let mut prev = game.value(&s);
+        for &p in &perm {
+            s.insert(p);
+            let cur = game.value(&s);
+            phi[p] += cur - prev;
+            prev = cur;
+        }
+        count += 1;
+
+        // Next permutation (Heap).
+        let mut i = 0;
+        loop {
+            if i >= n {
+                let total = count as f64;
+                for v in &mut phi {
+                    *v /= total;
+                }
+                debug_assert_eq!(count, (1..=n as u64).product::<u64>());
+                return phi;
+            }
+            if c[i] < i {
+                if i % 2 == 0 {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(c[i], i);
+                }
+                c[i] += 1;
+                break;
+            }
+            c[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::shapley_exact;
+    use crate::game::fixtures;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-10, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_subset_enumeration_on_fixtures() {
+        let games: Vec<Box<dyn Game>> = vec![
+            Box::new(fixtures::unanimity(5, vec![0, 4])),
+            Box::new(fixtures::majority(5)),
+            Box::new(fixtures::gloves(2, 3)),
+            Box::new(fixtures::paper_example_2_3()),
+            Box::new(fixtures::additive(vec![1.0, -2.0, 0.25, 7.5])),
+        ];
+        for g in &games {
+            let a = shapley_exact(g.as_ref()).unwrap();
+            let b = shapley_permutation_exact(g.as_ref());
+            assert_close(&a, &b);
+        }
+    }
+
+    #[test]
+    fn empty_game() {
+        let g = crate::game::FnGame::new(0, |_: &Coalition| 0.0);
+        assert!(shapley_permutation_exact(&g).is_empty());
+    }
+
+    #[test]
+    fn single_player_gets_grand_value() {
+        let g = crate::game::FnGame::new(1, |s: &Coalition| if s.contains(0) { 3.5 } else { 0.0 });
+        assert_close(&shapley_permutation_exact(&g), &[3.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not feasible")]
+    fn refuses_large_games() {
+        let g = crate::game::FnGame::new(11, |_: &Coalition| 0.0);
+        let _ = shapley_permutation_exact(&g);
+    }
+}

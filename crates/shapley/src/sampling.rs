@@ -1,0 +1,349 @@
+//! Monte-Carlo Shapley approximation by permutation sampling.
+//!
+//! Implements the estimator of Strumbelj & Kononenko ([7] in the paper),
+//! which T-REx uses for **table cells** — "the number of cells in a table
+//! can be very large, so T-REx uses a sampling algorithm based on [7]"
+//! (§2.3). One sample for player `i` (Example 2.5):
+//!
+//! 1. draw a uniformly random permutation `π` of the players;
+//! 2. let `S = pred_π(i)`, the players preceding `i` in `π`;
+//! 3. evaluate the marginal pair `(v(S ∪ {i}), v(S))` — for the cell game
+//!    this builds *one* replacement table and toggles only cell `i` between
+//!    the two instances (common random numbers);
+//! 4. accumulate `v(S∪{i}) − v(S)`; the estimate is the running mean `ϕ/m`.
+//!
+//! Since each summand is the marginal term of the permutation form of the
+//! Shapley value (see [`crate::perm`]), the estimator is unbiased; variance
+//! decays as `1/m` (experiment E5 measures this empirically).
+//!
+//! [`estimate_all_walk`] is the all-players variant (Castro et al. style):
+//! one permutation walk yields a marginal sample for *every* player at the
+//! cost of `n+1` evaluations, which amortizes much better when the whole
+//! ranking is wanted — that is what the explanation screen shows.
+
+use crate::convergence::RunningStats;
+use crate::game::{Coalition, Game, StochasticGame};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the sampling estimators.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingConfig {
+    /// Number of Monte-Carlo samples (`m` in Example 2.5). For
+    /// [`estimate_all_walk`] this is the number of permutations.
+    pub samples: usize,
+    /// RNG seed; all estimates are deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            samples: 1000,
+            seed: 0,
+        }
+    }
+}
+
+/// A Monte-Carlo estimate with its sampling distribution summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The estimated Shapley value (mean marginal contribution).
+    pub value: f64,
+    /// Sample standard deviation of the marginal contributions.
+    pub std_dev: f64,
+    /// Number of samples used.
+    pub samples: usize,
+}
+
+impl Estimate {
+    /// Standard error of the mean, `s/√m`.
+    pub fn std_error(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.std_dev / (self.samples as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation confidence half-width at `z` standard errors
+    /// (`z = 1.96` for 95%).
+    pub fn ci_half_width(&self, z: f64) -> f64 {
+        z * self.std_error()
+    }
+}
+
+fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Estimate the Shapley value of a single `player` with `config.samples`
+/// permutation samples — the exact procedure of Example 2.5.
+pub fn estimate_player<G: StochasticGame + ?Sized>(
+    game: &G,
+    player: usize,
+    config: SamplingConfig,
+) -> Estimate {
+    let n = game.num_players();
+    assert!(player < n, "player {player} out of range ({n} players)");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut stats = RunningStats::new();
+    for _ in 0..config.samples {
+        let perm = random_permutation(n, &mut rng);
+        let mut coalition = Coalition::empty(n);
+        for &p in &perm {
+            if p == player {
+                break;
+            }
+            coalition.insert(p);
+        }
+        let (with, without) = game.eval_pair(&coalition, player, &mut rng);
+        stats.push(with - without);
+    }
+    Estimate {
+        value: stats.mean(),
+        std_dev: stats.std_dev(),
+        samples: stats.count(),
+    }
+}
+
+/// Estimate all players independently (`config.samples` samples each).
+///
+/// Each player gets a distinct derived seed, so estimates are independent
+/// and the whole call is deterministic.
+pub fn estimate_all<G: StochasticGame + ?Sized>(
+    game: &G,
+    config: SamplingConfig,
+) -> Vec<Estimate> {
+    (0..game.num_players())
+        .map(|p| {
+            estimate_player(
+                game,
+                p,
+                SamplingConfig {
+                    samples: config.samples,
+                    seed: config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(p as u64 + 1)),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Estimate all players with shared permutation walks: each of
+/// `config.samples` permutations is walked once, contributing one marginal
+/// sample to every player with `n + 1` evaluations total.
+///
+/// Only available for deterministic games: a walk shares the coalition
+/// between players, so per-pair common random numbers do not apply.
+pub fn estimate_all_walk<G: Game + ?Sized>(game: &G, config: SamplingConfig) -> Vec<Estimate> {
+    let n = game.num_players();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut stats = vec![RunningStats::new(); n];
+    for _ in 0..config.samples {
+        let perm = random_permutation(n, &mut rng);
+        let mut s = Coalition::empty(n);
+        let mut prev = game.value(&s);
+        for &p in &perm {
+            s.insert(p);
+            let cur = game.value(&s);
+            stats[p].push(cur - prev);
+            prev = cur;
+        }
+    }
+    stats
+        .into_iter()
+        .map(|st| Estimate {
+            value: st.mean(),
+            std_dev: st.std_dev(),
+            samples: st.count(),
+        })
+        .collect()
+}
+
+/// Adaptive estimation of one player: keep sampling in `batch`-sized chunks
+/// until the `z`-confidence half-width drops below `tolerance` or
+/// `max_samples` is reached. Returns the estimate and whether it converged.
+pub fn estimate_player_adaptive<G: StochasticGame + ?Sized>(
+    game: &G,
+    player: usize,
+    tolerance: f64,
+    z: f64,
+    batch: usize,
+    max_samples: usize,
+    seed: u64,
+) -> (Estimate, bool) {
+    let n = game.num_players();
+    assert!(player < n, "player {player} out of range");
+    assert!(batch > 0, "batch must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = RunningStats::new();
+    loop {
+        for _ in 0..batch {
+            let perm = random_permutation(n, &mut rng);
+            let mut coalition = Coalition::empty(n);
+            for &p in &perm {
+                if p == player {
+                    break;
+                }
+                coalition.insert(p);
+            }
+            let (with, without) = game.eval_pair(&coalition, player, &mut rng);
+            stats.push(with - without);
+        }
+        let est = Estimate {
+            value: stats.mean(),
+            std_dev: stats.std_dev(),
+            samples: stats.count(),
+        };
+        // Require at least two batches before trusting the variance.
+        if stats.count() >= 2 * batch && est.ci_half_width(z) <= tolerance {
+            return (est, true);
+        }
+        if stats.count() >= max_samples {
+            return (est, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::shapley_exact;
+    use crate::game::{fixtures, FnGame};
+
+    #[test]
+    fn estimates_converge_to_exact_on_gloves() {
+        let g = fixtures::gloves(2, 3);
+        let exact = shapley_exact(&g).unwrap();
+        let cfg = SamplingConfig {
+            samples: 20_000,
+            seed: 11,
+        };
+        for (p, want) in exact.iter().enumerate() {
+            let est = estimate_player(&g, p, cfg);
+            assert!(
+                (est.value - want).abs() < 0.02,
+                "player {p}: {} vs {want}",
+                est.value
+            );
+        }
+    }
+
+    #[test]
+    fn walk_estimates_converge_and_are_efficient() {
+        let g = fixtures::paper_example_2_3();
+        let exact = shapley_exact(&g).unwrap();
+        let ests = estimate_all_walk(
+            &g,
+            SamplingConfig {
+                samples: 30_000,
+                seed: 5,
+            },
+        );
+        for (est, want) in ests.iter().zip(&exact) {
+            assert!((est.value - want).abs() < 0.02);
+        }
+        // Permutation walks are exactly efficient *per sample*: the marginals
+        // along one permutation telescope to v(N) - v(∅). So the means sum to
+        // v(N) exactly (up to fp).
+        let total: f64 = ests.iter().map(|e| e.value).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn dummy_player_estimates_to_zero_exactly() {
+        // Player 3 in the paper game is a dummy: every marginal is 0, so
+        // even the *sampled* estimate is exactly 0 with zero variance.
+        let g = fixtures::paper_example_2_3();
+        let est = estimate_player(
+            &g,
+            3,
+            SamplingConfig {
+                samples: 500,
+                seed: 3,
+            },
+        );
+        assert_eq!(est.value, 0.0);
+        assert_eq!(est.std_dev, 0.0);
+        assert_eq!(est.ci_half_width(1.96), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = fixtures::majority(7);
+        let cfg = SamplingConfig {
+            samples: 200,
+            seed: 42,
+        };
+        let a = estimate_player(&g, 2, cfg);
+        let b = estimate_player(&g, 2, cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_shrinks_with_sample_count() {
+        let g = fixtures::gloves(3, 3);
+        let exact = shapley_exact(&g).unwrap();
+        let err = |m: usize| {
+            let est = estimate_player(
+                &g,
+                0,
+                SamplingConfig {
+                    samples: m,
+                    seed: 99,
+                },
+            );
+            (est.value - exact[0]).abs()
+        };
+        // Not strictly monotone, but 100x samples should clearly beat 1x.
+        assert!(err(40_000) < err(400) + 1e-9);
+    }
+
+    #[test]
+    fn adaptive_stops_when_tight() {
+        let g = fixtures::unanimity(6, vec![0, 1, 2]);
+        let (est, converged) =
+            estimate_player_adaptive(&g, 0, 0.02, 1.96, 500, 200_000, 7);
+        assert!(converged);
+        assert!((est.value - 1.0 / 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn adaptive_reports_non_convergence() {
+        let g = fixtures::gloves(2, 2);
+        let (_est, converged) = estimate_player_adaptive(&g, 0, 1e-9, 1.96, 10, 50, 7);
+        assert!(!converged);
+    }
+
+    #[test]
+    fn single_player_game() {
+        let g = FnGame::new(1, |s: &Coalition| if s.contains(0) { 2.0 } else { 0.0 });
+        let est = estimate_player(
+            &g,
+            0,
+            SamplingConfig {
+                samples: 10,
+                seed: 0,
+            },
+        );
+        assert_eq!(est.value, 2.0);
+        assert_eq!(est.std_dev, 0.0);
+    }
+
+    #[test]
+    fn std_error_math() {
+        let e = Estimate {
+            value: 1.0,
+            std_dev: 2.0,
+            samples: 100,
+        };
+        assert!((e.std_error() - 0.2).abs() < 1e-12);
+        assert!((e.ci_half_width(1.96) - 0.392).abs() < 1e-12);
+    }
+}

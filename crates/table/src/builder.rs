@@ -1,0 +1,135 @@
+//! Ergonomic table construction for tests, examples, and generators.
+
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::{DType, Value};
+
+/// Fluent builder: declare columns, then push rows of `Into<Value>` items.
+///
+/// ```
+/// use trex_table::{TableBuilder, DType, Value};
+/// let t = TableBuilder::new()
+///     .column("Team", DType::Str)
+///     .column("Year", DType::Int)
+///     .row(["Real Madrid".into(), Value::int(2019)])
+///     .row([Value::from("Barcelona"), 2019i64.into()])
+///     .build();
+/// assert_eq!(t.num_rows(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    columns: Vec<(String, DType)>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl TableBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a column. All columns must be declared before the first row.
+    ///
+    /// # Panics
+    /// Panics if called after a row has been pushed.
+    pub fn column(mut self, name: impl Into<String>, dtype: DType) -> Self {
+        assert!(
+            self.rows.is_empty(),
+            "declare all columns before pushing rows"
+        );
+        self.columns.push((name.into(), dtype));
+        self
+    }
+
+    /// Declare several string columns at once.
+    pub fn str_columns<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for n in names {
+            self = self.column(n, DType::Str);
+        }
+        self
+    }
+
+    /// Push a row.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn row<I>(mut self, values: I) -> Self
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let row: Vec<Value> = values.into_iter().collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity {} != declared columns {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Push a row of string cells.
+    pub fn str_row<I, S>(self, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.row(values.into_iter().map(|s| Value::Str(s.into())))
+    }
+
+    /// Finish, producing the table.
+    pub fn build(self) -> Table {
+        let schema = Schema::new(self.columns);
+        Table::from_rows(schema, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+
+    #[test]
+    fn builds_mixed_types() {
+        let t = TableBuilder::new()
+            .column("A", DType::Str)
+            .column("N", DType::Int)
+            .row([Value::str("x"), Value::int(1)])
+            .build();
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.value(0, AttrId(1)), &Value::int(1));
+    }
+
+    #[test]
+    fn str_rows_shortcut() {
+        let t = TableBuilder::new()
+            .str_columns(["A", "B"])
+            .str_row(["x", "y"])
+            .str_row(["p", "q"])
+            .build();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(1, AttrId(0)), &Value::str("p"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let _ = TableBuilder::new()
+            .str_columns(["A", "B"])
+            .str_row(["only-one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before pushing rows")]
+    fn columns_frozen_after_rows() {
+        let _ = TableBuilder::new()
+            .column("A", DType::Str)
+            .str_row(["x"])
+            .column("B", DType::Str);
+    }
+}

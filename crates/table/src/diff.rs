@@ -1,0 +1,137 @@
+//! Table diffs.
+//!
+//! A repair algorithm maps `T^d` to `T^c`; the diff between them is the set
+//! of *repaired cells* — the blue cells of Figure 2b. Diffs are the unit the
+//! explanation layer works with: the user selects one [`CellChange`] to
+//! explain, and repair-quality metrics compare a diff against a ground-truth
+//! diff.
+
+use crate::table::{CellRef, Table};
+use crate::value::Value;
+use std::fmt;
+
+/// One repaired cell: where, and the before/after values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellChange {
+    /// The cell that changed.
+    pub cell: CellRef,
+    /// Value in the dirty table `T^d`.
+    pub from: Value,
+    /// Value in the clean table `T^c`.
+    pub to: Value,
+}
+
+impl fmt::Display for CellChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} → {}", self.cell, self.from, self.to)
+    }
+}
+
+/// Compute the cell-level diff `dirty → clean`.
+///
+/// Both tables must have the same shape (same arity and row count); repair
+/// algorithms in this workspace never add or drop rows, matching the paper's
+/// cell-update repair model.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn diff(dirty: &Table, clean: &Table) -> Vec<CellChange> {
+    assert_eq!(dirty.arity(), clean.arity(), "arity mismatch in diff");
+    assert_eq!(
+        dirty.num_rows(),
+        clean.num_rows(),
+        "row count mismatch in diff"
+    );
+    let mut out = Vec::new();
+    for cell in dirty.cells() {
+        let a = dirty.get(cell);
+        let b = clean.get(cell);
+        if a != b {
+            out.push(CellChange {
+                cell,
+                from: a.clone(),
+                to: b.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Apply a diff to a copy of `table`.
+pub fn apply(table: &Table, changes: &[CellChange]) -> Table {
+    let mut out = table.clone();
+    for ch in changes {
+        out.set(ch.cell, ch.to.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrId, Schema};
+    use crate::value::DType;
+
+    fn t(vals: &[&str]) -> Table {
+        let schema = Schema::new([("A", DType::Str), ("B", DType::Str)]);
+        Table::from_rows(
+            schema,
+            vals.chunks(2)
+                .map(|c| vec![Value::str(c[0]), Value::str(c[1])])
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn diff_finds_changed_cells() {
+        let a = t(&["x", "y", "p", "q"]);
+        let b = t(&["x", "z", "p", "q"]);
+        let d = diff(&a, &b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].cell, CellRef::new(0, AttrId(1)));
+        assert_eq!(d[0].from, Value::str("y"));
+        assert_eq!(d[0].to, Value::str("z"));
+    }
+
+    #[test]
+    fn identical_tables_have_empty_diff() {
+        let a = t(&["x", "y"]);
+        assert!(diff(&a, &a.clone()).is_empty());
+    }
+
+    #[test]
+    fn null_transitions_are_changes() {
+        let a = t(&["x", "y"]);
+        let mut b = a.clone();
+        b.set(CellRef::new(0, AttrId(0)), Value::Null);
+        let d = diff(&a, &b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].to, Value::Null);
+    }
+
+    #[test]
+    fn apply_reconstructs_clean_table() {
+        let a = t(&["x", "y", "p", "q"]);
+        let b = t(&["m", "y", "p", "n"]);
+        let d = diff(&a, &b);
+        assert_eq!(apply(&a, &d), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn shape_mismatch_panics() {
+        let a = t(&["x", "y"]);
+        let b = t(&["x", "y", "p", "q"]);
+        let _ = diff(&a, &b);
+    }
+
+    #[test]
+    fn change_display_is_readable() {
+        let ch = CellChange {
+            cell: CellRef::new(4, AttrId(2)),
+            from: Value::str("España"),
+            to: Value::str("Spain"),
+        };
+        assert_eq!(ch.to_string(), "t5[2]: España → Spain");
+    }
+}

@@ -1,0 +1,144 @@
+//! # trex-table
+//!
+//! The storage substrate of the T-REx reproduction: an in-memory,
+//! dynamically-typed relational table with the operations the repair and
+//! explanation layers need —
+//!
+//! * [`Value`] cells with SQL-style null comparison semantics,
+//! * [`Schema`]/[`Table`]/[`CellRef`] addressing, row-major *vectorization*
+//!   (Example 2.5 of the paper) and coalition *masking* (§2.2),
+//! * column statistics and empirical samplers ([`stats`]) used both by the
+//!   paper's Algorithm 1 and by the sampling Shapley estimator,
+//! * CSV I/O ([`csv`]) and cell-level diffs ([`diff`]).
+//!
+//! The paper stores tables in PostgreSQL behind HoloClean; per the design
+//! document (DESIGN.md §2) this crate is the in-memory substitute — the
+//! explanation machinery needs only random cell access, null masking, and
+//! column distributions, all provided here.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csv;
+pub mod diff;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use builder::TableBuilder;
+pub use csv::{read_csv, read_csv_strings, write_csv, CsvError};
+pub use diff::{apply, diff, CellChange};
+pub use schema::{AttrId, Attribute, Schema};
+pub use stats::{ColumnSampler, ColumnStats, ConditionalStats, TableSamplers};
+pub use table::{CellRef, Table};
+pub use value::{DType, Value, ValueParseError};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<i64>().prop_map(Value::Int),
+            // Finite floats only: CSV text round-trips are exact for these.
+            (-1e9f64..1e9f64).prop_map(Value::Float),
+            "[a-zA-Z0-9 ,\"']{0,12}".prop_map(Value::Str),
+            any::<bool>().prop_map(Value::Bool),
+        ]
+    }
+
+    fn arb_str_table() -> impl Strategy<Value = Table> {
+        (1usize..5, 0usize..8).prop_flat_map(|(arity, rows)| {
+            let names: Vec<String> = (0..arity).map(|i| format!("C{i}")).collect();
+            proptest::collection::vec(
+                proptest::collection::vec(
+                    prop_oneof![
+                        Just(Value::Null),
+                        "[a-zA-Z0-9 ,]{0,10}".prop_map(Value::Str)
+                    ],
+                    arity,
+                ),
+                rows,
+            )
+            .prop_map(move |rows| Table::from_rows(Schema::of_strings(names.clone()), rows))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn value_eq_implies_hash_eq(a in arb_value(), b in arb_value()) {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let h = |v: &Value| {
+                let mut s = DefaultHasher::new();
+                v.hash(&mut s);
+                s.finish()
+            };
+            if a == b {
+                prop_assert_eq!(h(&a), h(&b));
+            }
+        }
+
+        #[test]
+        fn value_total_order_is_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
+            use std::cmp::Ordering;
+            // antisymmetry
+            if a.cmp(&b) == Ordering::Less {
+                prop_assert_eq!(b.cmp(&a), Ordering::Greater);
+            }
+            // transitivity (spot check)
+            if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+                prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+            }
+        }
+
+        #[test]
+        fn csv_roundtrip_str_tables(t in arb_str_table()) {
+            let text = write_csv(&t);
+            let dtypes = vec![DType::Str; t.arity()];
+            let t2 = read_csv(&text, &dtypes).unwrap();
+            prop_assert_eq!(t, t2);
+        }
+
+        #[test]
+        fn vectorize_roundtrip(t in arb_str_table()) {
+            let v = t.vectorize();
+            prop_assert_eq!(v.len(), t.num_cells());
+            let t2 = Table::from_vector(t.schema().clone(), v);
+            prop_assert_eq!(t, t2);
+        }
+
+        #[test]
+        fn full_mask_is_identity_empty_mask_is_all_null(t in arb_str_table()) {
+            let all = vec![true; t.num_cells()];
+            prop_assert_eq!(t.masked_keep(&all), t.clone());
+            let none = vec![false; t.num_cells()];
+            let m = t.masked_keep(&none);
+            prop_assert!(m.cells_with_values().all(|(_, v)| v.is_null()));
+        }
+
+        #[test]
+        fn diff_apply_roundtrip(a in arb_str_table()) {
+            // mutate a few cells deterministically
+            let mut b = a.clone();
+            for (i, cell) in a.cells().enumerate() {
+                if i % 3 == 0 {
+                    b.set(cell, Value::str("MUT"));
+                }
+            }
+            let d = diff(&a, &b);
+            prop_assert_eq!(apply(&a, &d), b);
+        }
+
+        #[test]
+        fn sql_eq_is_symmetric(a in arb_value(), b in arb_value()) {
+            prop_assert_eq!(a.sql_eq(&b), b.sql_eq(&a));
+            prop_assert_eq!(a.sql_ne(&b), b.sql_ne(&a));
+            // eq and ne are mutually exclusive
+            prop_assert!(!(a.sql_eq(&b) && a.sql_ne(&b)));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Table schemas.
+//!
+//! A [`Schema`] is an ordered list of named, typed attributes. Attributes are
+//! addressed either by name (user-facing, e.g. in denial-constraint syntax)
+//! or by [`AttrId`] (internal, an index into the schema), so the hot paths of
+//! constraint evaluation never hash strings.
+
+use crate::value::DType;
+use std::fmt;
+
+/// Index of an attribute within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub usize);
+
+impl AttrId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A named, typed attribute (column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Column name; unique within a schema.
+    pub name: String,
+    /// Declared value type for non-null cells.
+    pub dtype: DType,
+}
+
+impl Attribute {
+    /// Construct an attribute.
+    pub fn new(name: impl Into<String>, dtype: DType) -> Self {
+        Attribute {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered collection of attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, dtype)` pairs.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name — schemas are tiny and built at
+    /// setup time, so a loud failure beats a `Result` in every signature.
+    pub fn new<I, S>(attrs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, DType)>,
+        S: Into<String>,
+    {
+        let attrs: Vec<Attribute> = attrs
+            .into_iter()
+            .map(|(n, d)| Attribute::new(n, d))
+            .collect();
+        for i in 0..attrs.len() {
+            for j in (i + 1)..attrs.len() {
+                assert!(
+                    attrs[i].name != attrs[j].name,
+                    "duplicate attribute name {:?}",
+                    attrs[i].name
+                );
+            }
+        }
+        Schema { attrs }
+    }
+
+    /// All-string schema: convenient for CSV-shaped data.
+    pub fn of_strings<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Schema::new(names.into_iter().map(|n| (n, DType::Str)))
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` iff the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Attribute at `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (an `AttrId` is only ever produced by
+    /// resolving against this schema).
+    pub fn attr(&self, id: AttrId) -> &Attribute {
+        &self.attrs[id.0]
+    }
+
+    /// Resolve an attribute name to its id.
+    pub fn resolve(&self, name: &str) -> Option<AttrId> {
+        self.attrs.iter().position(|a| a.name == name).map(AttrId)
+    }
+
+    /// Resolve, panicking with a useful message if absent. For test and
+    /// example code where the schema is statically known.
+    pub fn id(&self, name: &str) -> AttrId {
+        self.resolve(name)
+            .unwrap_or_else(|| panic!("no attribute named {name:?} in schema {self}"))
+    }
+
+    /// Iterate `(AttrId, &Attribute)`.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attrs.iter().enumerate().map(|(i, a)| (AttrId(i), a))
+    }
+
+    /// Attribute names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().map(|a| a.name.as_str())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_by_name() {
+        let s = Schema::new([("Team", DType::Str), ("Year", DType::Int)]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.resolve("Team"), Some(AttrId(0)));
+        assert_eq!(s.resolve("Year"), Some(AttrId(1)));
+        assert_eq!(s.resolve("Nope"), None);
+        assert_eq!(s.attr(AttrId(1)).dtype, DType::Int);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_rejected() {
+        let _ = Schema::new([("A", DType::Str), ("A", DType::Int)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no attribute named")]
+    fn id_panics_on_missing() {
+        let s = Schema::of_strings(["A"]);
+        let _ = s.id("B");
+    }
+
+    #[test]
+    fn of_strings_builds_str_columns() {
+        let s = Schema::of_strings(["A", "B", "C"]);
+        assert_eq!(s.arity(), 3);
+        assert!(s.iter().all(|(_, a)| a.dtype == DType::Str));
+        assert_eq!(s.names().collect::<Vec<_>>(), vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Schema::new([("A", DType::Str), ("N", DType::Int)]);
+        assert_eq!(s.to_string(), "(A: str, N: int)");
+    }
+}

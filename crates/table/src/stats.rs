@@ -1,0 +1,364 @@
+//! Column statistics and empirical distributions.
+//!
+//! Two consumers drive this module:
+//!
+//! * **Repair algorithms.** Algorithm 1 of the paper repairs cells to the
+//!   *most common* value of a column (`argmax_c P[City = c]`) or to the most
+//!   probable value *conditioned* on another attribute
+//!   (`argmax_c P[Country = c | City = t[City]]`). [`ColumnStats`] and
+//!   [`ConditionalStats`] provide those argmaxes with deterministic
+//!   tie-breaking.
+//! * **The sampling Shapley estimator.** Example 2.5 replaces out-of-coalition
+//!   cells with "a sample value from their column distribution";
+//!   [`ColumnSampler`] draws those values.
+//!
+//! Nulls never participate in counts or draws: a masked-out cell must not
+//! influence what "most common" means, otherwise the coalition semantics of
+//! the cell game would leak.
+
+use crate::schema::AttrId;
+use crate::table::Table;
+use crate::value::Value;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Empirical histogram of the non-null values of one column.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStats {
+    counts: HashMap<Value, usize>,
+    total: usize,
+}
+
+impl ColumnStats {
+    /// Collect stats from column `attr` of `table`, skipping nulls.
+    pub fn from_column(table: &Table, attr: AttrId) -> Self {
+        let mut s = ColumnStats::default();
+        for v in table.column(attr) {
+            s.add(v);
+        }
+        s
+    }
+
+    /// Add one observation ((labeled) nulls ignored).
+    pub fn add(&mut self, v: &Value) {
+        if !v.is_concrete() {
+            return;
+        }
+        *self.counts.entry(v.clone()).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of non-null observations.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of distinct non-null values.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of a particular value.
+    pub fn count(&self, v: &Value) -> usize {
+        self.counts.get(v).copied().unwrap_or(0)
+    }
+
+    /// Empirical probability `P[col = v]` (0 if no observations).
+    pub fn probability(&self, v: &Value) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(v) as f64 / self.total as f64
+        }
+    }
+
+    /// The most common value, `argmax_c P[col = c]`.
+    ///
+    /// Ties break toward the smaller value under the total [`Value`] order,
+    /// which makes every repair algorithm built on this deterministic.
+    /// Returns `None` when the column is entirely null.
+    pub fn most_common(&self) -> Option<&Value> {
+        self.counts
+            .iter()
+            .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| vb.cmp(va)))
+            .map(|(v, _)| v)
+    }
+
+    /// All distinct values with their counts, most frequent first
+    /// (deterministic order).
+    pub fn ranked(&self) -> Vec<(&Value, usize)> {
+        let mut out: Vec<(&Value, usize)> = self.counts.iter().map(|(v, c)| (v, *c)).collect();
+        out.sort_by(|(va, ca), (vb, cb)| cb.cmp(ca).then_with(|| va.cmp(vb)));
+        out
+    }
+
+    /// Iterate distinct values (arbitrary order).
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.counts.keys()
+    }
+}
+
+/// Joint counts of `(given, target)` attribute pairs, answering
+/// `argmax_v P[target = v | given = g]`.
+#[derive(Debug, Clone, Default)]
+pub struct ConditionalStats {
+    by_given: HashMap<Value, ColumnStats>,
+}
+
+impl ConditionalStats {
+    /// Collect `(given → target)` co-occurrence counts from a table. Rows
+    /// where either side is null are skipped.
+    pub fn from_columns(table: &Table, given: AttrId, target: AttrId) -> Self {
+        let mut s = ConditionalStats::default();
+        for i in 0..table.num_rows() {
+            s.add(table.value(i, given), table.value(i, target));
+        }
+        s
+    }
+
+    /// Add one `(given, target)` observation (skipped if either is null).
+    pub fn add(&mut self, given: &Value, target: &Value) {
+        if !given.is_concrete() || !target.is_concrete() {
+            return;
+        }
+        self.by_given
+            .entry(given.clone())
+            .or_default()
+            .add(target);
+    }
+
+    /// `argmax_v P[target = v | given = g]`, or `None` if `g` was never seen
+    /// with a non-null target.
+    pub fn most_common_given(&self, g: &Value) -> Option<&Value> {
+        self.by_given.get(g).and_then(|s| s.most_common())
+    }
+
+    /// `P[target = v | given = g]` (0 when `g` unseen).
+    pub fn probability_given(&self, g: &Value, v: &Value) -> f64 {
+        self.by_given.get(g).map_or(0.0, |s| s.probability(v))
+    }
+
+    /// Number of observations with `given = g`.
+    pub fn support(&self, g: &Value) -> usize {
+        self.by_given.get(g).map_or(0, |s| s.total())
+    }
+}
+
+/// Random sampler over the empirical distribution of a column.
+///
+/// Draws are weighted by frequency, mirroring Example 2.5 ("replaced with a
+/// sample value from their column distribution").
+#[derive(Debug, Clone)]
+pub struct ColumnSampler {
+    /// Values repeated by multiplicity would be wasteful; store cumulative
+    /// weights instead.
+    values: Vec<Value>,
+    cumulative: Vec<usize>,
+    total: usize,
+}
+
+impl ColumnSampler {
+    /// Build a sampler for column `attr` of `table` (nulls excluded).
+    pub fn from_column(table: &Table, attr: AttrId) -> Self {
+        Self::from_stats(&ColumnStats::from_column(table, attr))
+    }
+
+    /// Build a sampler from precomputed stats.
+    pub fn from_stats(stats: &ColumnStats) -> Self {
+        let mut ranked = stats.ranked();
+        // ranked() is deterministic; keep that order for reproducibility.
+        let mut values = Vec::with_capacity(ranked.len());
+        let mut cumulative = Vec::with_capacity(ranked.len());
+        let mut acc = 0usize;
+        for (v, c) in ranked.drain(..) {
+            acc += c;
+            values.push(v.clone());
+            cumulative.push(acc);
+        }
+        ColumnSampler {
+            values,
+            cumulative,
+            total: acc,
+        }
+    }
+
+    /// `true` iff the column had no non-null values to sample from.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Draw one value; `Value::Null` if the column was all-null.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Value {
+        if self.total == 0 {
+            return Value::Null;
+        }
+        let x = rng.gen_range(0..self.total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        self.values[idx].clone()
+    }
+}
+
+/// Samplers for every column of a table, prebuilt once per explanation run.
+#[derive(Debug, Clone)]
+pub struct TableSamplers {
+    samplers: Vec<ColumnSampler>,
+}
+
+impl TableSamplers {
+    /// Build per-column samplers for `table`.
+    pub fn new(table: &Table) -> Self {
+        let samplers = (0..table.arity())
+            .map(|a| ColumnSampler::from_column(table, AttrId(a)))
+            .collect();
+        TableSamplers { samplers }
+    }
+
+    /// The sampler for column `attr`.
+    pub fn column(&self, attr: AttrId) -> &ColumnSampler {
+        &self.samplers[attr.0]
+    }
+
+    /// Draw a value for column `attr`.
+    pub fn sample<R: Rng + ?Sized>(&self, attr: AttrId, rng: &mut R) -> Value {
+        self.samplers[attr.0].sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DType;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> Table {
+        let schema = Schema::new([("City", DType::Str), ("Country", DType::Str)]);
+        let rows = ["Madrid", "Madrid", "Barcelona", "Madrid"]
+            .iter()
+            .zip(["Spain", "Spain", "Spain", "Argentina"])
+            .map(|(c, k)| vec![Value::str(*c), Value::str(k)])
+            .collect();
+        Table::from_rows(schema, rows)
+    }
+
+    #[test]
+    fn most_common_counts_frequencies() {
+        let t = table();
+        let s = ColumnStats::from_column(&t, AttrId(0));
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.distinct(), 2);
+        assert_eq!(s.most_common(), Some(&Value::str("Madrid")));
+        assert_eq!(s.count(&Value::str("Madrid")), 3);
+        assert!((s.probability(&Value::str("Barcelona")) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nulls_are_ignored() {
+        let mut t = table();
+        t.set(crate::table::CellRef::new(0, AttrId(0)), Value::Null);
+        let s = ColumnStats::from_column(&t, AttrId(0));
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.count(&Value::Null), 0);
+    }
+
+    #[test]
+    fn most_common_ties_break_deterministically() {
+        let mut s = ColumnStats::default();
+        s.add(&Value::str("b"));
+        s.add(&Value::str("a"));
+        assert_eq!(s.most_common(), Some(&Value::str("a")));
+    }
+
+    #[test]
+    fn all_null_column_has_no_mode() {
+        let schema = Schema::of_strings(["A"]);
+        let t = Table::from_rows(schema, vec![vec![Value::Null], vec![Value::Null]]);
+        let s = ColumnStats::from_column(&t, AttrId(0));
+        assert_eq!(s.most_common(), None);
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn conditional_argmax() {
+        let t = table();
+        let c = ConditionalStats::from_columns(&t, AttrId(0), AttrId(1));
+        assert_eq!(
+            c.most_common_given(&Value::str("Madrid")),
+            Some(&Value::str("Spain"))
+        );
+        assert_eq!(c.support(&Value::str("Madrid")), 3);
+        assert!(
+            (c.probability_given(&Value::str("Madrid"), &Value::str("Argentina")) - 1.0 / 3.0)
+                .abs()
+                < 1e-12
+        );
+        assert_eq!(c.most_common_given(&Value::str("Valencia")), None);
+    }
+
+    #[test]
+    fn conditional_skips_nulls() {
+        let mut c = ConditionalStats::default();
+        c.add(&Value::Null, &Value::str("x"));
+        c.add(&Value::str("g"), &Value::Null);
+        assert_eq!(c.support(&Value::Null), 0);
+        assert_eq!(c.support(&Value::str("g")), 0);
+    }
+
+    #[test]
+    fn sampler_distribution_roughly_matches_frequencies() {
+        let t = table();
+        let sampler = ColumnSampler::from_column(&t, AttrId(0));
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let madrid = (0..n)
+            .filter(|_| sampler.sample(&mut rng) == Value::str("Madrid"))
+            .count();
+        let p = madrid as f64 / n as f64;
+        assert!((p - 0.75).abs() < 0.03, "p = {p}");
+    }
+
+    #[test]
+    fn sampler_on_all_null_column_returns_null() {
+        let schema = Schema::of_strings(["A"]);
+        let t = Table::from_rows(schema, vec![vec![Value::Null]]);
+        let s = ColumnSampler::from_column(&t, AttrId(0));
+        assert!(s.is_empty());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.sample(&mut rng), Value::Null);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let t = table();
+        let s = ColumnSampler::from_column(&t, AttrId(1));
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20).map(|_| s.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+    }
+
+    #[test]
+    fn table_samplers_cover_all_columns() {
+        let t = table();
+        let ts = TableSamplers::new(&t);
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = ts.sample(AttrId(1), &mut rng);
+        assert!(v == Value::str("Spain") || v == Value::str("Argentina"));
+        assert!(!ts.column(AttrId(0)).is_empty());
+    }
+
+    #[test]
+    fn ranked_is_sorted_by_count_then_value() {
+        let mut s = ColumnStats::default();
+        for v in ["b", "a", "a", "c", "c"] {
+            s.add(&Value::str(v));
+        }
+        let r = s.ranked();
+        assert_eq!(
+            r.iter().map(|(v, c)| (v.as_str().unwrap(), *c)).collect::<Vec<_>>(),
+            vec![("a", 2), ("c", 2), ("b", 1)]
+        );
+    }
+}

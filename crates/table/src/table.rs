@@ -1,0 +1,407 @@
+//! The in-memory table.
+//!
+//! [`Table`] is a row-major, dynamically-typed relation. It is the `T^d` /
+//! `T^c` of the paper: the repair algorithms consume one and produce another,
+//! and the cell-level Shapley game produces *masked* variants of the dirty
+//! table in which every cell outside a coalition is replaced by null
+//! (definition of §2.2) or by a random draw from the column distribution
+//! (sampling algorithm of §2.3).
+//!
+//! Cells are addressed by [`CellRef`] — a `(row, attribute)` pair. The
+//! *vectorization* of a table (Example 2.5: `x_T = (t1[Team], t1[City], …)`)
+//! corresponds to enumerating cells in row-major order, which is exactly the
+//! order of [`Table::cells`].
+
+use crate::schema::{AttrId, Schema};
+use crate::value::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Address of a single cell: row index + attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellRef {
+    /// Zero-based row index.
+    pub row: usize,
+    /// Attribute (column) id.
+    pub attr: AttrId,
+}
+
+impl CellRef {
+    /// Construct a cell reference.
+    pub fn new(row: usize, attr: AttrId) -> Self {
+        CellRef { row, attr }
+    }
+
+    /// Flat row-major index of this cell in a table of arity `arity`.
+    ///
+    /// This is the position of the cell in the paper's vectorized table
+    /// `x_T`, and the canonical player index of the cell in the cell game.
+    pub fn flat_index(&self, arity: usize) -> usize {
+        self.row * arity + self.attr.0
+    }
+
+    /// Inverse of [`CellRef::flat_index`].
+    pub fn from_flat(index: usize, arity: usize) -> Self {
+        CellRef {
+            row: index / arity,
+            attr: AttrId(index % arity),
+        }
+    }
+}
+
+impl fmt::Display for CellRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}[{}]", self.row + 1, self.attr.0)
+    }
+}
+
+/// A row-major, dynamically-typed relation with a fixed [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// An empty table over `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Build a table from rows.
+    ///
+    /// # Panics
+    /// Panics if any row's arity differs from the schema's.
+    pub fn from_rows(schema: Schema, rows: Vec<Vec<Value>>) -> Self {
+        for (i, r) in rows.iter().enumerate() {
+            assert!(
+                r.len() == schema.arity(),
+                "row {i} has arity {} but schema has {}",
+                r.len(),
+                schema.arity()
+            );
+        }
+        Table { schema, rows }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of cells (`rows × arity`), the size of the vectorized table.
+    pub fn num_cells(&self) -> usize {
+        self.num_rows() * self.arity()
+    }
+
+    /// `true` iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert!(
+            row.len() == self.schema.arity(),
+            "row arity {} != schema arity {}",
+            row.len(),
+            self.schema.arity()
+        );
+        self.rows.push(row);
+    }
+
+    /// Borrow a row's cells.
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.rows[i]
+    }
+
+    /// Borrow a cell value.
+    pub fn get(&self, cell: CellRef) -> &Value {
+        &self.rows[cell.row][cell.attr.0]
+    }
+
+    /// Convenience: borrow by `(row, attr)`.
+    pub fn value(&self, row: usize, attr: AttrId) -> &Value {
+        &self.rows[row][attr.0]
+    }
+
+    /// Overwrite a cell value, returning the previous value.
+    pub fn set(&mut self, cell: CellRef, v: Value) -> Value {
+        std::mem::replace(&mut self.rows[cell.row][cell.attr.0], v)
+    }
+
+    /// Iterate all cell references in row-major (vectorization) order.
+    pub fn cells(&self) -> impl Iterator<Item = CellRef> + '_ {
+        let arity = self.arity();
+        (0..self.num_rows())
+            .flat_map(move |r| (0..arity).map(move |a| CellRef::new(r, AttrId(a))))
+    }
+
+    /// Iterate `(CellRef, &Value)` in row-major order.
+    pub fn cells_with_values(&self) -> impl Iterator<Item = (CellRef, &Value)> {
+        self.rows.iter().enumerate().flat_map(|(r, row)| {
+            row.iter()
+                .enumerate()
+                .map(move |(a, v)| (CellRef::new(r, AttrId(a)), v))
+        })
+    }
+
+    /// The vectorized table `x_T` of Example 2.5: all cell values in
+    /// row-major order.
+    pub fn vectorize(&self) -> Vec<Value> {
+        self.rows.iter().flatten().cloned().collect()
+    }
+
+    /// Rebuild a table from a vectorization over the same schema.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` is not a multiple of the schema arity.
+    pub fn from_vector(schema: Schema, values: Vec<Value>) -> Self {
+        let arity = schema.arity();
+        assert!(arity > 0, "cannot devectorize into a zero-arity schema");
+        assert!(
+            values.len().is_multiple_of(arity),
+            "vector length {} is not a multiple of arity {arity}",
+            values.len()
+        );
+        let mut rows = Vec::with_capacity(values.len() / arity);
+        let mut it = values.into_iter();
+        while let Some(first) = it.next() {
+            let mut row = Vec::with_capacity(arity);
+            row.push(first);
+            for _ in 1..arity {
+                row.push(it.next().expect("length checked above"));
+            }
+            rows.push(row);
+        }
+        Table { schema, rows }
+    }
+
+    /// A copy of this table in which every cell in `mask` (given as flat
+    /// row-major indices with `true` = *keep*) retains its value and every
+    /// other cell is replaced by `Value::Null`.
+    ///
+    /// This is the coalition table `S ⊆ T^d` of the paper's cell game, where
+    /// `∀ t_j[C] ∈ T^d \ S. t_j[C] = null`.
+    ///
+    /// # Panics
+    /// Panics if `mask.len() != self.num_cells()`.
+    pub fn masked_keep(&self, mask: &[bool]) -> Table {
+        assert_eq!(mask.len(), self.num_cells(), "mask length mismatch");
+        let arity = self.arity();
+        let rows = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(r, row)| {
+                row.iter()
+                    .enumerate()
+                    .map(|(a, v)| {
+                        if mask[r * arity + a] {
+                            v.clone()
+                        } else {
+                            Value::Null
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Table {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// Column `attr` as a slice-like iterator.
+    pub fn column(&self, attr: AttrId) -> impl Iterator<Item = &Value> {
+        self.rows.iter().map(move |r| &r[attr.0])
+    }
+
+    /// A deterministic 64-bit fingerprint of the table contents (schema
+    /// shape + all values). Used by the memoizing repair oracle to key
+    /// coalition tables.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.schema.arity().hash(&mut h);
+        for name in self.schema.names() {
+            name.hash(&mut h);
+        }
+        self.rows.len().hash(&mut h);
+        for row in &self.rows {
+            for v in row {
+                v.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// Pretty-print with column headers; nulls render as `∅`.
+    pub fn render(&self) -> String {
+        let headers: Vec<String> = self.schema.names().map(str::to_string).collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            out.push('|');
+            for (c, w) in cells.iter().zip(widths) {
+                out.push(' ');
+                out.push_str(c);
+                for _ in c.chars().count()..*w {
+                    out.push(' ');
+                }
+                out.push_str(" |");
+            }
+            out.push('\n');
+        };
+        fmt_row(&headers, &widths, &mut out);
+        out.push('|');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &rendered {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DType;
+
+    fn small() -> Table {
+        let schema = Schema::new([("A", DType::Str), ("N", DType::Int)]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::str("x"), Value::int(1)],
+                vec![Value::str("y"), Value::int(2)],
+            ],
+        )
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = small();
+        let c = CellRef::new(1, AttrId(0));
+        assert_eq!(t.get(c), &Value::str("y"));
+        let old = t.set(c, Value::str("z"));
+        assert_eq!(old, Value::str("y"));
+        assert_eq!(t.get(c), &Value::str("z"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = small();
+        t.push_row(vec![Value::int(1)]);
+    }
+
+    #[test]
+    fn vectorize_order_is_row_major() {
+        let t = small();
+        let v = t.vectorize();
+        assert_eq!(
+            v,
+            vec![Value::str("x"), Value::int(1), Value::str("y"), Value::int(2)]
+        );
+        let t2 = Table::from_vector(t.schema().clone(), v);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let t = small();
+        for (i, c) in t.cells().enumerate() {
+            assert_eq!(c.flat_index(t.arity()), i);
+            assert_eq!(CellRef::from_flat(i, t.arity()), c);
+        }
+    }
+
+    #[test]
+    fn masked_keep_nulls_out_cells() {
+        let t = small();
+        let m = t.masked_keep(&[true, false, false, true]);
+        assert_eq!(m.get(CellRef::new(0, AttrId(0))), &Value::str("x"));
+        assert_eq!(m.get(CellRef::new(0, AttrId(1))), &Value::Null);
+        assert_eq!(m.get(CellRef::new(1, AttrId(0))), &Value::Null);
+        assert_eq!(m.get(CellRef::new(1, AttrId(1))), &Value::int(2));
+        // original untouched
+        assert_eq!(t.get(CellRef::new(0, AttrId(1))), &Value::int(1));
+    }
+
+    #[test]
+    fn fingerprint_changes_with_content() {
+        let t = small();
+        let mut t2 = t.clone();
+        assert_eq!(t.fingerprint(), t2.fingerprint());
+        t2.set(CellRef::new(0, AttrId(1)), Value::int(99));
+        assert_ne!(t.fingerprint(), t2.fingerprint());
+    }
+
+    #[test]
+    fn render_contains_headers_and_null_marker() {
+        let mut t = small();
+        t.set(CellRef::new(0, AttrId(0)), Value::Null);
+        let s = t.render();
+        assert!(s.contains("A"));
+        assert!(s.contains("N"));
+        assert!(s.contains("∅"));
+    }
+
+    #[test]
+    fn cells_with_values_matches_get() {
+        let t = small();
+        for (c, v) in t.cells_with_values() {
+            assert_eq!(t.get(c), v);
+        }
+        assert_eq!(t.cells_with_values().count(), 4);
+    }
+
+    #[test]
+    fn column_iterates_one_attr() {
+        let t = small();
+        let col: Vec<&Value> = t.column(AttrId(1)).collect();
+        assert_eq!(col, vec![&Value::int(1), &Value::int(2)]);
+    }
+
+    #[test]
+    fn cellref_display_is_one_based() {
+        assert_eq!(CellRef::new(4, AttrId(2)).to_string(), "t5[2]");
+    }
+}

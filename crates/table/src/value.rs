@@ -1,0 +1,505 @@
+//! Cell values.
+//!
+//! A [`Value`] is the dynamically-typed content of a single table cell. The
+//! repair and explanation machinery treats tables as collections of values
+//! that can be compared, counted, hashed, and — crucially for the cell-level
+//! Shapley game of the paper (§2.2) — *masked out* by replacing them with
+//! [`Value::Null`].
+//!
+//! # Null semantics
+//!
+//! Denial constraints compare pairs of cells. Following the convention used
+//! by the paper's cell game (a cell outside the coalition "does not
+//! participate" in the table), every comparison in which either side is
+//! `Null` evaluates to *false*, for every operator including `!=`. This makes
+//! a nulled-out cell incapable of contributing to a constraint violation,
+//! which is exactly the semantics required for `S ⊆ T^d` coalitions where
+//! all cells outside `S` are set to null.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The dynamic type of a [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float (total order via `f64::total_cmp`).
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::Int => write!(f, "int"),
+            DType::Float => write!(f, "float"),
+            DType::Str => write!(f, "str"),
+            DType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// A single table-cell value.
+///
+/// `Value` implements a *total* equality, ordering and hashing (floats are
+/// compared with [`f64::total_cmp`] and hashed by bit pattern), so values can
+/// be used as `HashMap` keys when building column histograms. Note that the
+/// `Eq`/`Ord` impls are representational: `Null == Null` is `true` here.
+/// Constraint evaluation, which needs SQL-style three-valued-ish logic, goes
+/// through [`Value::sql_cmp`] instead, where any comparison involving `Null`
+/// is vacuously false.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// The absent value. Used for masked-out coalition cells.
+    Null,
+    /// A *labeled* null (a "marked null" in database-theory terms): an
+    /// unknown value that is nonetheless **distinct from every concrete
+    /// value and from every differently-labeled null**. Equality against it
+    /// never holds; inequality (`sql_ne`) against a concrete value or a
+    /// different label holds. Labeled nulls never vote in statistics
+    /// ([`Value::is_concrete`] is the filter). The cell-level Shapley game's
+    /// `Distinct` masking mode is built on these.
+    LabeledNull(u64),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Construct an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Construct a float value.
+    pub fn float(x: f64) -> Self {
+        Value::Float(x)
+    }
+
+    /// `true` iff the value is [`Value::Null`] (the plain, unlabeled null).
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// `true` iff the value carries information: neither a plain null nor a
+    /// labeled null. Statistics (histograms, samplers, repair-mode votes)
+    /// only count concrete values.
+    pub fn is_concrete(&self) -> bool {
+        !matches!(self, Value::Null | Value::LabeledNull(_))
+    }
+
+    /// The dynamic type of this value, or `None` for (labeled) nulls.
+    pub fn dtype(&self) -> Option<DType> {
+        match self {
+            Value::Null | Value::LabeledNull(_) => None,
+            Value::Int(_) => Some(DType::Int),
+            Value::Float(_) => Some(DType::Float),
+            Value::Str(_) => Some(DType::Str),
+            Value::Bool(_) => Some(DType::Bool),
+        }
+    }
+
+    /// Borrow the string content if this is a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Extract an integer if this is an `Int` value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extract a float; integers widen losslessly-enough for statistics.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Extract a boolean if this is a `Bool` value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// SQL-style *ordering* comparison: `None` if either side is a (labeled)
+    /// null or the types are incomparable, otherwise the ordering.
+    ///
+    /// `Int` and `Float` compare numerically with each other; all other
+    /// cross-type comparisons are incomparable (`None`), which makes the
+    /// corresponding constraint predicate false rather than a panic — a
+    /// black-box repair algorithm must never crash on a weird coalition
+    /// table. Labeled nulls have no position in any order.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::LabeledNull(_), _) | (_, Value::LabeledNull(_)) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => Some(a.total_cmp(b)),
+            (Value::Int(a), Value::Float(b)) => Some((*a as f64).total_cmp(b)),
+            (Value::Float(a), Value::Int(b)) => Some(a.total_cmp(&(*b as f64))),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// SQL-style equality: false if either side is a plain null. Labeled
+    /// nulls are equal only to the *same label*.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::LabeledNull(a), Value::LabeledNull(b)) => a == b,
+            _ => self.sql_cmp(other) == Some(Ordering::Equal),
+        }
+    }
+
+    /// SQL-style inequality: false if either side is a plain null (note:
+    /// *not* the negation of [`Value::sql_eq`]). A labeled null is distinct
+    /// from every concrete value and from every differently-labeled null.
+    pub fn sql_ne(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => false,
+            (Value::LabeledNull(a), Value::LabeledNull(b)) => a != b,
+            (Value::LabeledNull(_), _) | (_, Value::LabeledNull(_)) => true,
+            _ => matches!(
+                self.sql_cmp(other),
+                Some(Ordering::Less) | Some(Ordering::Greater)
+            ),
+        }
+    }
+
+    /// Render the value the way the CSV writer and the reports do.
+    ///
+    /// Nulls render as the empty string; this is the inverse of
+    /// [`Value::parse_as`] for non-ambiguous inputs.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed(""),
+            Value::LabeledNull(id) => Cow::Owned(format!("\u{22a5}{id}")),
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Float(x) => Cow::Owned(format!("{x}")),
+            Value::Str(s) => Cow::Borrowed(s.as_str()),
+            Value::Bool(b) => Cow::Owned(b.to_string()),
+        }
+    }
+
+    /// Parse a textual field into a value of dtype `dt`. Empty text is null.
+    pub fn parse_as(text: &str, dt: DType) -> Result<Value, ValueParseError> {
+        if text.is_empty() {
+            return Ok(Value::Null);
+        }
+        match dt {
+            DType::Int => text
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| ValueParseError::new(text, dt)),
+            DType::Float => text
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| ValueParseError::new(text, dt)),
+            DType::Str => Ok(Value::Str(text.to_string())),
+            DType::Bool => match text {
+                "true" | "True" | "TRUE" | "1" => Ok(Value::Bool(true)),
+                "false" | "False" | "FALSE" | "0" => Ok(Value::Bool(false)),
+                _ => Err(ValueParseError::new(text, dt)),
+            },
+        }
+    }
+}
+
+/// Error produced when a textual field cannot be parsed at the declared type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueParseError {
+    /// The offending text.
+    pub text: String,
+    /// The type it was supposed to have.
+    pub expected: DType,
+}
+
+impl ValueParseError {
+    fn new(text: &str, expected: DType) -> Self {
+        ValueParseError {
+            text: text.to_string(),
+            expected,
+        }
+    }
+}
+
+impl fmt::Display for ValueParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse {:?} as {}", self.text, self.expected)
+    }
+}
+
+impl std::error::Error for ValueParseError {}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::LabeledNull(a), Value::LabeledNull(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b) == Ordering::Equal,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// A total representational order used for deterministic tie-breaking in
+    /// rankings and histograms: `Null < Bool < Int/Float (numeric) < Str`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::LabeledNull(_) => 1,
+                Value::Bool(_) => 2,
+                Value::Int(_) | Value::Float(_) => 3,
+                Value::Str(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::LabeledNull(a), Value::LabeledNull(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::LabeledNull(id) => {
+                state.write_u8(9);
+                id.hash(state);
+            }
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                state.write_u8(2);
+                i.hash(state);
+            }
+            Value::Float(x) => {
+                // Hash integral floats like the equal Int so that
+                // cross-typed numeric histograms merge; otherwise bitwise.
+                if x.fract() == 0.0 && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 {
+                    state.write_u8(2);
+                    (*x as i64).hash(state);
+                } else {
+                    state.write_u8(3);
+                    x.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Renders like [`Value::render`] except that nulls display as `∅` for
+    /// human-facing output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "∅"),
+            other => write!(f, "{}", other.render()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn null_comparisons_are_vacuously_false() {
+        let n = Value::Null;
+        let x = Value::int(3);
+        assert!(!n.sql_eq(&x));
+        assert!(!x.sql_eq(&n));
+        assert!(!n.sql_ne(&x));
+        assert!(!x.sql_ne(&n));
+        assert!(!n.sql_eq(&n));
+        assert!(!n.sql_ne(&n));
+        assert_eq!(n.sql_cmp(&x), None);
+    }
+
+    #[test]
+    fn sql_ne_is_not_negated_eq_for_incomparable() {
+        let a = Value::str("x");
+        let b = Value::int(1);
+        assert!(!a.sql_eq(&b));
+        assert!(!a.sql_ne(&b));
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert!(Value::int(2).sql_eq(&Value::float(2.0)));
+        assert_eq!(
+            Value::int(1).sql_cmp(&Value::float(1.5)),
+            Some(Ordering::Less)
+        );
+        assert!(Value::float(3.5).sql_ne(&Value::int(3)));
+    }
+
+    #[test]
+    fn representational_eq_differs_from_sql_eq_on_null() {
+        assert_eq!(Value::Null, Value::Null);
+        assert!(!Value::Null.sql_eq(&Value::Null));
+    }
+
+    #[test]
+    fn float_total_eq_handles_nan() {
+        let nan = Value::float(f64::NAN);
+        assert_eq!(nan, nan.clone());
+        assert_eq!(h(&nan), h(&nan.clone()));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_for_numeric() {
+        let a = Value::int(7);
+        let b = Value::float(7.0);
+        assert_eq!(a.sql_cmp(&b), Some(Ordering::Equal));
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for (t, d, v) in [
+            ("42", DType::Int, Value::int(42)),
+            ("-1", DType::Int, Value::int(-1)),
+            ("2.5", DType::Float, Value::float(2.5)),
+            ("hi", DType::Str, Value::str("hi")),
+            ("true", DType::Bool, Value::Bool(true)),
+            ("", DType::Int, Value::Null),
+            ("", DType::Str, Value::Null),
+        ] {
+            assert_eq!(Value::parse_as(t, d).unwrap(), v);
+        }
+        assert!(Value::parse_as("xyz", DType::Int).is_err());
+        assert!(Value::parse_as("maybe", DType::Bool).is_err());
+    }
+
+    #[test]
+    fn render_parse_inverse_for_str() {
+        let v = Value::str("Real Madrid");
+        let r = v.render().into_owned();
+        assert_eq!(Value::parse_as(&r, DType::Str).unwrap(), v);
+    }
+
+    #[test]
+    fn total_order_is_deterministic() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::Null,
+            Value::int(3),
+            Value::float(2.5),
+            Value::Bool(true),
+            Value::str("a"),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+        assert_eq!(vs[1], Value::Bool(true));
+        assert_eq!(vs[2], Value::float(2.5));
+        assert_eq!(vs[3], Value::int(3));
+        assert_eq!(vs[4], Value::str("a"));
+    }
+
+    #[test]
+    fn display_marks_null() {
+        assert_eq!(Value::Null.to_string(), "∅");
+        assert_eq!(Value::str("x").to_string(), "x");
+        assert_eq!(Value::int(5).to_string(), "5");
+    }
+
+    #[test]
+    fn dtype_reporting() {
+        assert_eq!(Value::Null.dtype(), None);
+        assert_eq!(Value::int(1).dtype(), Some(DType::Int));
+        assert_eq!(Value::str("s").dtype(), Some(DType::Str));
+    }
+}

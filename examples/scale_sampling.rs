@@ -1,0 +1,107 @@
+//! Scale & convergence (experiments E5/E6): cell explanations on a table
+//! far beyond exact enumeration, with the sampling error measured against
+//! a converged reference.
+//!
+//! "The number of cells in a table can be very large, so T-REx uses a
+//! sampling algorithm" (§2.3): a 48-row standings table has 288 cells —
+//! 2^287 coalitions, hopeless exactly, routine for permutation sampling.
+//! The example prints the top-ranked cells at increasing sample counts and
+//! the observed 1/√m error decay for one tracked cell.
+//!
+//! Run with: `cargo run --release --example scale_sampling`
+
+use trex::{CellGameMasked, MaskMode};
+use trex_datagen::{errors, soccer};
+use trex_repair::RepairAlgorithm;
+use trex_shapley::{estimate_all_walk, Game, SamplingConfig};
+use trex_table::CellRef;
+
+fn main() {
+    let clean = soccer::generate_clean(&soccer::SoccerConfig {
+        countries: 4,
+        cities_per_country: 3,
+        teams_per_city: 2,
+        years: 2,
+        seed: 17,
+    });
+    let dcs = soccer::soccer_constraints();
+    let injected = errors::inject_errors(
+        &clean,
+        &errors::ErrorConfig {
+            rate: 0.01,
+            kind_weights: [0, 0, 1, 0],
+            columns: vec!["Country".to_string()],
+            seed: 23,
+        },
+    );
+    let dirty = &injected.dirty;
+    println!(
+        "table: {} rows × {} attrs = {} cells ({} injected errors)",
+        dirty.num_rows(),
+        dirty.arity(),
+        dirty.num_cells(),
+        injected.truth.len()
+    );
+
+    // Explain the first injected error's repair.
+    let alg = soccer::soccer_algorithm1();
+    let result = alg.repair(&dcs, dirty);
+    let target_cell: CellRef = injected.truth[0].cell;
+    let Some(change) = result.changes.iter().find(|c| c.cell == target_cell) else {
+        println!("the injected error was not repaired; try another seed");
+        return;
+    };
+    println!("explaining {change}\n");
+
+    let game = CellGameMasked::new(
+        &alg,
+        &dcs,
+        dirty,
+        target_cell,
+        change.to.clone(),
+        MaskMode::Null,
+    );
+    println!("cell game has {} players", Game::num_players(&game));
+
+    // Reference: a long run.
+    let reference = estimate_all_walk(
+        &game,
+        SamplingConfig {
+            samples: 2000,
+            seed: 999,
+        },
+    );
+    let top_ref = (0..reference.len())
+        .max_by(|a, b| reference[*a].value.total_cmp(&reference[*b].value))
+        .unwrap();
+    println!(
+        "reference (m=2000): top cell {} with value {:+.4}\n",
+        Game::player_label(&game, top_ref),
+        reference[top_ref].value
+    );
+
+    println!("{:>6} {:>10} {:>10}  top-3", "m", "est", "abs err");
+    for m in [25usize, 50, 100, 200, 400, 800] {
+        let est = estimate_all_walk(
+            &game,
+            SamplingConfig {
+                samples: m,
+                seed: 7,
+            },
+        );
+        let err = (est[top_ref].value - reference[top_ref].value).abs();
+        let mut order: Vec<usize> = (0..est.len()).collect();
+        order.sort_by(|a, b| est[*b].value.total_cmp(&est[*a].value));
+        let top3: Vec<String> = order
+            .iter()
+            .take(3)
+            .map(|i| format!("{}={:+.3}", Game::player_label(&game, *i), est[*i].value))
+            .collect();
+        println!(
+            "{m:>6} {:>10.4} {err:>10.4}  {}",
+            est[top_ref].value,
+            top3.join(", ")
+        );
+    }
+    println!("\nerror decays like 1/sqrt(m); the bench suite (sampling_convergence)\nfits the log-log slope (expected ≈ −0.5).");
+}

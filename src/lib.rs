@@ -1,0 +1,14 @@
+//! # trex-repro — workspace facade
+//!
+//! Re-exports the whole T-REx reproduction under one roof so the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`)
+//! can depend on a single crate. Library users should depend on the
+//! individual crates (`trex`, `trex-table`, `trex-constraints`,
+//! `trex-repair`, `trex-shapley`, `trex-datagen`) directly.
+
+pub use trex;
+pub use trex_constraints as constraints;
+pub use trex_datagen as datagen;
+pub use trex_repair as repair;
+pub use trex_shapley as shapley;
+pub use trex_table as table;
