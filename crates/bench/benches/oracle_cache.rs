@@ -18,8 +18,7 @@ fn bench_oracle_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("oracle_cache");
     group.bench_function("cached_double_solve", |b| {
         b.iter(|| {
-            let game =
-                ConstraintGame::new(&alg, &dcs, &dirty, cell, Value::str("Spain"));
+            let game = ConstraintGame::new(&alg, &dcs, &dirty, cell, Value::str("Spain"));
             let f = shapley_exact(black_box(&game)).unwrap();
             let r = shapley_exact_rational(black_box(&game)).unwrap();
             (f, r)
@@ -27,8 +26,7 @@ fn bench_oracle_cache(c: &mut Criterion) {
     });
     group.bench_function("uncached_double_solve", |b| {
         b.iter(|| {
-            let game =
-                ConstraintGame::without_cache(&alg, &dcs, &dirty, cell, Value::str("Spain"));
+            let game = ConstraintGame::without_cache(&alg, &dcs, &dirty, cell, Value::str("Spain"));
             let f = shapley_exact(black_box(&game)).unwrap();
             let r = shapley_exact_rational(black_box(&game)).unwrap();
             (f, r)

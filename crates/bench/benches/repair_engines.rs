@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use trex_bench::standings_workload;
-use trex_repair::{FdChaseRepair, HoloCleanStyle, HolisticRepair, RepairAlgorithm};
+use trex_repair::{FdChaseRepair, HolisticRepair, HoloCleanStyle, RepairAlgorithm};
 
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("repair_engines");

@@ -38,7 +38,10 @@ fn bench_cell_game_sampling(c: &mut Criterion) {
                     estimate_player(
                         black_box(&sampled),
                         league_player,
-                        SamplingConfig { samples: m, seed: 1 },
+                        SamplingConfig {
+                            samples: m,
+                            seed: 1,
+                        },
                     )
                 })
             },
@@ -46,13 +49,23 @@ fn bench_cell_game_sampling(c: &mut Criterion) {
     }
 
     // Permutation-walk estimation of all 35 players under masked semantics.
-    let masked = CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), MaskMode::Null);
+    let masked = CellGameMasked::new(
+        &alg,
+        &dcs,
+        &dirty,
+        cell,
+        Value::str("Spain"),
+        MaskMode::Null,
+    );
     for m in [10usize, 40, 160] {
         group.bench_with_input(BenchmarkId::new("masked_walk_all", m), &m, |b, &m| {
             b.iter(|| {
                 estimate_all_walk(
                     black_box(&masked),
-                    SamplingConfig { samples: m, seed: 1 },
+                    SamplingConfig {
+                        samples: m,
+                        seed: 1,
+                    },
                 )
             })
         });

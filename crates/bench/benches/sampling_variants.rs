@@ -21,7 +21,10 @@ fn bench_variants(c: &mut Criterion) {
             estimate_player(
                 black_box(&game),
                 0,
-                SamplingConfig { samples: m, seed: 9 },
+                SamplingConfig {
+                    samples: m,
+                    seed: 9,
+                },
             )
         })
     });

@@ -45,7 +45,14 @@ fn main() {
         ),
     ]);
     let cell = CellRef::new(1, table.schema().id("Country"));
-    let game = CellGameMasked::new(&alg, &dcs, &table, cell, Value::str("Spain"), MaskMode::Null);
+    let game = CellGameMasked::new(
+        &alg,
+        &dcs,
+        &table,
+        cell,
+        Value::str("Spain"),
+        MaskMode::Null,
+    );
     let exact = shapley_exact(&game).unwrap();
     let player = (0..Game::num_players(&game))
         .max_by(|a, b| exact[*a].total_cmp(&exact[*b]))
@@ -76,14 +83,19 @@ fn main() {
             (est_sum / seeds.len() as f64, err_sum / seeds.len() as f64)
         };
         let (p_est, p_err) = avg(&|s| {
-            estimate_player(&game, player, SamplingConfig { samples: m, seed: s }).value
+            estimate_player(
+                &game,
+                player,
+                SamplingConfig {
+                    samples: m,
+                    seed: s,
+                },
+            )
+            .value
         });
-        let (s_est, s_err) = avg(&|s| {
-            estimate_player_stratified(&game, player, (m / n).max(1), s).value
-        });
-        let (a_est, a_err) = avg(&|s| {
-            estimate_player_antithetic(&game, player, m / 2, s).value
-        });
+        let (s_est, s_err) =
+            avg(&|s| estimate_player_stratified(&game, player, (m / n).max(1), s).value);
+        let (a_est, a_err) = avg(&|s| estimate_player_antithetic(&game, player, m / 2, s).value);
         // Track the seed-averaged |error| (recorded as exact + err so the
         // trace's abs_error equals the averaged error).
         plain_trace.record(m, exact[player] + p_err);

@@ -95,7 +95,11 @@ fn main() {
             qa.precision(),
             qa.recall(),
             qa.f1(),
-            if ranked_first { "yes" } else { "n/a (no bogus repair)" }
+            if ranked_first {
+                "yes"
+            } else {
+                "n/a (no bogus repair)"
+            }
         );
     }
     println!(

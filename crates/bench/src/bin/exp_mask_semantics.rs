@@ -29,7 +29,10 @@ fn main() {
             &dirty,
             cell,
             MaskMode::Null,
-            SamplingConfig { samples: m, seed: 1 },
+            SamplingConfig {
+                samples: m,
+                seed: 1,
+            },
         )
         .unwrap();
     let distinct = ex
@@ -38,7 +41,10 @@ fn main() {
             &dirty,
             cell,
             MaskMode::Distinct,
-            SamplingConfig { samples: m, seed: 1 },
+            SamplingConfig {
+                samples: m,
+                seed: 1,
+            },
         )
         .unwrap();
     let replacement = ex
@@ -46,7 +52,10 @@ fn main() {
             &dcs,
             &dirty,
             cell,
-            SamplingConfig { samples: m, seed: 1 },
+            SamplingConfig {
+                samples: m,
+                seed: 1,
+            },
         )
         .unwrap();
 
@@ -77,7 +86,10 @@ fn main() {
     println!("\ntop-ranked cell:");
     println!("  null        → {}", null.ranking.top().unwrap().label);
     println!("  distinct    → {}", distinct.ranking.top().unwrap().label);
-    println!("  replacement → {}", replacement.ranking.top().unwrap().label);
+    println!(
+        "  replacement → {}",
+        replacement.ranking.top().unwrap().label
+    );
     println!(
         "\nExample 2.4's claim (t5[League] most influential) holds under both\n\
          masked semantics; the replacement estimator measures a different\n\

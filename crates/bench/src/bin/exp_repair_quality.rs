@@ -6,9 +6,7 @@
 //! Run: `cargo run --release -p trex-bench --bin exp_repair_quality`
 
 use trex_datagen::{errors, soccer};
-use trex_repair::{
-    score_repair, FdChaseRepair, HoloCleanStyle, HolisticRepair, RepairAlgorithm,
-};
+use trex_repair::{score_repair, FdChaseRepair, HolisticRepair, HoloCleanStyle, RepairAlgorithm};
 
 fn main() {
     let clean = soccer::generate_clean(&soccer::SoccerConfig {

@@ -34,11 +34,7 @@ fn main() {
             },
         );
         let dt = start.elapsed();
-        println!(
-            "{m:>8} {:>14.3?} {:>14.1?}",
-            dt,
-            dt / m as u32
-        );
+        println!("{m:>8} {:>14.3?} {:>14.1?}", dt, dt / m as u32);
         let _ = est;
     }
 

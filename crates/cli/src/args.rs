@@ -108,8 +108,14 @@ mod tests {
 
     #[test]
     fn parses_subcommand_and_flags() {
-        let a = Args::parse(["repair", "--table", "t.csv", "--engine=holoclean", "--train"])
-            .unwrap();
+        let a = Args::parse([
+            "repair",
+            "--table",
+            "t.csv",
+            "--engine=holoclean",
+            "--train",
+        ])
+        .unwrap();
         assert_eq!(a.command.as_deref(), Some("repair"));
         assert_eq!(a.get("table"), Some("t.csv"));
         assert_eq!(a.get("engine"), Some("holoclean"));

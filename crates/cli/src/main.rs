@@ -23,7 +23,7 @@ use trex::{
     render_explanation_screen, render_input_screen, render_repair_screen, Explainer, MaskMode,
 };
 use trex_constraints::{find_all_violations_indexed, parse_dcs, DenialConstraint};
-use trex_repair::{FdChaseRepair, HoloCleanStyle, HolisticRepair, RepairAlgorithm, RuleRepair};
+use trex_repair::{FdChaseRepair, HolisticRepair, HoloCleanStyle, RepairAlgorithm, RuleRepair};
 use trex_shapley::SamplingConfig;
 use trex_table::{read_csv_strings, CellRef, Table};
 
@@ -107,9 +107,9 @@ fn load_engine(args: &Args) -> Result<Box<dyn RepairAlgorithm>, ArgError> {
             Ok(Box::new(engine))
         }
         "rules" => {
-            let path = args.require("rules").map_err(|_| {
-                ArgError("--engine rules requires --rules FILE".to_string())
-            })?;
+            let path = args
+                .require("rules")
+                .map_err(|_| ArgError("--engine rules requires --rules FILE".to_string()))?;
             let text = std::fs::read_to_string(path)
                 .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
             let engine =
@@ -293,7 +293,10 @@ mod tests {
         let t = table();
         let c = parse_cell(&t, "t2.City").unwrap();
         assert_eq!(c, CellRef::new(1, t.schema().id("City")));
-        assert_eq!(parse_cell(&t, "1.Team").unwrap(), CellRef::new(0, t.schema().id("Team")));
+        assert_eq!(
+            parse_cell(&t, "1.Team").unwrap(),
+            CellRef::new(0, t.schema().id("Team"))
+        );
     }
 
     #[test]

@@ -61,7 +61,9 @@ fn operand_value<'t>(
 ) -> (&'t Value, Option<CellRef>) {
     match op {
         Operand::Const(v) => (v, None),
-        Operand::Attr { var, attr_id, name, .. } => {
+        Operand::Attr {
+            var, attr_id, name, ..
+        } => {
             let attr = attr_id.unwrap_or_else(|| {
                 panic!("unresolved attribute {name:?}: call DenialConstraint::resolve first")
             });
@@ -349,7 +351,10 @@ mod tests {
     fn violation_counts_per_constraint() {
         let t = soccer();
         let c1 = resolved("!(t1.Team = t2.Team & t1.City != t2.City)", t.schema());
-        let c2 = resolved("!(t1.City = t2.City & t1.Country != t2.Country)", t.schema());
+        let c2 = resolved(
+            "!(t1.City = t2.City & t1.Country != t2.Country)",
+            t.schema(),
+        );
         let counts = violation_counts(&[c1, c2], &t);
         assert_eq!(counts[0].1, 2);
         assert_eq!(counts[1].1, 0);
@@ -383,7 +388,10 @@ mod tests {
     fn single_tuple_cannot_violate_binary_dc() {
         // A reflexive predicate like t1.A = t2.A is trivially true for i=i,
         // but i == j pairs are excluded.
-        let t = TableBuilder::new().str_columns(["A"]).str_row(["x"]).build();
+        let t = TableBuilder::new()
+            .str_columns(["A"])
+            .str_row(["x"])
+            .build();
         let dc = resolved("!(t1.A = t2.A)", t.schema());
         assert!(find_violations(&dc, &t).is_empty());
     }

@@ -58,8 +58,12 @@ impl FunctionalDependency {
         for p in &dc.predicates {
             let (a, b) = match (&p.left, &p.right) {
                 (
-                    Operand::Attr { var: va, name: na, .. },
-                    Operand::Attr { var: vb, name: nb, .. },
+                    Operand::Attr {
+                        var: va, name: na, ..
+                    },
+                    Operand::Attr {
+                        var: vb, name: nb, ..
+                    },
                 ) if va != vb && na == nb => (na.clone(), nb.clone()),
                 _ => return None,
             };
@@ -122,8 +126,7 @@ impl FunctionalDependency {
     }
 
     fn resolve(&self, table: &Table) -> Option<(Vec<AttrId>, AttrId)> {
-        let lhs: Option<Vec<AttrId>> =
-            self.lhs.iter().map(|a| table.schema().resolve(a)).collect();
+        let lhs: Option<Vec<AttrId>> = self.lhs.iter().map(|a| table.schema().resolve(a)).collect();
         Some((lhs?, table.schema().resolve(&self.rhs)?))
     }
 }
@@ -169,11 +172,9 @@ pub fn discover_fds(table: &Table, max_lhs: usize) -> Vec<FunctionalDependency> 
             // Minimality: skip if a subset-lhs FD with this rhs already holds.
             for f in &found {
                 if f.rhs == names[rhs]
-                    && f.lhs.iter().all(|a| {
-                        lhs_idx
-                            .iter()
-                            .any(|i| names[*i] == *a)
-                    })
+                    && f.lhs
+                        .iter()
+                        .all(|a| lhs_idx.iter().any(|i| names[*i] == *a))
                     && f.lhs.len() < lhs_idx.len()
                 {
                     continue 'rhs;
@@ -193,7 +194,9 @@ pub fn discover_fds(table: &Table, max_lhs: usize) -> Vec<FunctionalDependency> 
 
 /// Convert every FD-shaped DC in `dcs` to an FD, skipping the rest.
 pub fn fds_of(dcs: &[DenialConstraint]) -> Vec<FunctionalDependency> {
-    dcs.iter().filter_map(FunctionalDependency::from_dc).collect()
+    dcs.iter()
+        .filter_map(FunctionalDependency::from_dc)
+        .collect()
 }
 
 impl FunctionalDependency {
@@ -230,7 +233,11 @@ impl FunctionalDependency {
                 continue;
             }
             measured += 1;
-            *classes.entry(key).or_default().entry(rhs_v.clone()).or_insert(0) += 1;
+            *classes
+                .entry(key)
+                .or_default()
+                .entry(rhs_v.clone())
+                .or_insert(0) += 1;
         }
         if measured == 0 {
             return 0.0;
@@ -278,7 +285,9 @@ pub fn discover_fds_approx(
             }
             for (f, _) in &found {
                 if f.rhs == names[rhs]
-                    && f.lhs.iter().all(|a| lhs_idx.iter().any(|i| names[*i] == *a))
+                    && f.lhs
+                        .iter()
+                        .all(|a| lhs_idx.iter().any(|i| names[*i] == *a))
                     && f.lhs.len() < lhs_idx.len()
                 {
                     continue 'rhs;
@@ -333,10 +342,10 @@ mod tests {
     #[test]
     fn non_fd_dcs_rejected() {
         for src in [
-            "!(t1.A = t2.A)",                            // no inequality
-            "!(t1.A != t2.A & t1.B != t2.B)",            // two inequalities
-            "!(t1.A = t2.A & t1.B > t2.B)",              // order predicate
-            "!(t1.A = t2.A & t1.B != \"x\")",            // constant
+            "!(t1.A = t2.A)",                 // no inequality
+            "!(t1.A != t2.A & t1.B != t2.B)", // two inequalities
+            "!(t1.A = t2.A & t1.B > t2.B)",   // order predicate
+            "!(t1.A = t2.A & t1.B != \"x\")", // constant
         ] {
             let dc = parse_dc(src).unwrap();
             assert_eq!(FunctionalDependency::from_dc(&dc), None, "{src}");
@@ -377,9 +386,9 @@ mod tests {
         // Minimality: since Team -> Country holds (via City), the composite
         // {Team, City} -> Country must not be reported.
         assert!(fds.contains(&FunctionalDependency::new(["Team"], "Country")));
-        assert!(!fds
-            .iter()
-            .any(|f| f.lhs.len() == 2 && f.rhs == "Country" && f.lhs.contains(&"Team".to_string())));
+        assert!(!fds.iter().any(|f| f.lhs.len() == 2
+            && f.rhs == "Country"
+            && f.lhs.contains(&"Team".to_string())));
     }
 
     #[test]
@@ -399,7 +408,10 @@ mod tests {
     #[test]
     fn g3_error_zero_iff_holds() {
         let t = table();
-        assert_eq!(FunctionalDependency::new(["Team"], "City").g3_error(&t), 0.0);
+        assert_eq!(
+            FunctionalDependency::new(["Team"], "City").g3_error(&t),
+            0.0
+        );
         // Country -> City fails for one of three rows under Spain.
         let e = FunctionalDependency::new(["Country"], "City").g3_error(&t);
         assert!((e - 1.0 / 3.0).abs() < 1e-12, "{e}");
@@ -408,13 +420,19 @@ mod tests {
     #[test]
     fn g3_error_of_unknown_attr_is_one() {
         let t = table();
-        assert_eq!(FunctionalDependency::new(["Nope"], "City").g3_error(&t), 1.0);
+        assert_eq!(
+            FunctionalDependency::new(["Nope"], "City").g3_error(&t),
+            1.0
+        );
     }
 
     #[test]
     fn g3_skips_null_rows() {
         let mut t = table();
-        t.set(trex_table::CellRef::new(0, t.schema().id("City")), Value::Null);
+        t.set(
+            trex_table::CellRef::new(0, t.schema().id("City")),
+            Value::Null,
+        );
         // Only rows 1 and 2 measured for Country -> City: Barcelona vs
         // Madrid under Spain -> one must go.
         let e = FunctionalDependency::new(["Country"], "City").g3_error(&t);

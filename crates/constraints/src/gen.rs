@@ -77,10 +77,7 @@ pub fn generate_dcs(schema: &Schema, config: &DcGenConfig) -> Vec<DenialConstrai
         preds.push(Predicate::pair(names[rhs].clone(), op));
         let candidate = DenialConstraint::new(format!("G{}", out.len() + 1), preds);
         // Distinctness up to name.
-        if !out
-            .iter()
-            .any(|d| d.predicates == candidate.predicates)
-        {
+        if !out.iter().any(|d| d.predicates == candidate.predicates) {
             out.push(candidate);
         }
     }

@@ -130,8 +130,7 @@ pub fn mine_dcs(table: &Table, config: &MineConfig) -> Vec<DenialConstraint> {
         })
         .collect();
 
-    let is_valid =
-        |mask: u64| -> bool { !evidence.iter().any(|e| e & mask == mask) };
+    let is_valid = |mask: u64| -> bool { !evidence.iter().any(|e| e & mask == mask) };
 
     let mut valid_masks: Vec<u64> = Vec::new();
     let mut found: Vec<DenialConstraint> = Vec::new();
@@ -148,9 +147,11 @@ pub fn mine_dcs(table: &Table, config: &MineConfig) -> Vec<DenialConstraint> {
             }
             if is_valid(mask) {
                 valid_masks.push(mask);
-                let preds: Vec<Predicate> =
-                    cand.iter().map(|i| predicates[*i].clone()).collect();
-                found.push(DenialConstraint::new(format!("M{}", found.len() + 1), preds));
+                let preds: Vec<Predicate> = cand.iter().map(|i| predicates[*i].clone()).collect();
+                found.push(DenialConstraint::new(
+                    format!("M{}", found.len() + 1),
+                    preds,
+                ));
                 continue;
             }
             // Extend with higher-indexed predicates on fresh attributes.
@@ -247,11 +248,9 @@ mod tests {
             .str_row(["3", "Barcelona"])
             .build();
         let dcs = mine_dcs(&t, &MineConfig::default());
-        assert!(dcs
-            .iter()
-            .any(|d| d.predicates.len() == 1
-                && d.predicates[0].attrs().next().map(|(_, n)| n) == Some("Id")
-                && d.predicates[0].op == CmpOp::Eq));
+        assert!(dcs.iter().any(|d| d.predicates.len() == 1
+            && d.predicates[0].attrs().next().map(|(_, n)| n) == Some("Id")
+            && d.predicates[0].op == CmpOp::Eq));
         let fds = crate::fd::fds_of(&dcs);
         assert!(!fds.iter().any(|f| f.lhs == vec!["Id".to_string()]));
     }
@@ -288,11 +287,13 @@ mod tests {
         // ¬(t1.Year < t2.Year ∧ t1.Rank < t2.Rank) must be among them.
         assert!(
             dcs.iter().any(|d| {
-                d.predicates.len() == 2
-                    && d.predicates.iter().all(|p| p.op == CmpOp::Lt)
+                d.predicates.len() == 2 && d.predicates.iter().all(|p| p.op == CmpOp::Lt)
             }),
             "mined: {}",
-            dcs.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("; ")
+            dcs.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
         );
         assert!(all_satisfied(&dcs, &t));
     }

@@ -132,7 +132,10 @@ impl<'a> Parser<'a> {
         }
         Err(ParseError::new(
             self.pos,
-            format!("expected comparison operator, found {:?}", self.peek_snippet()),
+            format!(
+                "expected comparison operator, found {:?}",
+                self.peek_snippet()
+            ),
         ))
     }
 
@@ -188,7 +191,10 @@ impl<'a> Parser<'a> {
                 self.pos += end;
                 return Ok(Operand::Const(Value::Float(x)));
             }
-            return Err(ParseError::new(start, format!("bad number literal {text:?}")));
+            return Err(ParseError::new(
+                start,
+                format!("bad number literal {text:?}"),
+            ));
         }
         let ident = self
             .ident()
@@ -197,7 +203,11 @@ impl<'a> Parser<'a> {
             "true" => Ok(Operand::Const(Value::Bool(true))),
             "false" => Ok(Operand::Const(Value::Bool(false))),
             "t1" | "t2" => {
-                let var = if ident == "t1" { TupleVar::T1 } else { TupleVar::T2 };
+                let var = if ident == "t1" {
+                    TupleVar::T1
+                } else {
+                    TupleVar::T2
+                };
                 // `t1.Attr` or `t1[Attr]`
                 if self.eat(".") {
                     let attr = self
@@ -299,16 +309,37 @@ pub fn parse_dc(input: &str) -> Result<DenialConstraint, ParseError> {
 }
 
 /// Parse a newline-separated list of DCs. Blank lines and `#` comment lines
-/// are skipped; unnamed DCs get names `C1, C2, …` by position.
+/// are skipped; unnamed DCs get the first unused positional name `Cn`.
+/// Duplicate names are rejected: rule lists and explanations address
+/// constraints by name, so a repeated name would silently shadow an earlier
+/// constraint. Error positions are byte offsets into the full input.
 pub fn parse_dcs(input: &str) -> Result<Vec<DenialConstraint>, ParseError> {
-    let mut out = Vec::new();
-    for line in input.lines() {
-        let line = line.trim();
+    let mut out: Vec<DenialConstraint> = Vec::new();
+    let mut offset = 0;
+    for raw in input.split_inclusive('\n') {
+        let line_start = offset;
+        offset += raw.len();
+        let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let default = format!("C{}", out.len() + 1);
-        out.push(parse_dc_named(line, &default)?);
+        // Offset of the trimmed text within the full input, so positions
+        // stay exact on CRLF files and indented lines.
+        let text_start = line_start + (raw.len() - raw.trim_start().len());
+        // First positional name not taken by an explicitly named DC.
+        let mut n = out.len() + 1;
+        while out.iter().any(|d| d.name == format!("C{n}")) {
+            n += 1;
+        }
+        let dc = parse_dc_named(line, &format!("C{n}"))
+            .map_err(|e| ParseError::new(text_start + e.position, e.message))?;
+        if out.iter().any(|d| d.name == dc.name) {
+            return Err(ParseError::new(
+                text_start,
+                format!("duplicate constraint name {:?}", dc.name),
+            ));
+        }
+        out.push(dc);
     }
     Ok(out)
 }
@@ -348,10 +379,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(dc.predicates.len(), 4);
-        assert_eq!(
-            dc.predicates[0].right,
-            Operand::Const(Value::str("Madrid"))
-        );
+        assert_eq!(dc.predicates[0].right, Operand::Const(Value::str("Madrid")));
         assert_eq!(dc.predicates[1].right, Operand::Const(Value::int(1900)));
         assert_eq!(dc.predicates[2].right, Operand::Const(Value::float(2.5)));
         assert_eq!(dc.predicates[3].right, Operand::Const(Value::Bool(true)));
@@ -422,5 +450,101 @@ mod tests {
     fn unterminated_string_rejected() {
         let err = parse_dc("!(t1.A = \"oops)").unwrap_err();
         assert!(err.message.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_parses_to_no_constraints() {
+        assert_eq!(parse_dcs("").unwrap(), vec![]);
+        assert_eq!(parse_dcs("\n\n  \n").unwrap(), vec![]);
+        assert_eq!(parse_dcs("# only a comment\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn empty_single_dc_is_an_error_not_a_panic() {
+        let err = parse_dc("").unwrap_err();
+        assert!(err.message.contains("'!' or 'not'"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_constraint_names_rejected() {
+        let err = parse_dcs(
+            "K: !(t1.A = t2.A & t1.B != t2.B)\n\
+             K: !(t1.B = t2.B & t1.C != t2.C)\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate constraint name"), "{err}");
+        assert!(err.message.contains("\"K\""), "{err}");
+        // The position points at the offending line, not the first one.
+        assert_eq!(err.position, "K: !(t1.A = t2.A & t1.B != t2.B)\n".len());
+    }
+
+    #[test]
+    fn explicit_name_colliding_with_an_assigned_positional_name_is_rejected() {
+        // The first line is auto-named C1; an explicit `C1:` after it is a
+        // genuine duplicate (both constraints answer to "C1").
+        let err = parse_dcs(
+            "!(t1.A = t2.A)\n\
+             C1: !(t1.B = t2.B)\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn positional_names_skip_explicitly_taken_ones() {
+        // `C2` is explicitly taken before the unnamed line would positionally
+        // become C2 — the auto-namer must skip ahead, not spuriously reject.
+        let dcs = parse_dcs(
+            "C2: !(t1.A = t2.A)\n\
+             !(t1.B = t2.B)\n",
+        )
+        .unwrap();
+        assert_eq!(
+            dcs.iter().map(|d| d.name.as_str()).collect::<Vec<_>>(),
+            vec!["C2", "C3"]
+        );
+    }
+
+    #[test]
+    fn error_positions_are_absolute_in_multiline_input() {
+        // Parse errors inside a later line are rebased to full-input offsets,
+        // CRLF terminators and indentation included.
+        let input = "C1: !(t1.A = t2.A)\r\n  C2: !(t1.B @ t2.B)\r\n";
+        let err = parse_dcs(input).unwrap_err();
+        assert!(err.message.contains("comparison operator"), "{err}");
+        let caret = &input[err.position..];
+        assert!(caret.starts_with("@ t2.B"), "position points at {caret:?}");
+
+        let input = "K: !(t1.A = t2.A)\r\nK: !(t1.B = t2.B)\r\n";
+        let err = parse_dcs(input).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+        assert!(input[err.position..].starts_with("K: !(t1.B"), "{err}");
+    }
+
+    #[test]
+    fn malformed_predicate_reports_an_error() {
+        // Missing right operand.
+        let err = parse_dc("C1: !(t1.A =)").unwrap_err();
+        assert!(err.message.contains("expected operand"), "{err}");
+        // Missing operator between operands.
+        let err = parse_dc("C1: !(t1.A t2.A)").unwrap_err();
+        assert!(err.message.contains("comparison operator"), "{err}");
+        // Dangling conjunction.
+        let err = parse_dc("C1: !(t1.A = t2.A &)").unwrap_err();
+        assert!(err.message.contains("expected operand"), "{err}");
+        // Tuple variable without an attribute.
+        let err = parse_dc("C1: !(t1 = t2.A)").unwrap_err();
+        assert!(err.message.contains("'.' or '['"), "{err}");
+    }
+
+    #[test]
+    fn trailing_newline_is_ignored() {
+        let with = parse_dcs("C1: !(t1.A = t2.A & t1.B != t2.B)\n").unwrap();
+        let without = parse_dcs("C1: !(t1.A = t2.A & t1.B != t2.B)").unwrap();
+        assert_eq!(with, without);
+        assert_eq!(with.len(), 1);
+        // Windows-style line endings also work: \r is trimmed per line.
+        let crlf = parse_dcs("C1: !(t1.A = t2.A & t1.B != t2.B)\r\n").unwrap();
+        assert_eq!(crlf, with);
     }
 }

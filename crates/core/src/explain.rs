@@ -174,8 +174,8 @@ impl<'a> Explainer<'a> {
     ) -> Result<(Vec<String>, Vec<Vec<f64>>), ExplainError> {
         let target = self.repair_target(dcs, dirty, cell)?;
         let game = ConstraintGame::new(self.alg, dcs, dirty, cell, target);
-        let matrix = trex_shapley::shapley_interaction_exact(&game)
-            .expect("constraint sets are small");
+        let matrix =
+            trex_shapley::shapley_interaction_exact(&game).expect("constraint sets are small");
         let labels = (0..dcs.len())
             .map(|i| Game::player_label(&game, i))
             .collect();
@@ -259,13 +259,7 @@ impl<'a> Explainer<'a> {
             estimates
                 .iter()
                 .enumerate()
-                .map(|(i, e)| {
-                    (
-                        Game::player_label(&game, i),
-                        e.value,
-                        Some(e.std_error()),
-                    )
-                })
+                .map(|(i, e)| (Game::player_label(&game, i), e.value, Some(e.std_error())))
                 .collect(),
         );
         Ok(CellExplanation {
@@ -594,7 +588,10 @@ mod tests {
                 MaskMode::Null,
             )
             .unwrap_err();
-        assert!(matches!(err, ExplainError::TooManyCells { players: 35, .. }));
+        assert!(matches!(
+            err,
+            ExplainError::TooManyCells { players: 35, .. }
+        ));
     }
 
     #[test]

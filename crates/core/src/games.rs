@@ -100,8 +100,7 @@ impl Game for ConstraintGame<'_> {
     }
 
     fn value(&self, coalition: &Coalition) -> f64 {
-        let subset: Vec<DenialConstraint> =
-            coalition.iter().map(|i| self.dcs[i].clone()).collect();
+        let subset: Vec<DenialConstraint> = coalition.iter().map(|i| self.dcs[i].clone()).collect();
         if self
             .oracle
             .repairs_cell_to(&subset, self.dirty, self.cell, &self.target)
@@ -124,11 +123,7 @@ pub fn cell_players(table: &Table, exclude: CellRef) -> Vec<CellRef> {
 }
 
 fn label_of(table: &Table, cell: CellRef) -> String {
-    format!(
-        "t{}[{}]",
-        cell.row + 1,
-        table.schema().attr(cell.attr).name
-    )
+    format!("t{}[{}]", cell.row + 1, table.schema().attr(cell.attr).name)
 }
 
 /// The masked cell game: `Shap(T^d, Alg|t[A], tᵢ[B])` of §2.2, with
@@ -184,9 +179,7 @@ impl<'a> CellGameMasked<'a> {
             if !coalition.contains(idx) {
                 let masked = match self.mode {
                     MaskMode::Null => Value::Null,
-                    MaskMode::Distinct => {
-                        Value::LabeledNull(player.flat_index(arity) as u64)
-                    }
+                    MaskMode::Distinct => Value::LabeledNull(player.flat_index(arity) as u64),
                 };
                 out.set(*player, masked);
             }
@@ -337,7 +330,13 @@ mod tests {
         // The subset-enumeration solver evaluates each of the 16 coalitions
         // exactly once...
         let _ = trex_shapley::shapley_exact(&game).unwrap();
-        assert_eq!(game.oracle_stats(), trex_repair::OracleStats { hits: 0, misses: 16 });
+        assert_eq!(
+            game.oracle_stats(),
+            trex_repair::OracleStats {
+                hits: 0,
+                misses: 16
+            }
+        );
         // ...and a second solve (e.g. the rational cross-check an explainer
         // also runs) is answered entirely from cache.
         let _ = trex_shapley::shapley_exact_rational(&game).unwrap();
@@ -352,8 +351,14 @@ mod tests {
         let dcs = laliga::constraints();
         let alg = laliga::algorithm1();
         let cell = laliga::cell_of_interest(&dirty);
-        let game =
-            CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), MaskMode::Null);
+        let game = CellGameMasked::new(
+            &alg,
+            &dcs,
+            &dirty,
+            cell,
+            Value::str("Spain"),
+            MaskMode::Null,
+        );
         assert_eq!(Game::num_players(&game), 35);
         assert!(!game.players().contains(&cell));
     }
@@ -365,8 +370,7 @@ mod tests {
         let alg = laliga::algorithm1();
         let cell = laliga::cell_of_interest(&dirty);
         for mode in [MaskMode::Null, MaskMode::Distinct] {
-            let game =
-                CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), mode);
+            let game = CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), mode);
             let empty = Coalition::empty(Game::num_players(&game));
             assert_eq!(game.value(&empty), 0.0, "{mode:?}");
         }
@@ -379,8 +383,7 @@ mod tests {
         let alg = laliga::algorithm1();
         let cell = laliga::cell_of_interest(&dirty);
         for mode in [MaskMode::Null, MaskMode::Distinct] {
-            let game =
-                CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), mode);
+            let game = CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), mode);
             let full = Coalition::full(Game::num_players(&game));
             assert_eq!(game.value(&full), 1.0, "{mode:?}");
         }
@@ -393,8 +396,14 @@ mod tests {
         let dcs = laliga::constraints();
         let alg = laliga::algorithm1();
         let cell = laliga::cell_of_interest(&dirty);
-        let game =
-            CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), MaskMode::Null);
+        let game = CellGameMasked::new(
+            &alg,
+            &dcs,
+            &dirty,
+            cell,
+            Value::str("Spain"),
+            MaskMode::Null,
+        );
         let league = dirty.schema().id("League");
         let country = dirty.schema().id("Country");
         let wanted = [
@@ -445,8 +454,7 @@ mod tests {
         ];
 
         let by_mode = |mode: MaskMode, cells: &[CellRef]| {
-            let game =
-                CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), mode);
+            let game = CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), mode);
             let players = game.players().to_vec();
             let coalition = Coalition::from_players(
                 players.len(),
@@ -492,8 +500,14 @@ mod tests {
         let dcs = laliga::constraints();
         let alg = laliga::algorithm1();
         let cell = laliga::cell_of_interest(&dirty);
-        let game =
-            CellGameMasked::new(&alg, &dcs, &dirty, cell, Value::str("Spain"), MaskMode::Null);
+        let game = CellGameMasked::new(
+            &alg,
+            &dcs,
+            &dirty,
+            cell,
+            Value::str("Spain"),
+            MaskMode::Null,
+        );
         assert_eq!(Game::player_label(&game, 0), "t1[Team]");
         // Player index of t5[League]: players skip t5[Country].
         let league = dirty.schema().id("League");

@@ -99,8 +99,7 @@ impl Ranking {
         }
         let frac = entry.value / max;
         // 1..=4
-        ((frac * (INTENSITY_LEVELS - 1) as f64).ceil() as usize)
-            .clamp(1, INTENSITY_LEVELS - 1)
+        ((frac * (INTENSITY_LEVELS - 1) as f64).ceil() as usize).clamp(1, INTENSITY_LEVELS - 1)
     }
 
     /// Sum of all values — for a complete constraint game this is

@@ -93,11 +93,7 @@ pub fn render_explanation_screen(
         ));
         out.push_str(&c.ranking.to_string());
         out.push_str("Exact values: ");
-        let parts: Vec<String> = c
-            .exact
-            .iter()
-            .map(|(n, r)| format!("{n} = {r}"))
-            .collect();
+        let parts: Vec<String> = c.exact.iter().map(|(n, r)| format!("{n} = {r}")).collect();
         out.push_str(&parts.join(", "));
         out.push('\n');
     }
@@ -111,8 +107,7 @@ pub fn render_explanation_screen(
                 i + 1,
                 e.label,
                 e.value,
-                e.std_error
-                    .map_or(String::new(), |s| format!(" ± {s:.4}")),
+                e.std_error.map_or(String::new(), |s| format!(" ± {s:.4}")),
                 bar
             ));
         }

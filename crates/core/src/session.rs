@@ -133,16 +133,13 @@ impl Session {
     /// companion to the §4 debugging loop. Suggestions are named
     /// `S1, S2, …` and capped at `limit`.
     pub fn suggest_constraints(&self, limit: usize) -> Vec<DenialConstraint> {
-        let mined = trex_constraints::mine_dcs(
-            &self.table,
-            &trex_constraints::MineConfig::default(),
-        );
+        let mined =
+            trex_constraints::mine_dcs(&self.table, &trex_constraints::MineConfig::default());
         let mut out = Vec::new();
         // Compare by rendered predicate text: resolution state (attr ids
         // filled in or not) must not affect duplicate detection.
         let rendered = |dc: &DenialConstraint| {
-            let mut preds: Vec<String> =
-                dc.predicates.iter().map(|p| p.to_string()).collect();
+            let mut preds: Vec<String> = dc.predicates.iter().map(|p| p.to_string()).collect();
             preds.sort();
             preds
         };
@@ -230,9 +227,11 @@ mod tests {
     #[test]
     fn upsert_replaces_by_name() {
         let mut s = session();
-        let replacement =
-            trex_constraints::parse_dc_named("C3: !(t1.League = t2.League & t1.Year != t2.Year)", "C3")
-                .unwrap();
+        let replacement = trex_constraints::parse_dc_named(
+            "C3: !(t1.League = t2.League & t1.Year != t2.Year)",
+            "C3",
+        )
+        .unwrap();
         s.upsert_constraint(replacement.clone());
         assert_eq!(s.constraints().len(), 4);
         assert_eq!(
@@ -274,17 +273,18 @@ mod tests {
             .constraints()
             .iter()
             .map(|d| {
-                let mut p: Vec<String> =
-                    d.predicates.iter().map(|x| x.to_string()).collect();
+                let mut p: Vec<String> = d.predicates.iter().map(|x| x.to_string()).collect();
                 p.sort();
                 p.join(" & ")
             })
             .collect();
         for sug in &suggestions {
-            let mut p: Vec<String> =
-                sug.predicates.iter().map(|x| x.to_string()).collect();
+            let mut p: Vec<String> = sug.predicates.iter().map(|x| x.to_string()).collect();
             p.sort();
-            assert!(!have.contains(&p.join(" & ")), "{sug} duplicates a session DC");
+            assert!(
+                !have.contains(&p.join(" & ")),
+                "{sug} duplicates a session DC"
+            );
             assert!(sug.name.starts_with('S'));
         }
         // Cap respected.

@@ -102,10 +102,7 @@ mod tests {
 
     #[test]
     fn generated_census_is_clean() {
-        let t = generate_census(&CensusConfig {
-            rows: 200,
-            seed: 4,
-        });
+        let t = generate_census(&CensusConfig { rows: 200, seed: 4 });
         assert_eq!(t.num_rows(), 200);
         let dcs: Vec<DenialConstraint> = census_constraints()
             .iter()

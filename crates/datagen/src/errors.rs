@@ -96,7 +96,11 @@ fn typo(v: &Value, rng: &mut StdRng) -> Value {
         Value::Str(s) => Value::Str(format!("{s}x")),
         Value::Int(i) => {
             let delta = rng.gen_range(1..=3i64);
-            Value::Int(if rng.gen_bool(0.5) { i + delta } else { i - delta })
+            Value::Int(if rng.gen_bool(0.5) {
+                i + delta
+            } else {
+                i - delta
+            })
         }
         Value::Float(x) => Value::Float(x + 1.0),
         Value::Bool(b) => Value::Bool(!b),

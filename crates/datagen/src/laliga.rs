@@ -222,8 +222,20 @@ mod tests {
         let cs = constraints();
         let cell = city_cell(&t);
         let madrid = Value::str("Madrid");
-        assert!(trex_repair::repairs_cell_to(&alg, &cs[..3], &t, cell, &madrid));
-        assert!(!trex_repair::repairs_cell_to(&alg, &cs[1..3], &t, cell, &madrid));
+        assert!(trex_repair::repairs_cell_to(
+            &alg,
+            &cs[..3],
+            &t,
+            cell,
+            &madrid
+        ));
+        assert!(!trex_repair::repairs_cell_to(
+            &alg,
+            &cs[1..3],
+            &t,
+            cell,
+            &madrid
+        ));
     }
 
     #[test]

@@ -42,7 +42,14 @@ impl Default for SoccerConfig {
 /// Country names used by the generator, cycled with numeric suffixes when
 /// more are requested.
 const COUNTRY_POOL: [&str; 8] = [
-    "Spain", "England", "Italy", "Germany", "France", "Portugal", "Netherlands", "Argentina",
+    "Spain",
+    "England",
+    "Italy",
+    "Germany",
+    "France",
+    "Portugal",
+    "Netherlands",
+    "Argentina",
 ];
 const LEAGUE_POOL: [&str; 8] = [
     "La Liga",
@@ -271,8 +278,7 @@ mod tests {
         let place = t.schema().id("Place");
         for i in 0..t.num_rows() {
             for j in (i + 1)..t.num_rows() {
-                if t.value(i, league) == t.value(j, league)
-                    && t.value(i, year) == t.value(j, year)
+                if t.value(i, league) == t.value(j, league) && t.value(i, year) == t.value(j, year)
                 {
                     assert_ne!(t.value(i, place), t.value(j, place));
                 }

@@ -175,7 +175,10 @@ mod tests {
     }
 
     fn resolved(t: &Table) -> Vec<DenialConstraint> {
-        dcs().iter().map(|d| d.resolved(t.schema()).unwrap()).collect()
+        dcs()
+            .iter()
+            .map(|d| d.resolved(t.schema()).unwrap())
+            .collect()
     }
 
     fn dirty() -> Table {

@@ -154,7 +154,11 @@ pub fn featurize(
     candidate: &Value,
 ) -> FeatureVector {
     let cooccurrence = model.mean_cooccurrence(table, cell, candidate);
-    let minimality = if table.get(cell) == candidate { 1.0 } else { 0.0 };
+    let minimality = if table.get(cell) == candidate {
+        1.0
+    } else {
+        0.0
+    };
     let violations = row_violations_with(dcs, table, cell, candidate);
     let rows = table.num_rows().max(1) as f64;
     FeatureVector {
@@ -192,9 +196,15 @@ mod tests {
         let country = t.schema().id("Country");
         let cell = CellRef::new(2, country);
         // Keeping España: conflicts with rows 0 and 1, both directions = 4.
-        assert_eq!(row_violations_with(&dcs, &mut t, cell, &Value::str("España")), 4);
+        assert_eq!(
+            row_violations_with(&dcs, &mut t, cell, &Value::str("España")),
+            4
+        );
         // Switching to Spain: zero.
-        assert_eq!(row_violations_with(&dcs, &mut t, cell, &Value::str("Spain")), 0);
+        assert_eq!(
+            row_violations_with(&dcs, &mut t, cell, &Value::str("Spain")),
+            0
+        );
         // Table restored.
         assert_eq!(t.get(cell), &Value::str("España"));
     }

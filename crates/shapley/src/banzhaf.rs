@@ -14,10 +14,10 @@
 //! ranking?" extension experiment (`exp_banzhaf`), which is exactly the
 //! kind of question a user of the explanations would ask.
 
+use crate::convergence::RunningStats;
 use crate::exact::{ExactError, MAX_EXACT_PLAYERS};
 use crate::game::{Coalition, Game, StochasticGame};
 use crate::sampling::Estimate;
-use crate::convergence::RunningStats;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

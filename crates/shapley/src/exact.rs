@@ -41,7 +41,10 @@ impl fmt::Display for ExactError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExactError::TooManyPlayers { n, limit } => {
-                write!(f, "exact Shapley over {n} players exceeds the {limit}-player enumeration limit")
+                write!(
+                    f,
+                    "exact Shapley over {n} players exceeds the {limit}-player enumeration limit"
+                )
             }
         }
     }

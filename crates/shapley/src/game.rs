@@ -276,7 +276,10 @@ mod tests {
         assert_eq!(c.len(), 7);
         let m = Coalition::from_mask(7, 0b1010101);
         assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 2, 4, 6]);
-        assert_eq!(m.to_mask_vec(), vec![true, false, true, false, true, false, true]);
+        assert_eq!(
+            m.to_mask_vec(),
+            vec![true, false, true, false, true, false, true]
+        );
     }
 
     #[test]

@@ -54,8 +54,7 @@ pub fn shapley_interaction_exact<G: Game + ?Sized>(game: &G) -> Result<Vec<Vec<f
                 }
                 let s = (mask as u64).count_ones() as usize;
                 let weight = fact[s] * fact[n - s - 2] / fact[n - 1];
-                let delta = values[mask | pair] - values[mask | (1 << i)]
-                    - values[mask | (1 << j)]
+                let delta = values[mask | pair] - values[mask | (1 << i)] - values[mask | (1 << j)]
                     + values[mask];
                 total += weight * delta;
             }

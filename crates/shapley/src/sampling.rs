@@ -117,10 +117,7 @@ pub fn estimate_player<G: StochasticGame + ?Sized>(
 ///
 /// Each player gets a distinct derived seed, so estimates are independent
 /// and the whole call is deterministic.
-pub fn estimate_all<G: StochasticGame + ?Sized>(
-    game: &G,
-    config: SamplingConfig,
-) -> Vec<Estimate> {
+pub fn estimate_all<G: StochasticGame + ?Sized>(game: &G, config: SamplingConfig) -> Vec<Estimate> {
     (0..game.num_players())
         .map(|p| {
             estimate_player(
@@ -128,7 +125,9 @@ pub fn estimate_all<G: StochasticGame + ?Sized>(
                 p,
                 SamplingConfig {
                     samples: config.samples,
-                    seed: config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(p as u64 + 1)),
+                    seed: config
+                        .seed
+                        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(p as u64 + 1)),
                 },
             )
         })
@@ -308,8 +307,7 @@ mod tests {
     #[test]
     fn adaptive_stops_when_tight() {
         let g = fixtures::unanimity(6, vec![0, 1, 2]);
-        let (est, converged) =
-            estimate_player_adaptive(&g, 0, 0.02, 1.96, 500, 200_000, 7);
+        let (est, converged) = estimate_player_adaptive(&g, 0, 0.02, 1.96, 500, 200_000, 7);
         assert!(converged);
         assert!((est.value - 1.0 / 3.0).abs() < 0.05);
     }

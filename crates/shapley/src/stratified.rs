@@ -37,7 +37,10 @@ pub fn estimate_player_stratified<G: StochasticGame + ?Sized>(
 ) -> Estimate {
     let n = game.num_players();
     assert!(player < n, "player {player} out of range ({n} players)");
-    assert!(samples_per_stratum > 0, "need at least one sample per stratum");
+    assert!(
+        samples_per_stratum > 0,
+        "need at least one sample per stratum"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let others: Vec<usize> = (0..n).filter(|i| *i != player).collect();
     let mut stratum_stats: Vec<RunningStats> = vec![RunningStats::new(); n];

@@ -44,10 +44,18 @@ pub enum CsvError {
 impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CsvError::ArityMismatch { line, got, expected } => {
+            CsvError::ArityMismatch {
+                line,
+                got,
+                expected,
+            } => {
                 write!(f, "line {line}: expected {expected} fields, got {got}")
             }
-            CsvError::BadField { line, column, message } => {
+            CsvError::BadField {
+                line,
+                column,
+                message,
+            } => {
                 write!(f, "line {line}, column {column}: {message}")
             }
             CsvError::UnterminatedQuote => write!(f, "unterminated quoted field"),
@@ -149,12 +157,7 @@ pub fn read_csv(input: &str, dtypes: &[DType]) -> Result<Table, CsvError> {
             expected: dtypes.len(),
         });
     }
-    let schema = Schema::new(
-        header
-            .iter()
-            .zip(dtypes)
-            .map(|(f, d)| (f.text.clone(), *d)),
-    );
+    let schema = Schema::new(header.iter().zip(dtypes).map(|(f, d)| (f.text.clone(), *d)));
     let mut table = Table::empty(schema);
     for (i, rec) in iter.enumerate() {
         let line = i + 2;

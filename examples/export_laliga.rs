@@ -1,0 +1,43 @@
+//! Regenerate the shipped `data/` files from the library fixtures, so the
+//! file-based CLI path (`tests/cli_files.rs`, `trex … --table --dcs --rules`)
+//! stays byte-consistent with `trex_datagen::laliga`:
+//!
+//! ```text
+//! cargo run --example export_laliga
+//! ```
+
+use std::fmt::Write as _;
+use trex_repro::datagen::laliga;
+use trex_repro::table::write_csv;
+
+fn main() -> std::io::Result<()> {
+    let dir = format!("{}/data", env!("CARGO_MANIFEST_DIR"));
+    std::fs::create_dir_all(&dir)?;
+
+    std::fs::write(
+        format!("{dir}/laliga_dirty.csv"),
+        write_csv(&laliga::dirty_table()),
+    )?;
+    std::fs::write(
+        format!("{dir}/laliga_clean.csv"),
+        write_csv(&laliga::clean_table()),
+    )?;
+
+    let mut dcs = String::from("# Figure 1: the four denial constraints of the running example.\n");
+    for dc in laliga::constraints() {
+        writeln!(dcs, "{dc}").unwrap();
+    }
+    std::fs::write(format!("{dir}/laliga.dcs"), dcs)?;
+
+    let rules = "\
+# The paper's Algorithm 1 as a rule list (constraint: Attr <- action).
+C1: City <- most_common
+C2: Country <- most_common_given(City)
+C3: Country <- most_common
+C4: Place <- most_common_given(Team)
+";
+    std::fs::write(format!("{dir}/algorithm1.rules"), rules)?;
+
+    println!("wrote laliga_dirty.csv, laliga_clean.csv, laliga.dcs, algorithm1.rules to {dir}");
+    Ok(())
+}

@@ -16,10 +16,7 @@ use trex_shapley::SamplingConfig;
 
 fn main() {
     // Census-like data with two FDs and a range rule.
-    let clean = adult::generate_census(&adult::CensusConfig {
-        rows: 24,
-        seed: 2,
-    });
+    let clean = adult::generate_census(&adult::CensusConfig { rows: 24, seed: 2 });
     let dcs = adult::census_constraints();
     let injected = errors::inject_errors(
         &clean,

@@ -24,14 +24,24 @@ fn main() {
 
     println!("== Figure 2a: dirty table T^d ==\n{dirty}");
     let result = alg.repair(&dcs, &dirty);
-    println!("== Figure 2b: clean table T^c = Alg(C, T^d) ==\n{}", result.clean);
-    assert_eq!(result.clean, laliga::clean_table(), "repair must match Figure 2b");
-    println!("repaired cells: {}\n", result
-        .changes
-        .iter()
-        .map(|c| c.to_string())
-        .collect::<Vec<_>>()
-        .join("; "));
+    println!(
+        "== Figure 2b: clean table T^c = Alg(C, T^d) ==\n{}",
+        result.clean
+    );
+    assert_eq!(
+        result.clean,
+        laliga::clean_table(),
+        "repair must match Figure 2b"
+    );
+    println!(
+        "repaired cells: {}\n",
+        result
+            .changes
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
 
     // Example 2.2
     let city = laliga::city_cell(&dirty);

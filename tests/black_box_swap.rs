@@ -5,7 +5,7 @@
 use trex::Explainer;
 use trex_constraints::parse_dcs;
 use trex_repair::{
-    FdChaseRepair, FixAction, HoloCleanStyle, HolisticRepair, RepairAlgorithm, Rule, RuleRepair,
+    FdChaseRepair, FixAction, HolisticRepair, HoloCleanStyle, RepairAlgorithm, Rule, RuleRepair,
 };
 use trex_shapley::SamplingConfig;
 use trex_table::{CellRef, Table, TableBuilder, Value};

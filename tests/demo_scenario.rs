@@ -129,6 +129,10 @@ fn session_history_reflects_the_demo_walk() {
     session.repair();
     session.remove_constraint("B");
     session.repair();
-    let actions: Vec<&str> = session.history().iter().map(|h| h.action.as_str()).collect();
+    let actions: Vec<&str> = session
+        .history()
+        .iter()
+        .map(|h| h.action.as_str())
+        .collect();
     assert_eq!(actions, vec!["repair", "remove constraint B", "repair"]);
 }

@@ -22,15 +22,14 @@ fn mining_recovers_the_papers_constraint_shapes() {
     let clean = standings();
     let dcs = mine_dcs(&clean, &MineConfig::default());
     let fds = fds_of(&dcs);
-    for (lhs, rhs) in [
-        ("Team", "City"),
-        ("City", "Country"),
-        ("League", "Country"),
-    ] {
+    for (lhs, rhs) in [("Team", "City"), ("City", "Country"), ("League", "Country")] {
         assert!(
             fds.contains(&FunctionalDependency::new([lhs], rhs)),
             "{lhs} -> {rhs} not mined; got {}",
-            fds.iter().map(|f| f.to_string()).collect::<Vec<_>>().join(", ")
+            fds.iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
 }
@@ -66,14 +65,18 @@ fn mined_constraints_drive_repair_and_explanation() {
     );
 
     // Explain the first successful repair through the standard pipeline.
-    if let Some(ch) = result
-        .changes
-        .iter()
-        .find(|c| injected.truth.iter().any(|t| t.cell == c.cell && t.to == c.to))
-    {
+    if let Some(ch) = result.changes.iter().find(|c| {
+        injected
+            .truth
+            .iter()
+            .any(|t| t.cell == c.cell && t.to == c.to)
+    }) {
         let out = Explainer::new(&alg)
             .explain_constraints(&dcs, &injected.dirty, ch.cell)
             .unwrap();
-        assert!(out.ranking.total() > 0.99, "some mined DC carries the repair");
+        assert!(
+            out.ranking.total() > 0.99,
+            "some mined DC carries the repair"
+        );
     }
 }

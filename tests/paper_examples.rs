@@ -107,8 +107,7 @@ fn e4_example_2_4_cell_ranking_masked() {
     assert_eq!(out.ranking.top().unwrap().label, "t5[League]");
     assert_eq!(out.ranking.get("t1[Place]").unwrap().value, 0.0);
     assert!(
-        out.ranking.get("t5[League]").unwrap().value
-            > out.ranking.get("t6[City]").unwrap().value
+        out.ranking.get("t5[League]").unwrap().value > out.ranking.get("t6[City]").unwrap().value
     );
     // All Place cells are dummies (no constraint path to Country).
     for r in 1..=6 {

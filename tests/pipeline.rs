@@ -6,7 +6,7 @@ use trex::{Explainer, Session};
 use trex_constraints::{parse_dcs, DenialConstraint};
 use trex_datagen::{errors, laliga, soccer};
 use trex_repair::{
-    score_repair, FdChaseRepair, HoloCleanStyle, HolisticRepair, NoOpRepair, RepairAlgorithm,
+    score_repair, FdChaseRepair, HolisticRepair, HoloCleanStyle, NoOpRepair, RepairAlgorithm,
 };
 use trex_shapley::SamplingConfig;
 use trex_table::{read_csv, write_csv, CellRef, DType, Value};
@@ -135,7 +135,11 @@ fn degenerate_inputs_are_handled() {
 
     // No-op engine: same.
     let err = Explainer::new(&NoOpRepair)
-        .explain_constraints(&laliga::constraints(), &dirty, laliga::cell_of_interest(&dirty))
+        .explain_constraints(
+            &laliga::constraints(),
+            &dirty,
+            laliga::cell_of_interest(&dirty),
+        )
         .unwrap_err();
     assert!(matches!(err, trex::ExplainError::CellNotRepaired { .. }));
 
@@ -171,14 +175,9 @@ fn sampling_seeds_behave() {
     let ex = Explainer::new(&alg);
     let cell = laliga::cell_of_interest(&dirty);
     let run = |seed: u64| {
-        ex.explain_cells_sampled(
-            &dcs,
-            &dirty,
-            cell,
-            SamplingConfig { samples: 60, seed },
-        )
-        .unwrap()
-        .values
+        ex.explain_cells_sampled(&dcs, &dirty, cell, SamplingConfig { samples: 60, seed })
+            .unwrap()
+            .values
     };
     assert_eq!(run(1), run(1));
     assert_ne!(run(1), run(2));
