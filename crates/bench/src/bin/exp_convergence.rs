@@ -1,24 +1,140 @@
 //! Experiment E5: the sampling estimator converges to the exact Shapley
-//! value at the Monte-Carlo rate (error ∝ 1/√m), and the variance-reduced
-//! variants (ablation A3) beat plain sampling at equal budget.
+//! value at the Monte-Carlo rate (error ∝ 1/√m), the variance-reduced
+//! variants (ablation A3) beat plain sampling at equal budget — and the
+//! parallel permutation engine delivers the same workload faster.
 //!
 //! Ground truth comes from exact subset enumeration on a small cell game
 //! (a 2×4 table: 7 player cells), so the error is against the *definition*,
-//! not a long sampling run.
+//! not a long sampling run. The speedup section runs the paper's own la
+//! Liga cell game (35 players) through the serial and parallel walk
+//! estimators and reports wall time, throughput, and oracle hit rate.
 //!
 //! Run: `cargo run --release -p trex-bench --bin exp_convergence`
+//!
+//! Flags (all optional):
+//!   --samples N     permutation walks for the speedup section (default 2000)
+//!   --threads N     parallel worker count; 0 = available parallelism (default)
+//!   --max-m N       cap on the convergence table's sample sizes (default 32768)
+//!   --json PATH     also write the machine-readable benchmark record
+//!                   (the BENCH_convergence.json the CI bench-smoke job tracks)
 
+use std::time::Instant;
 use trex::{CellGameMasked, MaskMode};
 use trex_constraints::parse_dcs;
-use trex_repair::{FixAction, Rule, RuleRepair};
+use trex_datagen::laliga;
+use trex_repair::{FixAction, OracleStats, Rule, RuleRepair};
 use trex_shapley::{
-    estimate_player, estimate_player_antithetic, estimate_player_stratified, shapley_exact,
-    ConvergenceTrace, Game, SamplingConfig,
+    estimate_player, estimate_player_antithetic, estimate_player_stratified, parallel,
+    resolve_threads, sampling, shapley_exact, ConvergenceTrace, Game, ParallelConfig,
+    SamplingConfig,
 };
 use trex_table::{CellRef, TableBuilder, Value};
 
+/// Minimal `--flag value` reader (the experiment binaries stay
+/// dependency-free; rich parsing lives in the CLI crate). Unknown flags are
+/// fatal: a typo in the CI bench-smoke command must fail the job, not
+/// silently fall back to defaults and mislabel the perf trajectory.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    const KNOWN: [&'static str; 4] = ["--samples", "--threads", "--max-m", "--json"];
+
+    fn parse() -> Flags {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            assert!(
+                Self::KNOWN.contains(&flag.as_str()),
+                "unknown flag {flag:?} (known: {})",
+                Self::KNOWN.join(", ")
+            );
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("{flag}: missing value"));
+            assert!(
+                !value.starts_with("--"),
+                "{flag}: missing value (got flag {value:?})"
+            );
+            pairs.push((flag, value));
+        }
+        Flags { pairs }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        debug_assert!(Self::KNOWN.contains(&name));
+        self.pairs
+            .iter()
+            .find(|(flag, _)| flag == name)
+            .map(|(_, value)| value.as_str())
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{name}: bad value {v:?}"))
+            })
+            .unwrap_or(default)
+    }
+}
+
+/// One timed run of the la Liga walk estimator.
+struct TimedRun {
+    wall_ms: f64,
+    samples_per_sec: f64,
+    oracle: OracleStats,
+    top_label: String,
+    players: usize,
+}
+
+fn timed_walk(samples: usize, threads: usize) -> TimedRun {
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    let cell = laliga::cell_of_interest(&dirty);
+    // A fresh game per run: the oracle cache must start cold so hit rates
+    // and wall times are comparable across runs.
+    let game = CellGameMasked::new(
+        &alg,
+        &dcs,
+        &dirty,
+        cell,
+        Value::str("Spain"),
+        MaskMode::Null,
+    );
+    let start = Instant::now();
+    let estimates = if threads == 1 {
+        sampling::estimate_all_walk(&game, SamplingConfig { samples, seed: 1 })
+    } else {
+        parallel::estimate_all_walk(&game, ParallelConfig::new(samples, 1, threads))
+    };
+    let wall = start.elapsed();
+    let top = (0..Game::num_players(&game))
+        .max_by(|a, b| estimates[*a].value.total_cmp(&estimates[*b].value))
+        .map(|i| Game::player_label(&game, i))
+        .unwrap_or_default();
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    TimedRun {
+        wall_ms: wall.as_secs_f64() * 1e3,
+        samples_per_sec: samples as f64 / wall_s,
+        oracle: game.oracle_stats(),
+        top_label: top,
+        players: Game::num_players(&game),
+    }
+}
+
 fn main() {
-    // Small game with a known exact solution.
+    let flags = Flags::parse();
+    let samples = flags.get_usize("--samples", 2000);
+    let threads =
+        resolve_threads(flags.get_usize("--threads", 0)).unwrap_or_else(|e| panic!("{e}"));
+    let max_m = flags.get_usize("--max-m", 32_768);
+    let json_path = flags.get("--json").map(str::to_string);
+
+    // ---- Part 1: error-vs-m table on a small game with exact ground truth.
     let table = TableBuilder::new()
         .str_columns(["League", "Country", "City", "Pad"])
         .str_row(["L", "Spain", "Madrid", "x"])
@@ -70,7 +186,10 @@ fn main() {
     );
     let mut plain_trace = ConvergenceTrace::new(exact[player]);
     let n = Game::num_players(&game);
-    for m in [32usize, 128, 512, 2048, 8192, 32768] {
+    for m in [32usize, 128, 512, 2048, 8192, 32768]
+        .into_iter()
+        .filter(|m| *m <= max_m)
+    {
         // Average error over several seeds to smooth the table.
         let seeds = [1u64, 2, 3, 4, 5];
         let avg = |f: &dyn Fn(u64) -> f64| {
@@ -104,7 +223,70 @@ fn main() {
         );
     }
     println!();
-    if let Some(slope) = plain_trace.loglog_slope() {
+    let slope = plain_trace.loglog_slope();
+    if let Some(slope) = slope {
         println!("plain estimator log-log error slope: {slope:.3} (Monte-Carlo rate ≈ -0.5)");
+    }
+
+    // ---- Part 2: serial vs parallel walk estimation on the la Liga game.
+    println!();
+    println!("== la Liga cell game: {samples} permutation walks, serial vs {threads} thread(s) ==");
+    let serial = timed_walk(samples, 1);
+    let par = timed_walk(samples, threads);
+    let speedup = serial.wall_ms / par.wall_ms.max(1e-9);
+    println!(
+        "serial:   {:>10.1} ms  {:>10.1} walks/s  oracle hit rate {:.3}",
+        serial.wall_ms,
+        serial.samples_per_sec,
+        serial.oracle.hit_rate()
+    );
+    println!(
+        "parallel: {:>10.1} ms  {:>10.1} walks/s  oracle hit rate {:.3}  (x{speedup:.2})",
+        par.wall_ms,
+        par.samples_per_sec,
+        par.oracle.hit_rate()
+    );
+    println!(
+        "top-ranked cell: {} (serial) / {} (parallel)",
+        serial.top_label, par.top_label
+    );
+
+    // ---- Part 3: the machine-readable record the CI perf trajectory reads.
+    if let Some(path) = json_path {
+        let slope_json = slope
+            .map(|s| format!("{s:.6}"))
+            .unwrap_or_else(|| "null".to_string());
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"experiment\": \"convergence\",\n",
+                "  \"game\": \"laliga_cell_masked_null\",\n",
+                "  \"players\": {players},\n",
+                "  \"samples\": {samples},\n",
+                "  \"threads\": {threads},\n",
+                "  \"hardware_threads\": {hw},\n",
+                "  \"serial\": {{ \"wall_ms\": {swall:.3}, \"samples_per_sec\": {srate:.1} }},\n",
+                "  \"parallel\": {{ \"wall_ms\": {pwall:.3}, \"samples_per_sec\": {prate:.1} }},\n",
+                "  \"speedup\": {speedup:.4},\n",
+                "  \"oracle\": {{ \"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {rate:.6} }},\n",
+                "  \"loglog_slope\": {slope_json}\n",
+                "}}\n",
+            ),
+            players = par.players,
+            samples = samples,
+            threads = threads,
+            hw = parallel::available_threads(),
+            swall = serial.wall_ms,
+            srate = serial.samples_per_sec,
+            pwall = par.wall_ms,
+            prate = par.samples_per_sec,
+            speedup = speedup,
+            hits = par.oracle.hits,
+            misses = par.oracle.misses,
+            rate = par.oracle.hit_rate(),
+            slope_json = slope_json,
+        );
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path}");
     }
 }

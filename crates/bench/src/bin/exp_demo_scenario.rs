@@ -12,8 +12,8 @@ use trex_repair::{score_repair, FixAction, Rule, RuleRepair};
 
 fn main() {
     println!(
-        "{:>5} {:>7} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {}",
-        "seed", "errors", "prec", "recall", "F1", "prec'", "recall'", "F1'", "culprit ranked 1st?"
+        "{:>5} {:>7} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | culprit ranked 1st?",
+        "seed", "errors", "prec", "recall", "F1", "prec'", "recall'", "F1'"
     );
     let mut culprit_top = 0usize;
     let runs = 8u64;

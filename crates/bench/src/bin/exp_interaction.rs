@@ -42,11 +42,11 @@ fn main() {
     println!();
     for (i, l) in labels.iter().enumerate() {
         print!("{l:<5}");
-        for j in 0..labels.len() {
+        for (j, value) in m[i].iter().enumerate() {
             if i == j {
                 print!("{:>9}", "·");
             } else {
-                print!("{:>9.4}", m[i][j]);
+                print!("{value:>9.4}");
             }
         }
         println!();

@@ -1,12 +1,13 @@
 //! Experiment E6: wall-clock scaling of the two solvers — exact Shapley is
 //! exponential in the player count (fine for constraint sets, "usually
-//! small"), sampling is linear in m·players (the only option for cells).
+//! small"), sampling is linear in m·players (the only option for cells) —
+//! plus the thread-scaling of the parallel walk estimator.
 //!
 //! Run: `cargo run --release -p trex-bench --bin exp_scaling`
 
 use std::time::Instant;
 use trex_bench::RandomBinaryGame;
-use trex_shapley::{estimate_player, shapley_exact, SamplingConfig};
+use trex_shapley::{estimate_player, parallel, shapley_exact, ParallelConfig, SamplingConfig};
 
 fn main() {
     println!("== exact subset enumeration: time vs players (2^n growth) ==");
@@ -38,6 +39,27 @@ fn main() {
         let _ = est;
     }
 
-    println!("\ninterpretation: exact doubles per added player; sampling is flat per sample.");
-    println!("This is the asymmetry behind the paper's two-solver design (§2.3).");
+    println!("\n== parallel walk estimation: time vs threads (n = 40, m = 2000) ==");
+    println!(
+        "({} hardware thread(s) available; past that, extra workers only re-chunk)",
+        parallel::available_threads()
+    );
+    println!("{:>8} {:>14} {:>10}", "threads", "time", "speedup");
+    let game = RandomBinaryGame::new(40, 5, 11);
+    let mut serial_time = None;
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let ests = parallel::estimate_all_walk(&game, ParallelConfig::new(2000, 3, threads));
+        let dt = start.elapsed();
+        assert_eq!(ests.len(), 40);
+        let base = *serial_time.get_or_insert(dt);
+        println!(
+            "{threads:>8} {dt:>14.3?} {:>9.2}x",
+            base.as_secs_f64() / dt.as_secs_f64().max(1e-12)
+        );
+    }
+
+    println!("\ninterpretation: exact doubles per added player; sampling is flat per sample");
+    println!("and splits across workers. This is the asymmetry behind the paper's");
+    println!("two-solver design (§2.3).");
 }

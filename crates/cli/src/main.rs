@@ -35,7 +35,7 @@ USAGE:
   trex repair     --table FILE.csv --dcs FILE.txt [engine flags]
   trex explain    --table FILE.csv --dcs FILE.txt --cell tROW.Attr
                   [--cells] [--samples N] [--seed N] [--mask null|distinct|replace]
-                  [engine flags]
+                  [--threads N] [engine flags]
   trex mine       --table FILE.csv [--max-predicates N] [--order]
   trex demo
 
@@ -44,6 +44,11 @@ ENGINE FLAGS:
   --engine rules       the paper's Algorithm 1 scheme; requires --rules FILE
   --engine chase       FD-chase baseline
   --engine holistic    conflict-hypergraph baseline
+
+THREADS:
+  --threads N runs cell sampling on N workers (default: all hardware
+  threads; 0 also means that). Results are deterministic for a fixed
+  (--seed, --threads) pair; --threads 1 reproduces the serial estimator.
 
 FILES:
   tables are CSV with a header row (all columns read as strings);
@@ -124,6 +129,14 @@ fn load_engine(args: &Args) -> Result<Box<dyn RepairAlgorithm>, ArgError> {
     }
 }
 
+/// Resolve the `--threads` flag: absent or `0` means "use available
+/// parallelism"; absurd counts are rejected rather than spawning workers
+/// until the OS gives up.
+fn load_threads(args: &Args) -> Result<usize, ArgError> {
+    let requested: usize = args.get_parsed("threads", 0)?;
+    trex_shapley::resolve_threads(requested).map_err(|e| ArgError(e.to_string()))
+}
+
 /// Parse a cell reference like `t5.Country` or `5.Country` (1-based row).
 fn parse_cell(table: &Table, spec: &str) -> Result<CellRef, ArgError> {
     let (row_part, attr_part) = spec
@@ -183,9 +196,10 @@ fn cmd_explain(args: &Args) -> Result<(), ArgError> {
     let samples: usize = args.get_parsed("samples", 500)?;
     let seed: u64 = args.get_parsed("seed", 0)?;
     let mask = args.get("mask").unwrap_or("null").to_string();
+    let threads = load_threads(args)?;
     args.reject_unknown()?;
 
-    let explainer = Explainer::new(engine.as_ref());
+    let explainer = Explainer::new(engine.as_ref()).with_threads(threads);
     let constraints = explainer
         .explain_constraints(&dcs, &table, cell)
         .map_err(|e| ArgError(e.to_string()))?;
@@ -307,6 +321,25 @@ mod tests {
         assert!(parse_cell(&t, "t3.City").is_err());
         assert!(parse_cell(&t, "t1.Nope").is_err());
         assert!(parse_cell(&t, "tx.City").is_err());
+    }
+
+    #[test]
+    fn threads_flag_validation() {
+        // Absent and explicit 0 both mean "available parallelism" (≥ 1).
+        let a = Args::parse(["explain"]).unwrap();
+        assert!(load_threads(&a).unwrap() >= 1);
+        let b = Args::parse(["explain", "--threads", "0"]).unwrap();
+        assert!(load_threads(&b).unwrap() >= 1);
+        // Explicit counts pass through.
+        let c = Args::parse(["explain", "--threads", "4"]).unwrap();
+        assert_eq!(load_threads(&c).unwrap(), 4);
+        // Absurd counts are a proper error, not an unbounded spawn.
+        let d = Args::parse(["explain", "--threads", "999999"]).unwrap();
+        let err = load_threads(&d).unwrap_err();
+        assert!(err.to_string().contains("999999"), "{err}");
+        // Garbage is a parse error.
+        let e = Args::parse(["explain", "--threads", "many"]).unwrap();
+        assert!(load_threads(&e).is_err());
     }
 
     #[test]

@@ -63,13 +63,13 @@ impl CmpOp {
             CmpOp::Neq => a.sql_ne(b),
             _ => match a.sql_cmp(b) {
                 None => false,
-                Some(ord) => match (self, ord) {
-                    (CmpOp::Lt, Less) => true,
-                    (CmpOp::Leq, Less | Equal) => true,
-                    (CmpOp::Gt, Greater) => true,
-                    (CmpOp::Geq, Greater | Equal) => true,
-                    _ => false,
-                },
+                Some(ord) => matches!(
+                    (self, ord),
+                    (CmpOp::Lt, Less)
+                        | (CmpOp::Leq, Less | Equal)
+                        | (CmpOp::Gt, Greater)
+                        | (CmpOp::Geq, Greater | Equal)
+                ),
             },
         }
     }

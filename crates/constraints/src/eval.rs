@@ -322,7 +322,7 @@ mod tests {
     fn is_clean_detects_cleanliness() {
         let t = soccer();
         let c1 = resolved("!(t1.Team = t2.Team & t1.City != t2.City)", t.schema());
-        assert!(!is_clean(&[c1.clone()], &t));
+        assert!(!is_clean(std::slice::from_ref(&c1), &t));
         let mut clean = t.clone();
         let city = t.schema().id("City");
         let country = t.schema().id("Country");

@@ -12,7 +12,7 @@ use std::fmt;
 use trex_constraints::DenialConstraint;
 use trex_repair::{RepairAlgorithm, RepairResult};
 use trex_shapley::{
-    estimate_all, estimate_all_walk, shapley_exact, shapley_exact_rational, Game, Rational,
+    parallel, shapley_exact, shapley_exact_rational, Game, ParallelConfig, Rational,
     SamplingConfig, StochasticGame,
 };
 use trex_table::{CellRef, Table, Value};
@@ -89,14 +89,33 @@ pub struct CellExplanation {
 ///
 /// Wraps a black-box [`RepairAlgorithm`]; every method treats it purely
 /// through repeated repair queries, per the paper's design.
+///
+/// Cell explanations run on the parallel sampling engine
+/// (`trex_shapley::parallel`). The default is one worker, which reproduces
+/// the historical serial estimates bit for bit; [`Explainer::with_threads`]
+/// opts into multi-core sampling (deterministic per `(seed, threads)` pair).
 pub struct Explainer<'a> {
     alg: &'a dyn RepairAlgorithm,
+    threads: usize,
 }
 
 impl<'a> Explainer<'a> {
-    /// Wrap a repair algorithm.
+    /// Wrap a repair algorithm (single sampling worker).
     pub fn new(alg: &'a dyn RepairAlgorithm) -> Self {
-        Explainer { alg }
+        Explainer { alg, threads: 1 }
+    }
+
+    /// Use `threads` sampling workers for cell explanations (must be ≥ 1;
+    /// resolve user input with `trex_shapley::resolve_threads` first).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
+        self.threads = threads;
+        self
+    }
+
+    /// The configured sampling worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The wrapped algorithm.
@@ -216,7 +235,8 @@ impl<'a> Explainer<'a> {
     ) -> Result<CellExplanation, ExplainError> {
         let target = self.repair_target(dcs, dirty, cell)?;
         let game = CellGameSampled::new(self.alg, dcs, dirty, cell, target.clone());
-        let estimates = estimate_all(&game, config);
+        let estimates =
+            parallel::estimate_all(&game, ParallelConfig::from_sampling(config, self.threads));
         let players = game.players().to_vec();
         let ranking = Ranking::with_errors(
             estimates
@@ -253,7 +273,8 @@ impl<'a> Explainer<'a> {
     ) -> Result<CellExplanation, ExplainError> {
         let target = self.repair_target(dcs, dirty, cell)?;
         let game = CellGameMasked::new(self.alg, dcs, dirty, cell, target.clone(), mode);
-        let estimates = estimate_all_walk(&game, config);
+        let estimates =
+            parallel::estimate_all_walk(&game, ParallelConfig::from_sampling(config, self.threads));
         let players = game.players().to_vec();
         let ranking = Ranking::with_errors(
             estimates
@@ -293,7 +314,8 @@ impl<'a> Explainer<'a> {
         let target = self.repair_target(dcs, dirty, cell)?;
         let game = CellGameMasked::new(self.alg, dcs, dirty, cell, target.clone(), mode);
         let players = game.players().to_vec();
-        let screened = estimate_all_walk(&game, screen);
+        let screened =
+            parallel::estimate_all_walk(&game, ParallelConfig::from_sampling(screen, self.threads));
 
         // Leaders by screened value.
         let mut order: Vec<usize> = (0..players.len()).collect();
@@ -303,13 +325,14 @@ impl<'a> Explainer<'a> {
         let mut values: Vec<f64> = screened.iter().map(|e| e.value).collect();
         let mut errors: Vec<f64> = screened.iter().map(|e| e.std_error()).collect();
         for (slot, &p) in leaders.iter().enumerate() {
-            let refined = trex_shapley::estimate_player(
+            let refined = parallel::estimate_player(
                 &game,
                 p,
-                SamplingConfig {
-                    samples: refine_samples,
-                    seed: screen.seed.wrapping_add(1000 + slot as u64),
-                },
+                ParallelConfig::new(
+                    refine_samples,
+                    screen.seed.wrapping_add(1000 + slot as u64),
+                    self.threads,
+                ),
             );
             values[p] = refined.value;
             errors[p] = refined.std_error();
@@ -661,6 +684,44 @@ mod tests {
         assert!((bz.get("C1").unwrap().value - 0.25).abs() < 1e-12);
         assert!((bz.get("C2").unwrap().value - 0.25).abs() < 1e-12);
         assert_eq!(bz.get("C4").unwrap().value, 0.0);
+    }
+
+    #[test]
+    fn multithreaded_explainer_is_deterministic_and_keeps_the_headline() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let cfg = SamplingConfig {
+            samples: 600,
+            seed: 3,
+        };
+        let run = |threads: usize| {
+            Explainer::new(&alg)
+                .with_threads(threads)
+                .explain_cells_masked(&dcs, &dirty, cell, MaskMode::Null, cfg)
+                .unwrap()
+        };
+        // threads = 1 reproduces the serial estimates bit for bit.
+        let serial = Explainer::new(&alg)
+            .explain_cells_masked(&dcs, &dirty, cell, MaskMode::Null, cfg)
+            .unwrap();
+        let one = run(1);
+        assert_eq!(serial.values, one.values);
+        // A fixed (seed, threads) pair is reproducible, and the paper's
+        // headline ranking survives the re-chunked sample streams.
+        let a = run(4);
+        let b = run(4);
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.ranking.top().unwrap().label, "t5[League]");
+        assert_eq!(a.ranking.get("t1[Place]").unwrap().value, 0.0);
+    }
+
+    #[test]
+    fn explainer_threads_accessor_and_default() {
+        let alg = laliga::algorithm1();
+        assert_eq!(Explainer::new(&alg).threads(), 1);
+        assert_eq!(Explainer::new(&alg).with_threads(8).threads(), 8);
     }
 
     #[test]

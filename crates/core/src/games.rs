@@ -16,10 +16,17 @@
 //!   outside the coalition are replaced by *random draws from their column
 //!   distribution* rather than masked, with common random numbers between
 //!   the `v(S ∪ {i})` / `v(S)` pair.
+//!
+//! All three games are `Sync` (the `Game`/`StochasticGame` traits demand
+//! it), so the parallel sampling engine's workers can evaluate one shared
+//! game. [`ConstraintGame`] and [`CellGameMasked`] memoize through
+//! `trex_repair::ShardedOracle` and share cache hits across workers;
+//! [`CellGameSampled`] is stateless — replacement tables are fresh draws,
+//! so there is nothing to cache and every sample pays a full repair.
 
 use rand::RngCore;
 use trex_constraints::DenialConstraint;
-use trex_repair::{CachedOracle, OracleStats, RepairAlgorithm};
+use trex_repair::{OracleStats, RepairAlgorithm, ShardedOracle};
 use trex_shapley::{Coalition, Game, StochasticGame};
 use trex_table::{CellRef, Table, TableSamplers, Value};
 
@@ -45,7 +52,7 @@ pub enum MaskMode {
 
 /// The constraint game: `Shap(C, Alg|t[A], Cᵢ)` of §2.2.
 pub struct ConstraintGame<'a> {
-    oracle: CachedOracle<'a>,
+    oracle: ShardedOracle<'a>,
     dcs: &'a [DenialConstraint],
     dirty: &'a Table,
     cell: CellRef,
@@ -63,7 +70,7 @@ impl<'a> ConstraintGame<'a> {
         target: Value,
     ) -> Self {
         ConstraintGame {
-            oracle: CachedOracle::new(alg),
+            oracle: ShardedOracle::new(alg),
             dcs,
             dirty,
             cell,
@@ -80,7 +87,7 @@ impl<'a> ConstraintGame<'a> {
         target: Value,
     ) -> Self {
         ConstraintGame {
-            oracle: CachedOracle::with_capacity(alg, 0),
+            oracle: ShardedOracle::with_capacity(alg, 0),
             dcs,
             dirty,
             cell,
@@ -129,7 +136,7 @@ fn label_of(table: &Table, cell: CellRef) -> String {
 /// The masked cell game: `Shap(T^d, Alg|t[A], tᵢ[B])` of §2.2, with
 /// out-of-coalition cells masked per [`MaskMode`].
 pub struct CellGameMasked<'a> {
-    oracle: CachedOracle<'a>,
+    oracle: ShardedOracle<'a>,
     dcs: &'a [DenialConstraint],
     dirty: &'a Table,
     cell: CellRef,
@@ -149,7 +156,7 @@ impl<'a> CellGameMasked<'a> {
         mode: MaskMode,
     ) -> Self {
         CellGameMasked {
-            oracle: CachedOracle::new(alg),
+            oracle: ShardedOracle::new(alg),
             dcs,
             dirty,
             cell,

@@ -28,17 +28,34 @@ pub struct Session {
     table: Table,
     dcs: Vec<DenialConstraint>,
     history: Vec<HistoryEntry>,
+    threads: usize,
 }
 
 impl Session {
-    /// Start a session over a dirty table and constraint set.
+    /// Start a session over a dirty table and constraint set. Explanations
+    /// run single-threaded by default; see [`Session::set_threads`].
     pub fn new(alg: Box<dyn RepairAlgorithm>, table: Table, dcs: Vec<DenialConstraint>) -> Self {
         Session {
             alg,
             table,
             dcs,
             history: Vec::new(),
+            threads: 1,
         }
+    }
+
+    /// Use `threads` sampling workers for the session's cell explanations
+    /// (must be ≥ 1; resolve user input with
+    /// `trex_shapley::resolve_threads` first). Explanations stay
+    /// deterministic per `(seed, threads)` pair.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
+        self.threads = threads;
+    }
+
+    /// The configured sampling worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The current (possibly user-edited) dirty table.
@@ -81,12 +98,9 @@ impl Session {
         cell: CellRef,
         config: SamplingConfig,
     ) -> Result<CellExplanation, ExplainError> {
-        Explainer::new(self.alg.as_ref()).explain_cells_sampled(
-            &self.dcs,
-            &self.table,
-            cell,
-            config,
-        )
+        Explainer::new(self.alg.as_ref())
+            .with_threads(self.threads)
+            .explain_cells_sampled(&self.dcs, &self.table, cell, config)
     }
 
     /// Cell explanation under masked (definition) semantics.
@@ -96,13 +110,9 @@ impl Session {
         mode: MaskMode,
         config: SamplingConfig,
     ) -> Result<CellExplanation, ExplainError> {
-        Explainer::new(self.alg.as_ref()).explain_cells_masked(
-            &self.dcs,
-            &self.table,
-            cell,
-            mode,
-            config,
-        )
+        Explainer::new(self.alg.as_ref())
+            .with_threads(self.threads)
+            .explain_cells_masked(&self.dcs, &self.table, cell, mode, config)
     }
 
     /// User edit: overwrite a cell of the input table ("changing specific
@@ -289,6 +299,23 @@ mod tests {
         }
         // Cap respected.
         assert!(s.suggest_constraints(2).len() <= 2);
+    }
+
+    #[test]
+    fn session_threads_affect_explanations_deterministically() {
+        let mut s = session();
+        assert_eq!(s.threads(), 1);
+        s.set_threads(2);
+        assert_eq!(s.threads(), 2);
+        let cell = laliga::cell_of_interest(s.table());
+        let cfg = SamplingConfig {
+            samples: 400,
+            seed: 3,
+        };
+        let a = s.explain_cells_masked(cell, MaskMode::Null, cfg).unwrap();
+        let b = s.explain_cells_masked(cell, MaskMode::Null, cfg).unwrap();
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.ranking.top().unwrap().label, "t5[League]");
     }
 
     #[test]

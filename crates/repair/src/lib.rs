@@ -38,7 +38,7 @@ pub use metrics::{cell_accuracy, score_repair, score_tables, RepairQuality};
 pub use simple::{FixAction, Rule, RuleParseError, RuleRepair};
 pub use traits::{
     repairs_cell_to, CachedOracle, NoOpRepair, OracleStats, PanicGuard, RepairAlgorithm,
-    RepairResult,
+    RepairResult, ShardedOracle,
 };
 
 // Gated: needs crates.io `proptest`, unavailable in the offline build

@@ -12,12 +12,17 @@
 //! variants of `(C, T^d)`; [`CachedOracle`] memoizes those queries keyed by
 //! `(constraints, table, cell, target)` fingerprints so that coalitions
 //! revisited by different permutation samples are computed once (ablation
-//! A1 of DESIGN.md measures the effect).
+//! A1 of DESIGN.md measures the effect). [`ShardedOracle`] is the
+//! thread-safe variant behind the parallel sampling engine: the same
+//! memoization split over mutex-guarded shards so concurrent permutation
+//! workers share hits without serializing on one lock.
 
 use std::cell::RefCell;
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use trex_constraints::DenialConstraint;
 use trex_table::{CellChange, CellRef, Table, Value};
 
@@ -53,7 +58,13 @@ impl RepairResult {
 ///
 /// Implementations never mutate the input and never add/remove rows — the
 /// paper's repair model is cell updates only.
-pub trait RepairAlgorithm {
+///
+/// `Sync` is a supertrait: the parallel Shapley engine evaluates coalition
+/// games from several worker threads that share one `&dyn RepairAlgorithm`.
+/// Repairers are pure functions of their inputs, so this costs nothing for
+/// honest implementations; per-query interior mutability (counters, caches)
+/// must use atomics or locks (see [`PanicGuard`], [`ShardedOracle`]).
+pub trait RepairAlgorithm: Sync {
     /// A short identifier for reports and experiment output.
     fn name(&self) -> &str;
 
@@ -198,6 +209,125 @@ impl<'a> CachedOracle<'a> {
     }
 }
 
+/// The memoization key: `(dcs, table, cell, target)` fingerprints.
+type OracleKey = (u64, u64, CellRef, u64);
+
+/// Thread-safe memoizing oracle: the [`CachedOracle`] contract behind a
+/// sharded lock so the parallel sampling workers can query it concurrently.
+///
+/// The key space is split across [`ShardedOracle::NUM_SHARDS`] mutex-guarded
+/// shards selected by the coalition-table fingerprint, so workers evaluating
+/// different coalitions almost never contend, yet every worker sees every
+/// other worker's cached answers. Hit/miss statistics are aggregated with
+/// relaxed atomics (they are diagnostics, not synchronization).
+///
+/// The capacity bound is also sharded: each shard stops inserting at
+/// `capacity / NUM_SHARDS` entries (minimum 1 for non-zero capacities), so
+/// total memory stays bounded like the serial oracle's.
+pub struct ShardedOracle<'a> {
+    alg: &'a dyn RepairAlgorithm,
+    shard_capacity: usize,
+    shards: Vec<Mutex<HashMap<OracleKey, bool>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<'a> ShardedOracle<'a> {
+    /// Default total cache capacity (entries), matching [`CachedOracle`].
+    pub const DEFAULT_CAPACITY: usize = CachedOracle::DEFAULT_CAPACITY;
+
+    /// Number of independent shards (a power of two).
+    pub const NUM_SHARDS: usize = 16;
+
+    /// Wrap `alg` with the default capacity.
+    pub fn new(alg: &'a dyn RepairAlgorithm) -> Self {
+        Self::with_capacity(alg, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Wrap `alg` with an explicit total cache capacity (0 disables caching).
+    pub fn with_capacity(alg: &'a dyn RepairAlgorithm, capacity: usize) -> Self {
+        let shard_capacity = if capacity == 0 {
+            0
+        } else {
+            (capacity / Self::NUM_SHARDS).max(1)
+        };
+        ShardedOracle {
+            alg,
+            shard_capacity,
+            shards: (0..Self::NUM_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The underlying algorithm.
+    pub fn algorithm(&self) -> &dyn RepairAlgorithm {
+        self.alg
+    }
+
+    fn shard_of(&self, key: &OracleKey) -> &Mutex<HashMap<OracleKey, bool>> {
+        // The table fingerprint is the high-entropy component: coalition
+        // variants of one explanation differ almost exclusively there.
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (Self::NUM_SHARDS - 1)]
+    }
+
+    /// Memoized `Alg|cell(dcs, table) == target` query; safe to call from
+    /// many threads at once.
+    ///
+    /// The shard lock is *not* held while the underlying repair runs: two
+    /// threads racing on the same brand-new key may both compute it (the
+    /// oracle is deterministic, so both get the same answer), but no thread
+    /// ever blocks behind another's repair call.
+    pub fn repairs_cell_to(
+        &self,
+        dcs: &[DenialConstraint],
+        table: &Table,
+        cell: CellRef,
+        target: &Value,
+    ) -> bool {
+        let key = (hash_dcs(dcs), table.fingerprint(), cell, hash_value(target));
+        let shard = self.shard_of(&key);
+        if let Some(hit) = shard.lock().expect("oracle shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *hit;
+        }
+        let answer = repairs_cell_to(self.alg, dcs, table, cell, target);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = shard.lock().expect("oracle shard poisoned");
+        if map.len() < self.shard_capacity {
+            map.entry(key).or_insert(answer);
+        }
+        answer
+    }
+
+    /// Aggregated cache statistics so far.
+    ///
+    /// Unlike the *estimates* the parallel engine produces, these counters
+    /// are scheduling-dependent at > 1 thread: two workers racing on the
+    /// same cold key both compute it and both record a miss (the shard lock
+    /// is dropped during the repair on purpose). Treat hit rates from
+    /// concurrent runs as diagnostics, not reproducible measurements.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all cached entries and reset statistics.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("oracle shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
 /// Failure-isolation wrapper: catches panics in the wrapped algorithm and
 /// degrades to "no repair" (identity) for that query.
 ///
@@ -209,7 +339,7 @@ impl<'a> CachedOracle<'a> {
 /// callers can decide whether the explanation is trustworthy.
 pub struct PanicGuard<A> {
     inner: A,
-    panics: std::cell::Cell<usize>,
+    panics: AtomicUsize,
 }
 
 impl<A: RepairAlgorithm> PanicGuard<A> {
@@ -217,13 +347,13 @@ impl<A: RepairAlgorithm> PanicGuard<A> {
     pub fn new(inner: A) -> Self {
         PanicGuard {
             inner,
-            panics: std::cell::Cell::new(0),
+            panics: AtomicUsize::new(0),
         }
     }
 
     /// How many repair invocations panicked so far.
     pub fn panic_count(&self) -> usize {
-        self.panics.get()
+        self.panics.load(Ordering::Relaxed)
     }
 
     /// The wrapped algorithm.
@@ -238,7 +368,7 @@ impl<A: RepairAlgorithm> RepairAlgorithm for PanicGuard<A> {
     }
 
     fn repair(&self, dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
-        // The panic counter (a Cell) is only touched after the unwind is
+        // The panic counter (an atomic) is only touched after the unwind is
         // caught, so asserting unwind safety over the closure is sound.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.inner.repair(dcs, dirty)
@@ -246,7 +376,7 @@ impl<A: RepairAlgorithm> RepairAlgorithm for PanicGuard<A> {
         match result {
             Ok(r) => r,
             Err(_) => {
-                self.panics.set(self.panics.get() + 1);
+                self.panics.fetch_add(1, Ordering::Relaxed);
                 RepairResult {
                     clean: dirty.clone(),
                     changes: Vec::new(),
@@ -277,14 +407,20 @@ impl RepairAlgorithm for NoOpRepair {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
     use trex_table::{AttrId, TableBuilder};
 
     /// Test double: repairs cell (0,0) to "FIXED" iff at least `need` DCs
-    /// are passed; counts invocations.
+    /// are passed; counts invocations (atomically — `RepairAlgorithm` is
+    /// `Sync`).
     struct CountingRepair {
         need: usize,
-        calls: Cell<usize>,
+        calls: AtomicUsize,
+    }
+
+    impl CountingRepair {
+        fn calls(&self) -> usize {
+            self.calls.load(Ordering::Relaxed)
+        }
     }
 
     impl RepairAlgorithm for CountingRepair {
@@ -292,7 +428,7 @@ mod tests {
             "counting"
         }
         fn repair(&self, dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
-            self.calls.set(self.calls.get() + 1);
+            self.calls.fetch_add(1, Ordering::Relaxed);
             let mut clean = dirty.clone();
             if dcs.len() >= self.need {
                 clean.set(CellRef::new(0, AttrId(0)), Value::str("FIXED"));
@@ -316,7 +452,7 @@ mod tests {
     fn repairs_cell_to_checks_target() {
         let alg = CountingRepair {
             need: 1,
-            calls: Cell::new(0),
+            calls: AtomicUsize::new(0),
         };
         let t = table();
         let cell = CellRef::new(0, AttrId(0));
@@ -349,7 +485,7 @@ mod tests {
     fn cached_oracle_deduplicates() {
         let alg = CountingRepair {
             need: 1,
-            calls: Cell::new(0),
+            calls: AtomicUsize::new(0),
         };
         let oracle = CachedOracle::new(&alg);
         let t = table();
@@ -358,7 +494,7 @@ mod tests {
         for _ in 0..5 {
             assert!(oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED")));
         }
-        assert_eq!(alg.calls.get(), 1);
+        assert_eq!(alg.calls(), 1);
         let stats = oracle.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 4);
@@ -369,7 +505,7 @@ mod tests {
     fn cache_keys_distinguish_inputs() {
         let alg = CountingRepair {
             need: 1,
-            calls: Cell::new(0),
+            calls: AtomicUsize::new(0),
         };
         let oracle = CachedOracle::new(&alg);
         let t = table();
@@ -381,7 +517,7 @@ mod tests {
         let _ = oracle.repairs_cell_to(&dcs, &t2, cell, &Value::str("FIXED"));
         let _ = oracle.repairs_cell_to(&[], &t, cell, &Value::str("FIXED"));
         // Three distinct inputs → three misses, three underlying runs.
-        assert_eq!(alg.calls.get(), 3);
+        assert_eq!(alg.calls(), 3);
         assert_eq!(oracle.stats().misses, 3);
     }
 
@@ -389,7 +525,7 @@ mod tests {
     fn capacity_zero_disables_caching() {
         let alg = CountingRepair {
             need: 1,
-            calls: Cell::new(0),
+            calls: AtomicUsize::new(0),
         };
         let oracle = CachedOracle::with_capacity(&alg, 0);
         let t = table();
@@ -398,7 +534,7 @@ mod tests {
         for _ in 0..3 {
             let _ = oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED"));
         }
-        assert_eq!(alg.calls.get(), 3);
+        assert_eq!(alg.calls(), 3);
         assert_eq!(oracle.stats().hits, 0);
     }
 
@@ -406,7 +542,7 @@ mod tests {
     fn clear_resets_everything() {
         let alg = CountingRepair {
             need: 1,
-            calls: Cell::new(0),
+            calls: AtomicUsize::new(0),
         };
         let oracle = CachedOracle::new(&alg);
         let t = table();
@@ -415,7 +551,105 @@ mod tests {
         oracle.clear();
         assert_eq!(oracle.stats(), OracleStats::default());
         let _ = oracle.repairs_cell_to(&[dc()], &t, cell, &Value::str("FIXED"));
-        assert_eq!(alg.calls.get(), 2);
+        assert_eq!(alg.calls(), 2);
+    }
+
+    #[test]
+    fn sharded_oracle_deduplicates_and_counts() {
+        let alg = CountingRepair {
+            need: 1,
+            calls: AtomicUsize::new(0),
+        };
+        let oracle = ShardedOracle::new(&alg);
+        let t = table();
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        for _ in 0..5 {
+            assert!(oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED")));
+        }
+        assert_eq!(alg.calls(), 1);
+        let stats = oracle.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 4);
+        oracle.clear();
+        assert_eq!(oracle.stats(), OracleStats::default());
+        let _ = oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED"));
+        assert_eq!(alg.calls(), 2);
+    }
+
+    #[test]
+    fn sharded_oracle_capacity_zero_disables_caching() {
+        let alg = CountingRepair {
+            need: 1,
+            calls: AtomicUsize::new(0),
+        };
+        let oracle = ShardedOracle::with_capacity(&alg, 0);
+        let t = table();
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        for _ in 0..3 {
+            let _ = oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED"));
+        }
+        assert_eq!(alg.calls(), 3);
+        assert_eq!(oracle.stats().hits, 0);
+        assert_eq!(oracle.algorithm().name(), "counting");
+    }
+
+    #[test]
+    fn sharded_oracle_agrees_with_cached_oracle() {
+        // Same queries, same answers, same hit/miss totals: the sharded
+        // oracle is a drop-in for the serial one.
+        let alg = CountingRepair {
+            need: 2,
+            calls: AtomicUsize::new(0),
+        };
+        let serial = CachedOracle::new(&alg);
+        let sharded = ShardedOracle::new(&alg);
+        let t = table();
+        let mut t2 = t.clone();
+        t2.set(CellRef::new(0, AttrId(0)), Value::str("other"));
+        let cell = CellRef::new(0, AttrId(0));
+        let queries: Vec<(Vec<DenialConstraint>, &Table)> = vec![
+            (vec![dc()], &t),
+            (vec![], &t),
+            (vec![dc(), dc()], &t),
+            (vec![dc()], &t2),
+            (vec![dc()], &t),
+        ];
+        for (dcs, table) in &queries {
+            let a = serial.repairs_cell_to(dcs, table, cell, &Value::str("FIXED"));
+            let b = sharded.repairs_cell_to(dcs, table, cell, &Value::str("FIXED"));
+            assert_eq!(a, b);
+        }
+        assert_eq!(serial.stats(), sharded.stats());
+    }
+
+    #[test]
+    fn sharded_oracle_shares_hits_across_threads() {
+        let alg = CountingRepair {
+            need: 1,
+            calls: AtomicUsize::new(0),
+        };
+        let oracle = ShardedOracle::new(&alg);
+        let t = table();
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        // Warm the key once, then hammer it from several threads: every
+        // concurrent query must be a hit.
+        let _ = oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED"));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        assert!(oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED")));
+                    }
+                });
+            }
+        });
+        assert_eq!(alg.calls(), 1);
+        let stats = oracle.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 200);
     }
 
     /// A repairer that panics whenever the table contains a null — the kind

@@ -144,13 +144,12 @@ mod tests {
     fn estimate_converges_to_exact() {
         let g = fixtures::gloves(2, 3);
         let exact = banzhaf_exact(&g).unwrap();
-        for p in 0..5 {
+        for (p, want) in exact.iter().enumerate() {
             let est = banzhaf_estimate(&g, p, 20_000, 7);
             assert!(
-                (est.value - exact[p]).abs() < 0.02,
-                "player {p}: {} vs {}",
-                est.value,
-                exact[p]
+                (est.value - want).abs() < 0.02,
+                "player {p}: {} vs {want}",
+                est.value
             );
         }
     }

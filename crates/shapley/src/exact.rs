@@ -301,9 +301,9 @@ mod tests {
     fn single_player_matches_all_players() {
         let g = fixtures::gloves(2, 2);
         let phi = shapley_exact(&g).unwrap();
-        for i in 0..4 {
+        for (i, want) in phi.iter().enumerate() {
             let p = shapley_exact_player(&g, i).unwrap();
-            assert!((p - phi[i]).abs() < 1e-12);
+            assert!((p - want).abs() < 1e-12);
         }
     }
 

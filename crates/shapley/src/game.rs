@@ -105,7 +105,13 @@ impl Coalition {
 }
 
 /// A deterministic cooperative game.
-pub trait Game {
+///
+/// `Sync` is a supertrait: the parallel sampling engine ([`crate::parallel`])
+/// evaluates one shared game from several permutation workers. Characteristic
+/// functions are pure, so this is free for honest implementations; games that
+/// memoize internally (e.g. oracle caches) must use thread-safe interior
+/// mutability.
+pub trait Game: Sync {
     /// Number of players `|N|`.
     fn num_players(&self) -> usize;
 
@@ -127,7 +133,10 @@ pub trait Game {
 /// the paper generates one replacement table and toggles only cell `i`
 /// between the two instances, which slashes the variance of the marginal
 /// estimate. Deterministic games get this for free via the blanket impl.
-pub trait StochasticGame {
+///
+/// `Sync` is a supertrait for the same reason as on [`Game`]: parallel
+/// workers share one game and draw from worker-local RNG streams.
+pub trait StochasticGame: Sync {
     /// Number of players.
     fn num_players(&self) -> usize;
 
@@ -167,19 +176,19 @@ impl<G: Game> StochasticGame for G {
 }
 
 /// A game defined by a closure — handy for tests and benchmarks.
-pub struct FnGame<F: Fn(&Coalition) -> f64> {
+pub struct FnGame<F: Fn(&Coalition) -> f64 + Sync> {
     n: usize,
     f: F,
 }
 
-impl<F: Fn(&Coalition) -> f64> FnGame<F> {
+impl<F: Fn(&Coalition) -> f64 + Sync> FnGame<F> {
     /// Wrap a closure as a game over `n` players.
     pub fn new(n: usize, f: F) -> Self {
         FnGame { n, f }
     }
 }
 
-impl<F: Fn(&Coalition) -> f64> Game for FnGame<F> {
+impl<F: Fn(&Coalition) -> f64 + Sync> Game for FnGame<F> {
     fn num_players(&self) -> usize {
         self.n
     }

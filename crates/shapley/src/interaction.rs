@@ -102,8 +102,8 @@ mod tests {
         assert!(m[0][2] < 0.0, "C1×C3 should be substitutes: {}", m[0][2]);
         assert!(m[1][2] < 0.0, "C2×C3 should be substitutes: {}", m[1][2]);
         // C4 is a dummy: zero interaction across the board.
-        for k in 0..3 {
-            assert!(m[k][3].abs() < 1e-12);
+        for row in m.iter().take(3) {
+            assert!(row[3].abs() < 1e-12);
         }
         // Symmetry of the matrix and of the symmetric players C1/C2.
         assert_eq!(m[0][2], m[2][0]);

@@ -13,6 +13,7 @@
 //! | subset enumeration (def. of §2.2) | [`exact`] | `Θ(2^n)` | constraints (few players) |
 //! | permutation enumeration | [`perm`] | `Θ(n!·n)` | cross-check oracle |
 //! | permutation sampling ([7], Example 2.5) | [`sampling`] | `Θ(m)` | cells (many players) |
+//! | parallel permutation sampling | [`parallel`] | `Θ(m / threads)` | cells, multi-core |
 //! | stratified / antithetic variants | [`stratified`] | `Θ(m)` | ablation A3 |
 //!
 //! All solvers operate on [`Game`]/[`StochasticGame`] and are exercised
@@ -27,6 +28,7 @@ pub mod convergence;
 pub mod exact;
 pub mod game;
 pub mod interaction;
+pub mod parallel;
 pub mod perm;
 pub mod sampling;
 pub mod stratified;
@@ -39,6 +41,7 @@ pub use exact::{
 };
 pub use game::{Coalition, FnGame, Game, StochasticGame};
 pub use interaction::shapley_interaction_exact;
+pub use parallel::{available_threads, resolve_threads, ParallelConfig, ThreadsError, MAX_THREADS};
 pub use perm::{shapley_permutation_exact, MAX_PERM_PLAYERS};
 pub use sampling::{
     estimate_all, estimate_all_walk, estimate_player, estimate_player_adaptive, Estimate,

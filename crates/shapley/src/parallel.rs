@@ -1,0 +1,505 @@
+//! Deterministic multi-threaded permutation sampling.
+//!
+//! The paper's bottleneck is the Monte-Carlo cell game of §2.3: every
+//! permutation sample queries the black-box repair oracle, and tables have
+//! *many* cells. The estimators here split the `m` samples of
+//! [`crate::sampling`] across a fixed worker count with
+//! [`std::thread::scope`] — no work queue, no dependencies — under a strict
+//! **determinism contract**:
+//!
+//! 1. For a fixed `(seed, threads)` pair the result is bit-for-bit
+//!    reproducible, regardless of scheduling: every worker owns a statically
+//!    assigned contiguous chunk of the sample budget and an RNG stream
+//!    derived from `(seed, worker_id)`, and chunk statistics are merged in
+//!    worker order with the exact parallel-Welford combine.
+//! 2. With `threads = 1` the single worker's stream *is* the serial stream
+//!    ([`worker_seed`] maps worker 0 to the unmodified seed), so
+//!    [`estimate_all`] reproduces [`crate::sampling::estimate_all`] — and
+//!    [`estimate_all_walk`] reproduces
+//!    [`crate::sampling::estimate_all_walk`] — bit for bit.
+//!
+//! Changing `threads` changes which permutations are drawn (each worker has
+//! its own stream), so estimates differ *statistically insignificantly*
+//! across thread counts but are not expected to be identical. That is the
+//! standard trade-off for reproducible parallel Monte Carlo; record
+//! `(seed, threads)` to reproduce a run.
+//!
+//! Games must be [`Sync`]: workers share one `&G`. The coalition games of
+//! the T-REx core hold their oracle cache in a sharded mutex map
+//! (`trex_repair::ShardedOracle`), so concurrent workers also share cache
+//! hits.
+
+use crate::convergence::RunningStats;
+use crate::game::{Game, StochasticGame};
+use crate::sampling::{marginal_sample, walk_once, Estimate, SamplingConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Upper bound on an explicit thread count. Far above any machine this
+/// workload meaningfully scales to; requests beyond it are almost certainly
+/// typos (`--threads 100000`) and are rejected instead of spawning workers
+/// until the OS gives up.
+pub const MAX_THREADS: usize = 1024;
+
+/// Error for nonsensical thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadsError {
+    /// The rejected request.
+    pub requested: usize,
+}
+
+impl std::fmt::Display for ThreadsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "--threads {} exceeds the supported maximum of {MAX_THREADS} \
+             (use 0 for available parallelism)",
+            self.requested
+        )
+    }
+}
+
+impl std::error::Error for ThreadsError {}
+
+/// Number of hardware threads, with a serial fallback when the platform
+/// cannot say.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolve a user-requested thread count: `0` means "use available
+/// parallelism", `1..=MAX_THREADS` is taken literally, anything larger is a
+/// [`ThreadsError`].
+pub fn resolve_threads(requested: usize) -> Result<usize, ThreadsError> {
+    match requested {
+        0 => Ok(available_threads()),
+        n if n <= MAX_THREADS => Ok(n),
+        n => Err(ThreadsError { requested: n }),
+    }
+}
+
+/// Configuration of the parallel estimators: a [`SamplingConfig`] plus a
+/// resolved worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Total number of Monte-Carlo samples (split across workers).
+    pub samples: usize,
+    /// Base RNG seed; combined with the worker id per stream.
+    pub seed: u64,
+    /// Worker count (must be ≥ 1; see [`resolve_threads`]).
+    pub threads: usize,
+}
+
+impl ParallelConfig {
+    /// Build from explicit values.
+    pub fn new(samples: usize, seed: u64, threads: usize) -> Self {
+        assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
+        ParallelConfig {
+            samples,
+            seed,
+            threads,
+        }
+    }
+
+    /// Lift a serial [`SamplingConfig`] onto `threads` workers.
+    pub fn from_sampling(config: SamplingConfig, threads: usize) -> Self {
+        Self::new(config.samples, config.seed, threads)
+    }
+
+    /// The serial view of this configuration (same samples and seed).
+    pub fn sampling(&self) -> SamplingConfig {
+        SamplingConfig {
+            samples: self.samples,
+            seed: self.seed,
+        }
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            samples: 1000,
+            seed: 0,
+            threads: 1,
+        }
+    }
+}
+
+/// SplitMix64 finalizer (Steele, Lea, Flood 2014) — the standard 64-bit
+/// mixer, used to decorrelate worker streams.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed of worker `w`'s RNG stream.
+///
+/// Worker 0 gets the **unmodified** seed — this is what makes the
+/// single-threaded parallel path replay the serial estimators exactly.
+/// Higher workers get the seed xor-mixed with a SplitMix64 hash of their id,
+/// which cannot collide with the per-player seed laddering of
+/// [`crate::sampling::estimate_all`] the way a plain additive constant
+/// would.
+fn worker_seed(seed: u64, worker: usize) -> u64 {
+    if worker == 0 {
+        seed
+    } else {
+        seed ^ splitmix64(worker as u64)
+    }
+}
+
+/// Split `samples` into `threads` contiguous chunks, front-loading the
+/// remainder so sizes differ by at most one. Returns the per-worker counts.
+fn chunk_sizes(samples: usize, threads: usize) -> Vec<usize> {
+    let base = samples / threads;
+    let extra = samples % threads;
+    (0..threads)
+        .map(|w| base + usize::from(w < extra))
+        .collect()
+}
+
+fn stats_to_estimate(stats: &RunningStats) -> Estimate {
+    Estimate {
+        value: stats.mean(),
+        std_dev: stats.std_dev(),
+        samples: stats.count(),
+    }
+}
+
+/// One worker's share of a single-player estimate: `chunk` marginal samples
+/// drawn from the worker's own stream. The sample itself is
+/// [`crate::sampling::marginal_sample`] — the *same code* the serial
+/// estimator runs, which is what keeps `threads = 1` bit-compatible.
+fn player_chunk<G: StochasticGame + ?Sized>(
+    game: &G,
+    player: usize,
+    chunk: usize,
+    seed: u64,
+) -> RunningStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = RunningStats::new();
+    for _ in 0..chunk {
+        stats.push(marginal_sample(game, player, &mut rng));
+    }
+    stats
+}
+
+/// Merge per-worker chunk statistics in worker order (determinism contract:
+/// the fold order is part of the result).
+fn merge_in_order(chunks: Vec<RunningStats>) -> RunningStats {
+    let mut total = RunningStats::new();
+    for chunk in &chunks {
+        total.merge(chunk);
+    }
+    total
+}
+
+/// Parallel version of [`crate::sampling::estimate_player`]: the
+/// `config.samples` permutation samples for `player` are split across
+/// `config.threads` workers.
+pub fn estimate_player<G: StochasticGame + ?Sized>(
+    game: &G,
+    player: usize,
+    config: ParallelConfig,
+) -> Estimate {
+    let n = game.num_players();
+    assert!(player < n, "player {player} out of range ({n} players)");
+    assert!(config.threads >= 1, "threads must be >= 1");
+    let chunks = chunk_sizes(config.samples, config.threads);
+    let worker_stats = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .map(|(w, &chunk)| {
+                let seed = worker_seed(config.seed, w);
+                scope.spawn(move || player_chunk(game, player, chunk, seed))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sampling worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    stats_to_estimate(&merge_in_order(worker_stats))
+}
+
+/// Parallel version of [`crate::sampling::estimate_all`]: each player keeps
+/// the exact per-player derived seed of the serial path, and each player's
+/// sample budget is split across the workers.
+///
+/// Worker `w` computes chunk `w` of *every* player (a static schedule — no
+/// work stealing, so the assignment is reproducible), then per-player chunk
+/// statistics are merged in worker order.
+pub fn estimate_all<G: StochasticGame + ?Sized>(game: &G, config: ParallelConfig) -> Vec<Estimate> {
+    let n = game.num_players();
+    assert!(config.threads >= 1, "threads must be >= 1");
+    let chunks = chunk_sizes(config.samples, config.threads);
+    // player_seed mirrors sampling::estimate_all exactly.
+    let player_seed = |p: usize| {
+        config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(p as u64 + 1))
+    };
+    // worker_stats[w][p] = worker w's chunk statistics for player p.
+    let worker_stats = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .map(|(w, &chunk)| {
+                scope.spawn(move || {
+                    (0..n)
+                        .map(|p| player_chunk(game, p, chunk, worker_seed(player_seed(p), w)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sampling worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    (0..n)
+        .map(|p| {
+            let mut total = RunningStats::new();
+            for per_player in &worker_stats {
+                total.merge(&per_player[p]);
+            }
+            stats_to_estimate(&total)
+        })
+        .collect()
+}
+
+/// Parallel version of [`crate::sampling::estimate_all_walk`] (the
+/// Castro-style all-players estimator): the `config.samples` permutation
+/// walks are split across workers, each walk contributing one marginal
+/// sample to every player at `n + 1` evaluations.
+///
+/// Per-permutation the marginals telescope to `v(N) − v(∅)`, so the merged
+/// means still sum to `v(N)` exactly (the efficiency axiom holds per walk
+/// and merging preserves it).
+pub fn estimate_all_walk<G: Game + ?Sized>(game: &G, config: ParallelConfig) -> Vec<Estimate> {
+    let n = game.num_players();
+    assert!(config.threads >= 1, "threads must be >= 1");
+    let chunks = chunk_sizes(config.samples, config.threads);
+    let worker_stats = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .map(|(w, &chunk)| {
+                let seed = worker_seed(config.seed, w);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut stats = vec![RunningStats::new(); n];
+                    for _ in 0..chunk {
+                        walk_once(game, &mut rng, &mut stats);
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sampling worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    (0..n)
+        .map(|p| {
+            let mut total = RunningStats::new();
+            for per_player in &worker_stats {
+                total.merge(&per_player[p]);
+            }
+            stats_to_estimate(&total)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::shapley_exact;
+    use crate::game::fixtures;
+    use crate::sampling;
+
+    fn assert_estimates_eq(a: &[Estimate], b: &[Estimate]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            // Estimate is PartialEq over (value, std_dev, samples); equality
+            // here is the bit-for-bit claim (no tolerance).
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn one_thread_matches_serial_estimate_player() {
+        let g = fixtures::gloves(3, 4);
+        for seed in [0u64, 7, 42] {
+            let serial = sampling::estimate_player(&g, 2, SamplingConfig { samples: 500, seed });
+            let par = estimate_player(&g, 2, ParallelConfig::new(500, seed, 1));
+            assert_eq!(serial, par);
+        }
+    }
+
+    #[test]
+    fn one_thread_matches_serial_estimate_all() {
+        let g = fixtures::majority(9);
+        let cfg = SamplingConfig {
+            samples: 300,
+            seed: 13,
+        };
+        let serial = sampling::estimate_all(&g, cfg);
+        let par = estimate_all(&g, ParallelConfig::from_sampling(cfg, 1));
+        assert_estimates_eq(&serial, &par);
+    }
+
+    #[test]
+    fn one_thread_matches_serial_walk() {
+        let g = fixtures::paper_example_2_3();
+        let cfg = SamplingConfig {
+            samples: 400,
+            seed: 5,
+        };
+        let serial = sampling::estimate_all_walk(&g, cfg);
+        let par = estimate_all_walk(&g, ParallelConfig::from_sampling(cfg, 1));
+        assert_estimates_eq(&serial, &par);
+    }
+
+    #[test]
+    fn fixed_seed_and_threads_is_deterministic() {
+        let g = fixtures::gloves(4, 4);
+        for threads in [1usize, 2, 3, 4, 7] {
+            let cfg = ParallelConfig::new(350, 99, threads);
+            let a = estimate_all(&g, cfg);
+            let b = estimate_all(&g, cfg);
+            assert_estimates_eq(&a, &b);
+            let wa = estimate_all_walk(&g, cfg);
+            let wb = estimate_all_walk(&g, cfg);
+            assert_estimates_eq(&wa, &wb);
+        }
+    }
+
+    #[test]
+    fn multi_thread_estimates_converge_to_exact() {
+        let g = fixtures::gloves(2, 3);
+        let exact = shapley_exact(&g).unwrap();
+        let ests = estimate_all(&g, ParallelConfig::new(20_000, 11, 4));
+        for (p, want) in exact.iter().enumerate() {
+            assert!(
+                (ests[p].value - want).abs() < 0.02,
+                "player {p}: {} vs {want}",
+                ests[p].value
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_walk_is_exactly_efficient() {
+        // The efficiency axiom survives both the walk telescoping and the
+        // Welford merge: the means sum to v(N) up to fp noise, at every
+        // thread count.
+        let g = fixtures::paper_example_2_3();
+        for threads in [1usize, 2, 4, 8] {
+            let ests = estimate_all_walk(&g, ParallelConfig::new(1000, 3, threads));
+            let total: f64 = ests.iter().map(|e| e.value).sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "threads {threads}: total {total}"
+            );
+            let samples: usize = ests.iter().map(|e| e.samples).sum();
+            assert_eq!(samples, 1000 * 4, "every walk touches every player");
+        }
+    }
+
+    #[test]
+    fn all_samples_are_used_at_every_thread_count() {
+        let g = fixtures::majority(5);
+        for threads in [1usize, 2, 3, 5, 8, 16] {
+            // 17 is coprime to everything here: exercises remainder chunks.
+            let est = estimate_player(&g, 0, ParallelConfig::new(17, 1, threads));
+            assert_eq!(est.samples, 17, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_samples_is_fine() {
+        let g = fixtures::gloves(1, 1);
+        let est = estimate_player(&g, 0, ParallelConfig::new(3, 0, 8));
+        assert_eq!(est.samples, 3);
+    }
+
+    #[test]
+    fn zero_samples_gives_empty_estimate() {
+        let g = fixtures::majority(3);
+        let est = estimate_player(&g, 0, ParallelConfig::new(0, 0, 4));
+        assert_eq!(est.samples, 0);
+        assert_eq!(est.value, 0.0);
+    }
+
+    #[test]
+    fn dummy_player_is_zero_at_any_thread_count() {
+        let g = fixtures::paper_example_2_3();
+        for threads in [1usize, 2, 4] {
+            let est = estimate_player(&g, 3, ParallelConfig::new(300, 3, threads));
+            assert_eq!(est.value, 0.0);
+            assert_eq!(est.std_dev, 0.0);
+        }
+    }
+
+    #[test]
+    fn worker_streams_are_decorrelated() {
+        // Worker 1 of player p must not replay worker 0 of player p+1 (the
+        // collision a plain additive worker offset would produce under the
+        // golden-ratio player laddering).
+        let base = 123u64;
+        let golden = 0x9E37_79B9_7F4A_7C15u64;
+        let p0 = base.wrapping_add(golden); // player 0's serial seed
+        let p1 = base.wrapping_add(golden.wrapping_mul(2)); // player 1's
+        assert_ne!(worker_seed(p0, 1), worker_seed(p1, 0));
+        assert_eq!(worker_seed(p0, 0), p0, "worker 0 keeps the serial seed");
+    }
+
+    #[test]
+    fn chunks_cover_and_balance() {
+        for (samples, threads) in [(10usize, 3usize), (0, 4), (7, 7), (100, 1), (5, 8)] {
+            let chunks = chunk_sizes(samples, threads);
+            assert_eq!(chunks.len(), threads);
+            assert_eq!(chunks.iter().sum::<usize>(), samples);
+            let max = chunks.iter().max().unwrap();
+            let min = chunks.iter().min().unwrap();
+            assert!(max - min <= 1, "{samples}/{threads}: {chunks:?}");
+        }
+    }
+
+    #[test]
+    fn resolve_threads_contract() {
+        assert!(resolve_threads(0).unwrap() >= 1);
+        assert_eq!(resolve_threads(1), Ok(1));
+        assert_eq!(resolve_threads(MAX_THREADS), Ok(MAX_THREADS));
+        let err = resolve_threads(MAX_THREADS + 1).unwrap_err();
+        assert_eq!(err.requested, MAX_THREADS + 1);
+        assert!(err.to_string().contains("1024"));
+    }
+
+    #[test]
+    fn config_conversions_roundtrip() {
+        let s = SamplingConfig {
+            samples: 250,
+            seed: 9,
+        };
+        let p = ParallelConfig::from_sampling(s, 4);
+        assert_eq!(p.threads, 4);
+        let back = p.sampling();
+        assert_eq!(back.samples, 250);
+        assert_eq!(back.seed, 9);
+        assert_eq!(ParallelConfig::default().threads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be >= 1")]
+    fn zero_threads_panics() {
+        let _ = ParallelConfig::new(10, 0, 0);
+    }
+}

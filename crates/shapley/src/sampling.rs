@@ -73,14 +73,59 @@ impl Estimate {
     }
 }
 
-fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
+/// Draw a uniform permutation of `0..n` (Fisher–Yates).
+///
+/// Shared with [`crate::parallel`]: the serial and parallel estimators must
+/// consume the RNG identically for the `threads = 1` bit-for-bit contract,
+/// so there is exactly one copy of every sampling primitive.
+pub(crate) fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
     let mut perm: Vec<usize> = (0..n).collect();
-    // Fisher–Yates.
     for i in (1..n).rev() {
         let j = rng.gen_range(0..=i);
         perm.swap(i, j);
     }
     perm
+}
+
+/// One marginal sample for `player` (Example 2.5): draw a permutation, form
+/// the predecessor coalition, evaluate the pair, return `v(S∪{i}) − v(S)`.
+/// Shared with [`crate::parallel`] (see [`random_permutation`]).
+pub(crate) fn marginal_sample<G: StochasticGame + ?Sized>(
+    game: &G,
+    player: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> f64 {
+    let n = game.num_players();
+    let perm = random_permutation(n, rng);
+    let mut coalition = Coalition::empty(n);
+    for &p in &perm {
+        if p == player {
+            break;
+        }
+        coalition.insert(p);
+    }
+    let (with, without) = game.eval_pair(&coalition, player, rng);
+    with - without
+}
+
+/// One full permutation walk (Castro et al.): visit the players in a fresh
+/// random order, pushing every incremental marginal into `stats`. Shared
+/// with [`crate::parallel`] (see [`random_permutation`]).
+pub(crate) fn walk_once<G: Game + ?Sized>(
+    game: &G,
+    rng: &mut rand::rngs::StdRng,
+    stats: &mut [RunningStats],
+) {
+    let n = game.num_players();
+    let perm = random_permutation(n, rng);
+    let mut s = Coalition::empty(n);
+    let mut prev = game.value(&s);
+    for &p in &perm {
+        s.insert(p);
+        let cur = game.value(&s);
+        stats[p].push(cur - prev);
+        prev = cur;
+    }
 }
 
 /// Estimate the Shapley value of a single `player` with `config.samples`
@@ -95,16 +140,7 @@ pub fn estimate_player<G: StochasticGame + ?Sized>(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut stats = RunningStats::new();
     for _ in 0..config.samples {
-        let perm = random_permutation(n, &mut rng);
-        let mut coalition = Coalition::empty(n);
-        for &p in &perm {
-            if p == player {
-                break;
-            }
-            coalition.insert(p);
-        }
-        let (with, without) = game.eval_pair(&coalition, player, &mut rng);
-        stats.push(with - without);
+        stats.push(marginal_sample(game, player, &mut rng));
     }
     Estimate {
         value: stats.mean(),
@@ -145,15 +181,7 @@ pub fn estimate_all_walk<G: Game + ?Sized>(game: &G, config: SamplingConfig) -> 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut stats = vec![RunningStats::new(); n];
     for _ in 0..config.samples {
-        let perm = random_permutation(n, &mut rng);
-        let mut s = Coalition::empty(n);
-        let mut prev = game.value(&s);
-        for &p in &perm {
-            s.insert(p);
-            let cur = game.value(&s);
-            stats[p].push(cur - prev);
-            prev = cur;
-        }
+        walk_once(game, &mut rng, &mut stats);
     }
     stats
         .into_iter()
@@ -184,16 +212,7 @@ pub fn estimate_player_adaptive<G: StochasticGame + ?Sized>(
     let mut stats = RunningStats::new();
     loop {
         for _ in 0..batch {
-            let perm = random_permutation(n, &mut rng);
-            let mut coalition = Coalition::empty(n);
-            for &p in &perm {
-                if p == player {
-                    break;
-                }
-                coalition.insert(p);
-            }
-            let (with, without) = game.eval_pair(&coalition, player, &mut rng);
-            stats.push(with - without);
+            stats.push(marginal_sample(game, player, &mut rng));
         }
         let est = Estimate {
             value: stats.mean(),

@@ -128,13 +128,12 @@ mod tests {
     fn stratified_is_unbiased_on_fixtures() {
         let g = fixtures::gloves(2, 3);
         let exact = shapley_exact(&g).unwrap();
-        for p in 0..5 {
+        for (p, want) in exact.iter().enumerate() {
             let est = estimate_player_stratified(&g, p, 4000, 17);
             assert!(
-                (est.value - exact[p]).abs() < 0.02,
-                "player {p}: {} vs {}",
-                est.value,
-                exact[p]
+                (est.value - want).abs() < 0.02,
+                "player {p}: {} vs {want}",
+                est.value
             );
         }
     }
@@ -143,13 +142,12 @@ mod tests {
     fn antithetic_is_unbiased_on_fixtures() {
         let g = fixtures::paper_example_2_3();
         let exact = shapley_exact(&g).unwrap();
-        for p in 0..4 {
+        for (p, want) in exact.iter().enumerate() {
             let est = estimate_player_antithetic(&g, p, 10_000, 23);
             assert!(
-                (est.value - exact[p]).abs() < 0.02,
-                "player {p}: {} vs {}",
-                est.value,
-                exact[p]
+                (est.value - want).abs() < 0.02,
+                "player {p}: {} vs {want}",
+                est.value
             );
         }
     }

@@ -473,7 +473,7 @@ mod tests {
 
     #[test]
     fn total_order_is_deterministic() {
-        let mut vs = vec![
+        let mut vs = [
             Value::str("b"),
             Value::Null,
             Value::int(3),

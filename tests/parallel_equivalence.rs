@@ -1,0 +1,120 @@
+//! Serial-vs-parallel equivalence of the Shapley sampling engine, on the
+//! paper's own games (cross-crate: `trex-shapley` workers driving the
+//! `trex-core` coalition games over the `trex-repair` sharded oracle).
+//!
+//! The determinism contract under test:
+//! * `parallel::estimate_all` / `estimate_all_walk` with `threads = 1`
+//!   reproduce `sampling::estimate_all` / `estimate_all_walk` bit for bit;
+//! * for any fixed `(seed, threads)` pair the parallel estimates are
+//!   reproducible;
+//! * the walk estimator stays exactly efficient (per-permutation marginals
+//!   telescope to `v(N)`), regardless of how walks are chunked onto workers.
+
+use trex::{CellGameMasked, CellGameSampled, MaskMode};
+use trex_datagen::laliga;
+use trex_shapley::{parallel, sampling, Game, ParallelConfig, SamplingConfig, StochasticGame};
+use trex_table::Value;
+
+fn masked_game<'a>(
+    alg: &'a trex_repair::RuleRepair,
+    dcs: &'a [trex_constraints::DenialConstraint],
+    dirty: &'a trex_table::Table,
+) -> CellGameMasked<'a> {
+    let cell = laliga::cell_of_interest(dirty);
+    CellGameMasked::new(alg, dcs, dirty, cell, Value::str("Spain"), MaskMode::Null)
+}
+
+#[test]
+fn one_thread_walk_matches_serial_on_the_laliga_cell_game() {
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    let game = masked_game(&alg, &dcs, &dirty);
+    let cfg = SamplingConfig {
+        samples: 200,
+        seed: 3,
+    };
+    let serial = sampling::estimate_all_walk(&game, cfg);
+    let par = parallel::estimate_all_walk(&game, ParallelConfig::from_sampling(cfg, 1));
+    assert_eq!(serial, par, "threads = 1 must replay the serial stream");
+}
+
+#[test]
+fn one_thread_replacement_sampling_matches_serial() {
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    let cell = laliga::cell_of_interest(&dirty);
+    let game = CellGameSampled::new(&alg, &dcs, &dirty, cell, Value::str("Spain"));
+    let cfg = SamplingConfig {
+        samples: 40,
+        seed: 7,
+    };
+    let serial = sampling::estimate_all(&game, cfg);
+    let par = parallel::estimate_all(&game, ParallelConfig::from_sampling(cfg, 1));
+    assert_eq!(serial, par);
+}
+
+#[test]
+fn fixed_seed_threads_pair_is_reproducible_on_the_cell_game() {
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    for threads in [2usize, 4] {
+        // Fresh games per run: the shared oracle cache must not be able to
+        // mask a nondeterministic estimate.
+        let a = parallel::estimate_all_walk(
+            &masked_game(&alg, &dcs, &dirty),
+            ParallelConfig::new(120, 9, threads),
+        );
+        let b = parallel::estimate_all_walk(
+            &masked_game(&alg, &dcs, &dirty),
+            ParallelConfig::new(120, 9, threads),
+        );
+        assert_eq!(a, b, "threads = {threads}");
+    }
+}
+
+#[test]
+fn parallel_walk_keeps_the_efficiency_axiom_and_the_headline() {
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    let game = masked_game(&alg, &dcs, &dirty);
+    let n = Game::num_players(&game);
+    for threads in [1usize, 3, 8] {
+        let ests = parallel::estimate_all_walk(&game, ParallelConfig::new(300, 3, threads));
+        // Efficiency: the grand coalition repairs the cell (v(N) = 1), and
+        // walk marginals telescope to it exactly at any chunking.
+        let total: f64 = ests.iter().map(|e| e.value).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "threads {threads}: total {total}"
+        );
+        // Example 2.4's headline survives any thread count.
+        let top = (0..n)
+            .max_by(|a, b| ests[*a].value.total_cmp(&ests[*b].value))
+            .unwrap();
+        assert_eq!(Game::player_label(&game, top), "t5[League]");
+    }
+}
+
+#[test]
+fn sampled_game_estimates_stay_in_range_across_threads() {
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    let cell = laliga::cell_of_interest(&dirty);
+    let game = CellGameSampled::new(&alg, &dcs, &dirty, cell, Value::str("Spain"));
+    let n = StochasticGame::num_players(&game);
+    let ests = parallel::estimate_all(&game, ParallelConfig::new(30, 1, 4));
+    assert_eq!(ests.len(), n);
+    for (i, e) in ests.iter().enumerate() {
+        assert_eq!(e.samples, 30, "player {i} lost samples");
+        assert!(
+            (-1.0..=1.0).contains(&e.value),
+            "player {i}: marginal mean {} out of range",
+            e.value
+        );
+    }
+}

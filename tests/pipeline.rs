@@ -205,7 +205,7 @@ fn masked_tables_never_grow_labeled_nulls_in_repairs() {
     for k in 0..8u64 {
         let coalition = Coalition::from_players(
             Game::num_players(&game),
-            (0..Game::num_players(&game)).filter(|i| (*i as u64 + k) % 3 == 0),
+            (0..Game::num_players(&game)).filter(|i| (*i as u64 + k).is_multiple_of(3)),
         );
         let table = game.coalition_table(&coalition);
         let result = alg.repair(&dcs, &table);
