@@ -1,11 +1,15 @@
 //! Ablation A2: hash-partitioned vs nested-loop violation detection on
 //! standings tables of growing size. The indexed path should win by a
 //! growing factor (quadratic vs near-linear for selective join keys).
+//! The thread-scaling group measures the parallel row-pair scan behind
+//! `trex violations --threads` / `trex repair --threads`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use trex_bench::standings_workload;
-use trex_constraints::{find_violations, find_violations_indexed, DenialConstraint};
+use trex_constraints::{
+    find_all_violations_par, find_violations, find_violations_indexed, DenialConstraint,
+};
 use trex_table::Table;
 
 fn resolved(table: &Table) -> Vec<DenialConstraint> {
@@ -47,5 +51,23 @@ fn bench_detection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_detection);
+/// Thread scaling of the parallel scan at a fixed table size. Output is
+/// identical to the serial scan at every worker count, so this group is
+/// purely a wall-time measurement.
+fn bench_detection_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("violation_detection_threads");
+    let (table, _) = standings_workload(384, 0.02, 3);
+    let dcs = resolved(&table);
+    group.throughput(Throughput::Elements(table.num_rows() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("indexed_par", threads),
+            &threads,
+            |b, &t| b.iter(|| find_all_violations_par(black_box(&dcs), black_box(&table), t).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection, bench_detection_parallel);
 criterion_main!(benches);

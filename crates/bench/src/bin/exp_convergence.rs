@@ -251,6 +251,45 @@ fn main() {
         serial.top_label, par.top_label
     );
 
+    // ---- Part 2b: the variance-reduced estimators on the parallel engine.
+    // Same ground-truth game as Part 1; estimates differ across thread
+    // counts (each worker draws its own stream) but stay unbiased. With
+    // --threads 1 each call replays its *serial* counterpart
+    // (estimate_player_stratified / _antithetic / _adaptive at this seed)
+    // bit for bit — the contract tests/parallel_equivalence.rs pins.
+    println!();
+    println!("== variance-reduced estimators on {threads} thread(s) (m = 2048 budget) ==");
+    let m = 2048usize.min(max_m.max(n));
+    let strat = trex_shapley::parallel::estimate_player_stratified(
+        &game,
+        player,
+        (m / n).max(1),
+        1,
+        threads,
+    );
+    let anti = trex_shapley::parallel::estimate_player_antithetic(&game, player, m / 2, 1, threads);
+    let (adapt, adapt_ok) = trex_shapley::parallel::estimate_player_adaptive(
+        &game, player, 0.01, 1.96, 64, m, 1, threads,
+    );
+    println!(
+        "stratified: {:+.4} (err {:.4}, {} samples)",
+        strat.value,
+        (strat.value - exact[player]).abs(),
+        strat.samples
+    );
+    println!(
+        "antithetic: {:+.4} (err {:.4}, {} samples)",
+        anti.value,
+        (anti.value - exact[player]).abs(),
+        anti.samples
+    );
+    println!(
+        "adaptive:   {:+.4} (err {:.4}, {} samples, converged: {adapt_ok})",
+        adapt.value,
+        (adapt.value - exact[player]).abs(),
+        adapt.samples
+    );
+
     // ---- Part 3: the machine-readable record the CI perf trajectory reads.
     if let Some(path) = json_path {
         let slope_json = slope

@@ -22,7 +22,7 @@ use std::process::ExitCode;
 use trex::{
     render_explanation_screen, render_input_screen, render_repair_screen, Explainer, MaskMode,
 };
-use trex_constraints::{find_all_violations_indexed, parse_dcs, DenialConstraint};
+use trex_constraints::{find_all_violations_par, parse_dcs, DenialConstraint};
 use trex_repair::{FdChaseRepair, HolisticRepair, HoloCleanStyle, RepairAlgorithm, RuleRepair};
 use trex_shapley::SamplingConfig;
 use trex_table::{read_csv_strings, CellRef, Table};
@@ -31,8 +31,8 @@ const USAGE: &str = "\
 trex — table repair explanations via Shapley values
 
 USAGE:
-  trex violations --table FILE.csv --dcs FILE.txt
-  trex repair     --table FILE.csv --dcs FILE.txt [engine flags]
+  trex violations --table FILE.csv --dcs FILE.txt [--threads N]
+  trex repair     --table FILE.csv --dcs FILE.txt [--threads N] [engine flags]
   trex explain    --table FILE.csv --dcs FILE.txt --cell tROW.Attr
                   [--cells] [--samples N] [--seed N] [--mask null|distinct|replace]
                   [--threads N] [engine flags]
@@ -46,9 +46,12 @@ ENGINE FLAGS:
   --engine holistic    conflict-hypergraph baseline
 
 THREADS:
-  --threads N runs cell sampling on N workers (default: all hardware
-  threads; 0 also means that). Results are deterministic for a fixed
-  (--seed, --threads) pair; --threads 1 reproduces the serial estimator.
+  --threads N is shared by violations, repair, and explain (default: all
+  hardware threads; 0 also means that). For explain it runs cell sampling
+  on N workers — deterministic for a fixed (--seed, --threads) pair, with
+  --threads 1 reproducing the serial estimator. For violations and repair
+  it splits the row-pair violation scan, whose output is identical at any
+  thread count (a wall-time knob only).
 
 FILES:
   tables are CSV with a header row (all columns read as strings);
@@ -101,7 +104,9 @@ fn load_inputs(args: &Args) -> Result<(Table, Vec<DenialConstraint>), ArgError> 
     Ok((table, dcs))
 }
 
-fn load_engine(args: &Args) -> Result<Box<dyn RepairAlgorithm>, ArgError> {
+/// Build the selected engine with `threads` violation-detection workers
+/// (`chase` does no violation scanning, so it has no threads knob).
+fn load_engine(args: &Args, threads: usize) -> Result<Box<dyn RepairAlgorithm>, ArgError> {
     match args.get("engine").unwrap_or("holoclean") {
         "holoclean" => {
             let engine = if args.has("train") {
@@ -109,7 +114,7 @@ fn load_engine(args: &Args) -> Result<Box<dyn RepairAlgorithm>, ArgError> {
             } else {
                 HoloCleanStyle::new()
             };
-            Ok(Box::new(engine))
+            Ok(Box::new(engine.with_threads(threads)))
         }
         "rules" => {
             let path = args
@@ -119,19 +124,20 @@ fn load_engine(args: &Args) -> Result<Box<dyn RepairAlgorithm>, ArgError> {
                 .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
             let engine =
                 RuleRepair::parse_rules(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
-            Ok(Box::new(engine))
+            Ok(Box::new(engine.with_threads(threads)))
         }
         "chase" => Ok(Box::new(FdChaseRepair::new())),
-        "holistic" => Ok(Box::new(HolisticRepair::new())),
+        "holistic" => Ok(Box::new(HolisticRepair::new().with_threads(threads))),
         other => Err(ArgError(format!(
             "unknown engine {other:?} (holoclean | rules | chase | holistic)"
         ))),
     }
 }
 
-/// Resolve the `--threads` flag: absent or `0` means "use available
-/// parallelism"; absurd counts are rejected rather than spawning workers
-/// until the OS gives up.
+/// Resolve the `--threads` flag, shared by the `violations`, `repair`, and
+/// `explain` subcommands: absent or `0` means "use available parallelism";
+/// absurd counts are rejected — with one validation path and one error
+/// message — rather than spawning workers until the OS gives up.
 fn load_threads(args: &Args) -> Result<usize, ArgError> {
     let requested: usize = args.get_parsed("threads", 0)?;
     trex_shapley::resolve_threads(requested).map_err(|e| ArgError(e.to_string()))
@@ -161,11 +167,12 @@ fn parse_cell(table: &Table, spec: &str) -> Result<CellRef, ArgError> {
 
 fn cmd_violations(args: &Args) -> Result<(), ArgError> {
     let (table, dcs) = load_inputs(args)?;
+    let threads = load_threads(args)?;
     args.reject_unknown()?;
     let resolved: Result<Vec<_>, _> = dcs.iter().map(|d| d.resolved(table.schema())).collect();
     let resolved = resolved.map_err(|e| ArgError(e.to_string()))?;
     println!("{}", render_input_screen(&table, &dcs));
-    let violations = find_all_violations_indexed(&resolved, &table);
+    let violations = find_all_violations_par(&resolved, &table, threads);
     if violations.is_empty() {
         println!("table is clean: no violations.");
         return Ok(());
@@ -179,7 +186,8 @@ fn cmd_violations(args: &Args) -> Result<(), ArgError> {
 
 fn cmd_repair(args: &Args) -> Result<(), ArgError> {
     let (table, dcs) = load_inputs(args)?;
-    let engine = load_engine(args)?;
+    let threads = load_threads(args)?;
+    let engine = load_engine(args, threads)?;
     args.reject_unknown()?;
     let result = engine.repair(&dcs, &table);
     println!("engine: {}\n", engine.name());
@@ -189,14 +197,14 @@ fn cmd_repair(args: &Args) -> Result<(), ArgError> {
 
 fn cmd_explain(args: &Args) -> Result<(), ArgError> {
     let (table, dcs) = load_inputs(args)?;
-    let engine = load_engine(args)?;
+    let threads = load_threads(args)?;
+    let engine = load_engine(args, threads)?;
     let cell_spec = args.require("cell")?.to_string();
     let cell = parse_cell(&table, &cell_spec)?;
     let want_cells = args.has("cells");
     let samples: usize = args.get_parsed("samples", 500)?;
     let seed: u64 = args.get_parsed("seed", 0)?;
     let mask = args.get("mask").unwrap_or("null").to_string();
-    let threads = load_threads(args)?;
     args.reject_unknown()?;
 
     let explainer = Explainer::new(engine.as_ref()).with_threads(threads);
@@ -325,32 +333,37 @@ mod tests {
 
     #[test]
     fn threads_flag_validation() {
-        // Absent and explicit 0 both mean "available parallelism" (≥ 1).
-        let a = Args::parse(["explain"]).unwrap();
-        assert!(load_threads(&a).unwrap() >= 1);
-        let b = Args::parse(["explain", "--threads", "0"]).unwrap();
-        assert!(load_threads(&b).unwrap() >= 1);
-        // Explicit counts pass through.
-        let c = Args::parse(["explain", "--threads", "4"]).unwrap();
-        assert_eq!(load_threads(&c).unwrap(), 4);
-        // Absurd counts are a proper error, not an unbounded spawn.
-        let d = Args::parse(["explain", "--threads", "999999"]).unwrap();
-        let err = load_threads(&d).unwrap_err();
-        assert!(err.to_string().contains("999999"), "{err}");
-        // Garbage is a parse error.
-        let e = Args::parse(["explain", "--threads", "many"]).unwrap();
-        assert!(load_threads(&e).is_err());
+        // One validation path for every subcommand that takes --threads.
+        for command in ["explain", "repair", "violations"] {
+            // Absent and explicit 0 both mean "available parallelism" (≥ 1).
+            let a = Args::parse([command]).unwrap();
+            assert!(load_threads(&a).unwrap() >= 1);
+            let b = Args::parse([command, "--threads", "0"]).unwrap();
+            assert!(load_threads(&b).unwrap() >= 1);
+            // Explicit counts pass through.
+            let c = Args::parse([command, "--threads", "4"]).unwrap();
+            assert_eq!(load_threads(&c).unwrap(), 4);
+            // Absurd counts are a proper error, not an unbounded spawn —
+            // with the same message everywhere.
+            let d = Args::parse([command, "--threads", "999999"]).unwrap();
+            let err = load_threads(&d).unwrap_err();
+            assert!(err.to_string().contains("999999"), "{command}: {err}");
+            assert!(err.to_string().contains("1024"), "{command}: {err}");
+            // Garbage is a parse error.
+            let e = Args::parse([command, "--threads", "many"]).unwrap();
+            assert!(load_threads(&e).is_err());
+        }
     }
 
     #[test]
     fn engine_selection() {
         let a = Args::parse(["repair", "--engine", "chase"]).unwrap();
-        assert_eq!(load_engine(&a).unwrap().name(), "fd-chase");
+        assert_eq!(load_engine(&a, 1).unwrap().name(), "fd-chase");
         let b = Args::parse(["repair"]).unwrap();
-        assert_eq!(load_engine(&b).unwrap().name(), "holoclean-style");
+        assert_eq!(load_engine(&b, 2).unwrap().name(), "holoclean-style");
         let c = Args::parse(["repair", "--engine", "nope"]).unwrap();
-        assert!(load_engine(&c).is_err());
+        assert!(load_engine(&c, 1).is_err());
         let d = Args::parse(["repair", "--engine", "rules"]).unwrap();
-        assert!(load_engine(&d).is_err()); // missing --rules
+        assert!(load_engine(&d, 1).is_err()); // missing --rules
     }
 }

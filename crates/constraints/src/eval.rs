@@ -114,7 +114,15 @@ pub fn violates_binding(dc: &DenialConstraint, table: &Table, row1: usize, row2:
         .all(|p| predicate_holds(p, table, row1, row2, &mut scratch))
 }
 
-fn violation_for(dc: &DenialConstraint, table: &Table, r1: usize, r2: usize) -> Option<Violation> {
+/// The witness for the ordered binding `(t1 = r1, t2 = r2)` if it violates
+/// `dc`. Shared with [`crate::parallel`]: the serial and parallel scans must
+/// build identical witnesses, so there is exactly one copy of this logic.
+pub(crate) fn violation_for(
+    dc: &DenialConstraint,
+    table: &Table,
+    r1: usize,
+    r2: usize,
+) -> Option<Violation> {
     let mut cells = Vec::new();
     for p in &dc.predicates {
         if !predicate_holds(p, table, r1, r2, &mut cells) {
@@ -178,11 +186,12 @@ pub fn is_clean(dcs: &[DenialConstraint], table: &Table) -> bool {
     })
 }
 
-/// The set of distinct cells implicated in any violation of `dcs` — the
-/// "noisy cells" that repair engines consider changing.
-pub fn noisy_cells(dcs: &[DenialConstraint], table: &Table) -> Vec<CellRef> {
+/// Reduce a violation list to the sorted distinct cells it implicates.
+/// Shared with [`crate::parallel`] so the serial and parallel noisy-cell
+/// sets cannot drift apart.
+pub(crate) fn collect_noisy_cells(violations: Vec<Violation>) -> Vec<CellRef> {
     let mut out: Vec<CellRef> = Vec::new();
-    for v in find_all_violations(dcs, table) {
+    for v in violations {
         for c in v.cells {
             if !out.contains(&c) {
                 out.push(c);
@@ -191,6 +200,12 @@ pub fn noisy_cells(dcs: &[DenialConstraint], table: &Table) -> Vec<CellRef> {
     }
     out.sort();
     out
+}
+
+/// The set of distinct cells implicated in any violation of `dcs` — the
+/// "noisy cells" that repair engines consider changing.
+pub fn noisy_cells(dcs: &[DenialConstraint], table: &Table) -> Vec<CellRef> {
+    collect_noisy_cells(find_all_violations(dcs, table))
 }
 
 /// Rows of `table` whose binding as *either* tuple variable violates `dc`.

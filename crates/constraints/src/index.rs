@@ -32,19 +32,21 @@ fn key_of(table: &Table, row: usize, attrs: &[trex_table::AttrId]) -> Option<Vec
     Some(key)
 }
 
-/// Find all violations of a resolved DC using equality-key partitioning when
-/// possible; falls back to the nested loop for DCs without an equality join
-/// or for unary DCs.
+/// The equality-join partition of a binary DC: row groups sharing a key on
+/// the DC's equality attributes, sorted by first member (the deterministic
+/// scan order). `None` when the DC is unary, has no equality join, or its
+/// join attributes do not resolve — callers fall back to the nested loop.
 ///
-/// Output is exactly the violation set of [`find_violations`], though the
-/// order may differ (callers needing a canonical order should sort).
-pub fn find_violations_indexed(dc: &DenialConstraint, table: &Table) -> Vec<Violation> {
+/// Shared with [`crate::parallel`]: the serial and parallel indexed scans
+/// must partition identically so their outputs match violation-for-
+/// violation.
+pub(crate) fn equality_groups(dc: &DenialConstraint, table: &Table) -> Option<Vec<Vec<usize>>> {
     if !dc.is_binary() {
-        return find_violations(dc, table);
+        return None;
     }
     let join_names = dc.equality_join_attrs();
     if join_names.is_empty() {
-        return find_violations(dc, table);
+        return None;
     }
     let attrs: Vec<trex_table::AttrId> = join_names
         .iter()
@@ -52,7 +54,7 @@ pub fn find_violations_indexed(dc: &DenialConstraint, table: &Table) -> Vec<Viol
         .collect();
     if attrs.len() != join_names.len() {
         // Unresolvable name (shouldn't happen for a resolved DC) — fall back.
-        return find_violations(dc, table);
+        return None;
     }
 
     let mut buckets: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
@@ -62,27 +64,56 @@ pub fn find_violations_indexed(dc: &DenialConstraint, table: &Table) -> Vec<Viol
         }
     }
 
-    let mut out = Vec::new();
     // Deterministic order: iterate buckets by their first row index.
     let mut groups: Vec<Vec<usize>> = buckets.into_values().collect();
     groups.sort_by_key(|g| g[0]);
-    for rows in groups {
-        for &i in &rows {
-            for &j in &rows {
-                if i == j {
-                    continue;
-                }
-                if violates_binding(dc, table, i, j) {
-                    out.push(build_violation(dc, table, i, j));
-                }
+    Some(groups)
+}
+
+/// Scan all ordered pairs within one equality group, appending witnesses in
+/// scan order. Shared with [`crate::parallel`] (see [`equality_groups`]).
+pub(crate) fn scan_group(
+    dc: &DenialConstraint,
+    table: &Table,
+    rows: &[usize],
+    out: &mut Vec<Violation>,
+) {
+    for &i in rows {
+        for &j in rows {
+            if i == j {
+                continue;
+            }
+            if violates_binding(dc, table, i, j) {
+                out.push(build_violation(dc, table, i, j));
             }
         }
+    }
+}
+
+/// Find all violations of a resolved DC using equality-key partitioning when
+/// possible; falls back to the nested loop for DCs without an equality join
+/// or for unary DCs.
+///
+/// Output is exactly the violation set of [`find_violations`], though the
+/// order may differ (callers needing a canonical order should sort).
+pub fn find_violations_indexed(dc: &DenialConstraint, table: &Table) -> Vec<Violation> {
+    let Some(groups) = equality_groups(dc, table) else {
+        return find_violations(dc, table);
+    };
+    let mut out = Vec::new();
+    for rows in groups {
+        scan_group(dc, table, &rows, &mut out);
     }
     out
 }
 
 /// Reconstruct the witness for a known-violating ordered pair.
-fn build_violation(dc: &DenialConstraint, _table: &Table, r1: usize, r2: usize) -> Violation {
+pub(crate) fn build_violation(
+    dc: &DenialConstraint,
+    _table: &Table,
+    r1: usize,
+    r2: usize,
+) -> Violation {
     use crate::ast::{Operand, TupleVar};
     use trex_table::CellRef;
     let mut cells: Vec<CellRef> = Vec::new();

@@ -10,6 +10,8 @@
 //! * [`eval`] — violation detection with full witnesses (which rows/cells).
 //! * [`index`] — hash-partitioned detection for equality-led DCs (ablation
 //!   A2 of DESIGN.md).
+//! * [`parallel`] — the same detection split over scoped worker threads;
+//!   output is identical to the serial scans at any thread count.
 //! * [`fd`] — the functional-dependency subset: FD ↔ DC conversion and
 //!   exact FD discovery.
 //! * [`gen`] — random DC generation for scaling benchmarks.
@@ -22,6 +24,7 @@ pub mod fd;
 pub mod gen;
 pub mod index;
 pub mod mine;
+pub mod parallel;
 pub mod parser;
 
 pub use ast::{CmpOp, DenialConstraint, Operand, Predicate, ResolveError, TupleVar};
@@ -33,6 +36,7 @@ pub use fd::{discover_fds, discover_fds_approx, fds_of, FunctionalDependency};
 pub use gen::{generate_dcs, DcGenConfig};
 pub use index::{find_all_violations_indexed, find_violations_indexed, is_clean_indexed};
 pub use mine::{mine_dcs, MineConfig};
+pub use parallel::{find_all_violations_par, find_violations_par, is_clean_par, noisy_cells_par};
 pub use parser::{parse_dc, parse_dc_named, parse_dcs, ParseError};
 
 // Gated: needs crates.io `proptest`, unavailable in the offline build

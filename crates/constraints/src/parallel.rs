@@ -1,0 +1,334 @@
+//! Multi-threaded violation detection.
+//!
+//! Violation detection is the inner loop of every repair engine
+//! (detect → fix → re-detect) and of the CLI's `violations` screen, and the
+//! ordered row-pair scan dominates on real tables — which makes it the
+//! natural data-parallel companion to the Shapley engine's parallel
+//! samplers (`trex_shapley::parallel`). The functions here split the scan
+//! across a fixed worker count with [`std::thread::scope`], but with a
+//! *stronger* guarantee than the samplers' `(seed, threads)` contract:
+//! detection is a deterministic enumeration, so the output is **identical
+//! to the serial functions at any thread count** — same witnesses, same
+//! order. A thread count changes wall time only.
+//!
+//! Work split (always contiguous, results concatenated in worker order):
+//!
+//! * DCs with an equality join reuse the hash partition of
+//!   [`crate::index`]: the sorted group list is cut into contiguous ranges
+//!   balanced by ordered-pair count (`b·(b−1)` per group of size `b`), so a
+//!   few large buckets do not starve the other workers. Groups are the unit
+//!   of work — one degenerate all-rows bucket parallelizes no better than
+//!   the nested loop below, which is what it is.
+//! * DCs without an equality join chunk the outer row of the `(i, j)`
+//!   nested loop; unary DCs chunk the row range.
+//!
+//! `threads = 1` dispatches straight to the serial code (no spawn).
+
+use crate::ast::DenialConstraint;
+use crate::eval::{collect_noisy_cells, violation_for, Violation};
+use crate::index::{equality_groups, find_violations_indexed, scan_group};
+use std::ops::Range;
+use trex_table::{CellRef, Table};
+
+/// Split `0..items` into `threads` contiguous ranges whose sizes differ by
+/// at most one (front-loaded remainder).
+fn chunk_ranges(items: usize, threads: usize) -> Vec<Range<usize>> {
+    let base = items / threads;
+    let extra = items % threads;
+    let mut start = 0;
+    (0..threads)
+        .map(|w| {
+            let len = base + usize::from(w < extra);
+            let range = start..start + len;
+            start += len;
+            range
+        })
+        .collect()
+}
+
+/// Split `0..costs.len()` into `threads` contiguous ranges with roughly
+/// equal cumulative cost (deterministic: cut points are the prefix-sum
+/// thresholds `total·(w+1)/threads`). The last range absorbs the tail.
+fn partition_by_cost(costs: &[usize], threads: usize) -> Vec<Range<usize>> {
+    let total: usize = costs.iter().sum();
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    let mut cum = 0usize;
+    for w in 0..threads {
+        if w + 1 == threads {
+            ranges.push(start..costs.len());
+            break;
+        }
+        let target = total * (w + 1) / threads;
+        let mut end = start;
+        while end < costs.len() && cum < target {
+            cum += costs[end];
+            end += 1;
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+/// Run `work` over each range on its own scoped thread and concatenate the
+/// results in range (= worker) order. Empty ranges contribute nothing and
+/// are not spawned; a single non-empty range runs inline (no scope, no
+/// spawn) — `--threads` defaults to all hardware threads, so tiny tables
+/// must not pay thread overhead for scans that take microseconds.
+fn scan_on_workers<F>(mut ranges: Vec<Range<usize>>, work: F) -> Vec<Violation>
+where
+    F: Fn(Range<usize>) -> Vec<Violation> + Sync,
+{
+    ranges.retain(|r| !r.is_empty());
+    match ranges.len() {
+        0 => return Vec::new(),
+        1 => return work(ranges.pop().expect("checked len")),
+        _ => {}
+    }
+    let per_worker = std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| scope.spawn(move || work(range)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("violation-scan worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    per_worker.into_iter().flatten().collect()
+}
+
+/// Parallel nested-loop scan (the fallback for DCs without an equality
+/// join): chunk the outer row range; each worker scans its rows `i` against
+/// every `j`.
+fn nested_loop_par(dc: &DenialConstraint, table: &Table, threads: usize) -> Vec<Violation> {
+    let n = table.num_rows();
+    let ranges = chunk_ranges(n, threads);
+    if dc.is_binary() {
+        scan_on_workers(ranges, |rows| {
+            let mut out = Vec::new();
+            for i in rows {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    if let Some(v) = violation_for(dc, table, i, j) {
+                        out.push(v);
+                    }
+                }
+            }
+            out
+        })
+    } else {
+        scan_on_workers(ranges, |rows| {
+            let mut out = Vec::new();
+            for i in rows {
+                if let Some(v) = violation_for(dc, table, i, i) {
+                    out.push(v);
+                }
+            }
+            out
+        })
+    }
+}
+
+/// Find all violations of a single resolved DC on `threads` workers.
+///
+/// Exactly [`find_violations_indexed`] — same witnesses, same order — for
+/// every thread count; `threads = 1` *is* the serial call.
+pub fn find_violations_par(dc: &DenialConstraint, table: &Table, threads: usize) -> Vec<Violation> {
+    assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
+    // Clamp to the available work: spawning more workers than rows (the
+    // finest work unit either path has) only burns spawn/join cycles.
+    let threads = threads.min(table.num_rows()).max(1);
+    if threads == 1 {
+        return find_violations_indexed(dc, table);
+    }
+    let Some(groups) = equality_groups(dc, table) else {
+        return nested_loop_par(dc, table, threads);
+    };
+    let threads = threads.min(groups.len()).max(1);
+    let costs: Vec<usize> = groups.iter().map(|g| g.len() * (g.len() - 1)).collect();
+    let ranges = partition_by_cost(&costs, threads);
+    scan_on_workers(ranges, |range| {
+        let mut out = Vec::new();
+        for rows in &groups[range] {
+            scan_group(dc, table, rows, &mut out);
+        }
+        out
+    })
+}
+
+/// Parallel variant of [`crate::index::find_all_violations_indexed`]: every
+/// DC's scan is split over `threads` workers, DCs are processed in order.
+pub fn find_all_violations_par(
+    dcs: &[DenialConstraint],
+    table: &Table,
+    threads: usize,
+) -> Vec<Violation> {
+    dcs.iter()
+        .flat_map(|dc| find_violations_par(dc, table, threads))
+        .collect()
+}
+
+/// Parallel variant of [`crate::eval::noisy_cells`]: the distinct cells
+/// implicated in any violation, sorted. Identical output at any thread
+/// count (same reduction, shared with the serial path).
+pub fn noisy_cells_par(dcs: &[DenialConstraint], table: &Table, threads: usize) -> Vec<CellRef> {
+    collect_noisy_cells(find_all_violations_par(dcs, table, threads))
+}
+
+/// Parallel variant of [`crate::index::is_clean_indexed`].
+pub fn is_clean_par(dcs: &[DenialConstraint], table: &Table, threads: usize) -> bool {
+    dcs.iter()
+        .all(|dc| find_violations_par(dc, table, threads).is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{find_violations, noisy_cells};
+    use crate::parser::parse_dc;
+    use trex_table::{TableBuilder, Value};
+
+    /// A table with several bucket sizes, null keys, and both satisfied and
+    /// violated DCs.
+    fn table(rows: usize) -> Table {
+        let mut b = TableBuilder::new().str_columns(["Team", "City", "Country"]);
+        for i in 0..rows {
+            let team = format!("T{}", i % 5);
+            let city = format!("C{}", i % 3);
+            let country = if i % 7 == 0 { "X" } else { "Y" }.to_string();
+            b = b.str_row([team.as_str(), city.as_str(), country.as_str()]);
+        }
+        let mut t = b.build();
+        if rows > 4 {
+            let team = t.schema().id("Team");
+            t.set(trex_table::CellRef::new(4, team), Value::Null);
+        }
+        t
+    }
+
+    fn resolved(src: &str, t: &Table) -> DenialConstraint {
+        let mut dc = parse_dc(src).unwrap();
+        dc.resolve(t.schema()).unwrap();
+        dc
+    }
+
+    const DCS: [&str; 4] = [
+        "!(t1.Team = t2.Team & t1.City != t2.City)",
+        "!(t1.City = t2.City & t1.Country != t2.Country)",
+        // No equality join: exercises the nested-loop path.
+        "!(t1.Country != t2.Country & t1.City != t2.City)",
+        // Unary.
+        "!(t1.Country = \"X\")",
+    ];
+
+    #[test]
+    fn parallel_output_is_identical_to_serial_at_every_thread_count() {
+        let t = table(23);
+        for src in DCS {
+            let dc = resolved(src, &t);
+            let serial = find_violations_indexed(&dc, &t);
+            for threads in [1usize, 2, 3, 4, 8, 16] {
+                let par = find_violations_par(&dc, &t, threads);
+                assert_eq!(serial, par, "{src} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_nested_loop_set() {
+        // Order may differ between indexed and nested-loop scans, but the
+        // violation *sets* agree; the parallel scan inherits that.
+        let t = table(17);
+        for src in DCS {
+            let dc = resolved(src, &t);
+            let mut a: Vec<(usize, Option<usize>)> = find_violations(&dc, &t)
+                .into_iter()
+                .map(|v| (v.row1, v.row2))
+                .collect();
+            let mut b: Vec<(usize, Option<usize>)> = find_violations_par(&dc, &t, 4)
+                .into_iter()
+                .map(|v| (v.row1, v.row2))
+                .collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{src}");
+        }
+    }
+
+    #[test]
+    fn all_violations_and_noisy_cells_match_serial() {
+        let t = table(19);
+        let dcs: Vec<DenialConstraint> = DCS.iter().map(|s| resolved(s, &t)).collect();
+        let serial = crate::index::find_all_violations_indexed(&dcs, &t);
+        for threads in [2usize, 5] {
+            assert_eq!(serial, find_all_violations_par(&dcs, &t, threads));
+            assert_eq!(noisy_cells(&dcs, &t), noisy_cells_par(&dcs, &t, threads));
+        }
+    }
+
+    #[test]
+    fn is_clean_par_agrees() {
+        let t = table(11);
+        let hot = resolved(DCS[0], &t);
+        let cold = resolved("!(t1.Team = t2.Team & t1.Team != t2.Team)", &t);
+        assert!(!is_clean_par(&[hot], &t, 3));
+        assert!(is_clean_par(&[cold], &t, 3));
+    }
+
+    #[test]
+    fn empty_and_tiny_tables() {
+        let t = table(0);
+        let dc = resolved(DCS[0], &t);
+        assert!(find_violations_par(&dc, &t, 4).is_empty());
+        let t1 = table(1);
+        let dc1 = resolved(DCS[0], &t1);
+        assert!(find_violations_par(&dc1, &t1, 4).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_rows_or_groups() {
+        let t = table(3);
+        for src in DCS {
+            let dc = resolved(src, &t);
+            assert_eq!(
+                find_violations_indexed(&dc, &t),
+                find_violations_par(&dc, &t, 64),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_by_cost_tiles_and_balances() {
+        let costs = [6usize, 0, 2, 12, 2, 0, 6, 2];
+        for threads in [1usize, 2, 3, 4, 8, 12] {
+            let ranges = partition_by_cost(&costs, threads);
+            assert_eq!(ranges.len(), threads);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, costs.len());
+        }
+        // The big group lands alone-ish: no worker gets everything when the
+        // cost spread allows better.
+        let ranges = partition_by_cost(&costs, 2);
+        let first: usize = costs[ranges[0].clone()].iter().sum();
+        let second: usize = costs[ranges[1].clone()].iter().sum();
+        assert!(first > 0 && second > 0, "{ranges:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be >= 1")]
+    fn zero_threads_panics() {
+        let t = table(3);
+        let dc = resolved(DCS[0], &t);
+        let _ = find_violations_par(&dc, &t, 0);
+    }
+}

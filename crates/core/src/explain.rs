@@ -72,6 +72,37 @@ pub struct ConstraintExplanation {
     pub target: Value,
 }
 
+/// Configuration of the adaptive (precision-targeted) cell explanation:
+/// instead of a fixed per-player sample count, each cell is sampled in
+/// batches until its confidence half-width meets `tolerance` or its
+/// `max_samples` budget runs out.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Target half-width of the per-cell confidence interval.
+    pub tolerance: f64,
+    /// Confidence multiplier (`1.96` ≈ 95%).
+    pub z: f64,
+    /// Samples per round *per worker* (the serial batch size).
+    pub batch: usize,
+    /// Per-cell cap on total samples across all workers.
+    pub max_samples: usize,
+    /// Base RNG seed (laddered per player exactly like fixed-budget
+    /// sampling).
+    pub seed: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            tolerance: 0.05,
+            z: 1.96,
+            batch: 100,
+            max_samples: 10_000,
+            seed: 0,
+        }
+    }
+}
+
 /// A cell explanation: the ranking over influencing cells.
 #[derive(Debug, Clone)]
 pub struct CellExplanation {
@@ -257,6 +288,73 @@ impl<'a> Explainer<'a> {
             players,
             target,
         })
+    }
+
+    /// Adaptive cell explanation (extension): each cell is sampled under
+    /// replacement semantics until its `z`-confidence half-width drops
+    /// below `config.tolerance` or its `config.max_samples` budget is
+    /// spent, on the parallel engine with this explainer's worker count.
+    /// Cells with tight estimates (dummies most of all) stop early; the
+    /// budget concentrates on the contested ones.
+    ///
+    /// Returns the explanation plus one flag per player cell: did that
+    /// cell's estimate converge within budget? Deterministic per
+    /// `(config.seed, threads)` pair; per-player seeds are laddered exactly
+    /// like [`Explainer::explain_cells_sampled`]'s.
+    pub fn explain_cells_adaptive(
+        &self,
+        dcs: &[DenialConstraint],
+        dirty: &Table,
+        cell: CellRef,
+        config: AdaptiveConfig,
+    ) -> Result<(CellExplanation, Vec<bool>), ExplainError> {
+        let target = self.repair_target(dcs, dirty, cell)?;
+        let game = CellGameSampled::new(self.alg, dcs, dirty, cell, target.clone());
+        let players = game.players().to_vec();
+        let n = players.len();
+        let player_seed = |p: usize| {
+            config
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(p as u64 + 1))
+        };
+        let mut estimates = Vec::with_capacity(n);
+        let mut converged = Vec::with_capacity(n);
+        for p in 0..n {
+            let (est, ok) = parallel::estimate_player_adaptive(
+                &game,
+                p,
+                config.tolerance,
+                config.z,
+                config.batch,
+                config.max_samples,
+                player_seed(p),
+                self.threads,
+            );
+            estimates.push(est);
+            converged.push(ok);
+        }
+        let ranking = Ranking::with_errors(
+            estimates
+                .iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    (
+                        StochasticGame::player_label(&game, i),
+                        e.value,
+                        Some(e.std_error()),
+                    )
+                })
+                .collect(),
+        );
+        Ok((
+            CellExplanation {
+                ranking,
+                values: estimates.iter().map(|e| e.value).collect(),
+                players,
+                target,
+            },
+            converged,
+        ))
     }
 
     /// Explain cells with the **masked** (null / labeled-null) semantics of
@@ -715,6 +813,39 @@ mod tests {
         assert_eq!(a.values, b.values);
         assert_eq!(a.ranking.top().unwrap().label, "t5[League]");
         assert_eq!(a.ranking.get("t1[Place]").unwrap().value, 0.0);
+    }
+
+    #[test]
+    fn adaptive_explanation_converges_dummies_early_and_is_deterministic() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let config = AdaptiveConfig {
+            tolerance: 0.08,
+            batch: 40,
+            max_samples: 400,
+            ..AdaptiveConfig::default()
+        };
+        let ex = Explainer::new(&alg).with_threads(2);
+        let (a, conv_a) = ex
+            .explain_cells_adaptive(&dcs, &dirty, cell, config)
+            .unwrap();
+        let (b, conv_b) = ex
+            .explain_cells_adaptive(&dcs, &dirty, cell, config)
+            .unwrap();
+        assert_eq!(a.values, b.values, "deterministic per (seed, threads)");
+        assert_eq!(conv_a, conv_b);
+        // t1[Place] is a dummy: zero variance, so it converges in the
+        // minimum number of rounds with a zero estimate.
+        let place = a.ranking.get("t1[Place]").unwrap();
+        assert_eq!(place.value, 0.0);
+        let place_idx = a
+            .players
+            .iter()
+            .position(|c| *c == CellRef::new(0, dirty.schema().id("Place")))
+            .unwrap();
+        assert!(conv_a[place_idx], "dummy cells stop early");
     }
 
     #[test]

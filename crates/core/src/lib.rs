@@ -41,7 +41,9 @@ pub mod ranking;
 pub mod report;
 pub mod session;
 
-pub use explain::{CellExplanation, ConstraintExplanation, ExplainError, Explainer};
+pub use explain::{
+    AdaptiveConfig, CellExplanation, ConstraintExplanation, ExplainError, Explainer,
+};
 pub use games::{cell_players, CellGameMasked, CellGameSampled, ConstraintGame, MaskMode};
 pub use ranking::{RankEntry, Ranking, INTENSITY_LEVELS};
 pub use report::{render_explanation_screen, render_input_screen, render_repair_screen};

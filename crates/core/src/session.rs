@@ -8,7 +8,7 @@
 
 use crate::explain::{CellExplanation, ConstraintExplanation, ExplainError, Explainer};
 use crate::games::MaskMode;
-use trex_constraints::DenialConstraint;
+use trex_constraints::{DenialConstraint, ResolveError, Violation};
 use trex_repair::{RepairAlgorithm, RepairResult};
 use trex_shapley::SamplingConfig;
 use trex_table::{CellRef, Table, Value};
@@ -71,6 +71,24 @@ impl Session {
     /// The session history (one entry per repair run).
     pub fn history(&self) -> &[HistoryEntry] {
         &self.history
+    }
+
+    /// The input screen's violation list: every witness of the current
+    /// constraint set against the current table, detected on the session's
+    /// worker threads (identical output at any thread count). Re-runs
+    /// cheaply after each edit, which is what keeps the §4 debugging loop
+    /// interactive on large tables.
+    pub fn violations(&self) -> Result<Vec<Violation>, ResolveError> {
+        let resolved: Result<Vec<_>, _> = self
+            .dcs
+            .iter()
+            .map(|d| d.resolved(self.table.schema()))
+            .collect();
+        Ok(trex_constraints::find_all_violations_par(
+            &resolved?,
+            &self.table,
+            self.threads,
+        ))
     }
 
     /// The "Repair" button: run the black box on the current inputs.
@@ -316,6 +334,21 @@ mod tests {
         let b = s.explain_cells_masked(cell, MaskMode::Null, cfg).unwrap();
         assert_eq!(a.values, b.values);
         assert_eq!(a.ranking.top().unwrap().label, "t5[League]");
+    }
+
+    #[test]
+    fn session_violations_match_direct_detection_at_any_thread_count() {
+        let mut s = session();
+        let serial = s.violations().unwrap();
+        assert!(!serial.is_empty(), "the demo table starts dirty");
+        s.set_threads(4);
+        assert_eq!(s.violations().unwrap(), serial);
+        // Fixing the table empties the list.
+        let r = s.repair();
+        for c in &r.changes {
+            s.set_cell(c.cell, c.to.clone());
+        }
+        assert!(s.violations().unwrap().is_empty());
     }
 
     #[test]

@@ -19,20 +19,24 @@
 
 use crate::traits::{RepairAlgorithm, RepairResult};
 use std::collections::{HashMap, HashSet};
-use trex_constraints::{find_all_violations_indexed, DenialConstraint};
+use trex_constraints::{find_all_violations_par, DenialConstraint};
 use trex_table::{CellRef, Table, Value};
 
 /// The holistic (conflict-hypergraph vertex-cover) repairer.
 #[derive(Debug, Clone)]
 pub struct HolisticRepair {
     max_steps: usize,
+    threads: usize,
 }
 
 impl Default for HolisticRepair {
     fn default() -> Self {
         // Each step either fixes or freezes a cell, so #cells steps suffice;
         // this is a generous static bound for pathological inputs.
-        HolisticRepair { max_steps: 10_000 }
+        HolisticRepair {
+            max_steps: 10_000,
+            threads: 1,
+        }
     }
 }
 
@@ -48,20 +52,32 @@ impl HolisticRepair {
         self
     }
 
+    /// Detect violations on `threads` workers (must be ≥ 1; resolve user
+    /// input with `trex_shapley::resolve_threads` first). Detection output
+    /// is identical at any thread count, so the repair result never depends
+    /// on it — the greedy loop's violation counts drive *every* step, which
+    /// makes this engine the biggest beneficiary of the parallel scan.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
+        self.threads = threads;
+        self
+    }
+
     /// Count violations on `table`.
-    fn violation_count(dcs: &[DenialConstraint], table: &Table) -> usize {
-        find_all_violations_indexed(dcs, table).len()
+    fn violation_count(&self, dcs: &[DenialConstraint], table: &Table) -> usize {
+        find_all_violations_par(dcs, table, self.threads).len()
     }
 
     /// The most conflicted cells not yet frozen (all cells tied at the
     /// maximum violation count, in ascending cell order).
     fn hottest_cells(
+        &self,
         dcs: &[DenialConstraint],
         table: &Table,
         frozen: &HashSet<CellRef>,
     ) -> Vec<CellRef> {
         let mut counts: HashMap<CellRef, usize> = HashMap::new();
-        for v in find_all_violations_indexed(dcs, table) {
+        for v in find_all_violations_par(dcs, table, self.threads) {
             for c in v.cells {
                 if !frozen.contains(&c) {
                     *counts.entry(c).or_insert(0) += 1;
@@ -109,11 +125,11 @@ impl RepairAlgorithm for HolisticRepair {
         let mut table = dirty.clone();
         let mut frozen: HashSet<CellRef> = HashSet::new();
         for _ in 0..self.max_steps {
-            let current = Self::violation_count(&resolved, &table);
+            let current = self.violation_count(&resolved, &table);
             if current == 0 {
                 break;
             }
-            let hottest = Self::hottest_cells(&resolved, &table, &frozen);
+            let hottest = self.hottest_cells(&resolved, &table, &frozen);
             if hottest.is_empty() {
                 break; // every conflicted cell is frozen
             }
@@ -126,7 +142,7 @@ impl RepairAlgorithm for HolisticRepair {
                 let original = table.get(cell).clone();
                 for cand in Self::candidates(&table, cell) {
                     table.set(cell, cand.clone());
-                    let count = Self::violation_count(&resolved, &table);
+                    let count = self.violation_count(&resolved, &table);
                     let better = match &best {
                         None => count <= current,
                         Some((b, _, _)) => count < *b,
@@ -259,5 +275,17 @@ mod tests {
     #[test]
     fn name_reported() {
         assert_eq!(HolisticRepair::new().name(), "holistic");
+    }
+
+    #[test]
+    fn threaded_repair_is_identical_to_serial() {
+        let serial = HolisticRepair::new().repair(&dcs(), &dirty());
+        for threads in [2usize, 4] {
+            let par = HolisticRepair::new()
+                .with_threads(threads)
+                .repair(&dcs(), &dirty());
+            assert_eq!(serial.clean, par.clean, "threads {threads}");
+            assert_eq!(serial.changes, par.changes);
+        }
     }
 }

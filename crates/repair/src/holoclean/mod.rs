@@ -31,7 +31,7 @@ pub use features::{featurize, FeatureVector, FeatureWeights};
 pub use infer::{icm_sweep, train_weights, TrainConfig};
 
 use crate::traits::{RepairAlgorithm, RepairResult};
-use trex_constraints::{noisy_cells, DenialConstraint};
+use trex_constraints::{noisy_cells_par, DenialConstraint};
 use trex_table::Table;
 
 /// Configuration of the full engine.
@@ -48,6 +48,10 @@ pub struct HoloCleanConfig {
     pub max_sweeps: usize,
     /// Maximum detect→infer rounds (repairs can surface new violations).
     pub max_rounds: usize,
+    /// Worker threads for violation detection (must be ≥ 1). Detection
+    /// output is identical at any thread count, so this is a wall-time
+    /// knob only — repair results never depend on it.
+    pub threads: usize,
 }
 
 impl Default for HoloCleanConfig {
@@ -58,6 +62,7 @@ impl Default for HoloCleanConfig {
             train: false,
             max_sweeps: 4,
             max_rounds: 2,
+            threads: 1,
         }
     }
 }
@@ -84,6 +89,14 @@ impl HoloCleanStyle {
         self.config.train = true;
         self
     }
+
+    /// Detect violations on `threads` workers (must be ≥ 1; resolve user
+    /// input with `trex_shapley::resolve_threads` first).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
+        self.config.threads = threads;
+        self
+    }
 }
 
 impl RepairAlgorithm for HoloCleanStyle {
@@ -102,7 +115,7 @@ impl RepairAlgorithm for HoloCleanStyle {
         let mut table = dirty.clone();
         for _ in 0..self.config.max_rounds {
             // 1. error detection on the current table.
-            let noisy = noisy_cells(&resolved, &table);
+            let noisy = noisy_cells_par(&resolved, &table, self.config.threads);
             if noisy.is_empty() {
                 break;
             }
@@ -220,6 +233,16 @@ mod tests {
     fn empty_constraints_change_nothing() {
         let r = HoloCleanStyle::new().repair(&[], &dirty());
         assert!(r.changes.is_empty());
+    }
+
+    #[test]
+    fn threaded_detection_gives_identical_repairs() {
+        let serial = HoloCleanStyle::new().repair(&dcs(), &dirty());
+        let par = HoloCleanStyle::new()
+            .with_threads(4)
+            .repair(&dcs(), &dirty());
+        assert_eq!(serial.clean, par.clean);
+        assert_eq!(serial.changes, par.changes);
     }
 
     #[test]

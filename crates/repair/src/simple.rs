@@ -34,7 +34,7 @@
 
 use crate::traits::{RepairAlgorithm, RepairResult};
 use std::collections::HashMap;
-use trex_constraints::{find_violations_indexed, DenialConstraint};
+use trex_constraints::{find_violations_par, DenialConstraint};
 use trex_table::{AttrId, CellRef, Table, Value};
 
 /// What to do to a violating tuple.
@@ -101,6 +101,7 @@ pub struct RuleRepair {
     rules: Vec<Rule>,
     max_rounds: usize,
     name: String,
+    threads: usize,
 }
 
 impl RuleRepair {
@@ -119,12 +120,23 @@ impl RuleRepair {
             rules,
             max_rounds: Self::DEFAULT_MAX_ROUNDS,
             name: "algorithm1".to_string(),
+            threads: 1,
         }
     }
 
     /// Override the fixpoint round bound.
     pub fn with_max_rounds(mut self, rounds: usize) -> Self {
         self.max_rounds = rounds.max(1);
+        self
+    }
+
+    /// Detect violations on `threads` workers (must be ≥ 1; resolve user
+    /// input with `trex_shapley::resolve_threads` first). The repair result
+    /// is identical at any thread count — parallel detection returns the
+    /// serial witness list — so this is purely a wall-time knob.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
+        self.threads = threads;
         self
     }
 
@@ -196,7 +208,7 @@ impl RuleRepair {
     fn apply_rule(&self, dc: &DenialConstraint, action: &FixAction, table: &mut Table) -> usize {
         let snapshot = table.clone();
         let mut rows: Vec<usize> = Vec::new();
-        for v in find_violations_indexed(dc, &snapshot) {
+        for v in find_violations_par(dc, &snapshot, self.threads) {
             for r in [Some(v.row1), v.row2].into_iter().flatten() {
                 if !rows.contains(&r) {
                     rows.push(r);
@@ -627,5 +639,13 @@ mod tests {
         assert!(err.message.contains("':'"), "{err}");
         let err = RuleRepair::parse_rules("C1: City <- const(nope)").unwrap_err();
         assert!(err.message.contains("const()"));
+    }
+
+    #[test]
+    fn threaded_detection_gives_identical_repairs() {
+        let serial = rules().repair(&dcs(), &dirty());
+        let par = rules().with_threads(4).repair(&dcs(), &dirty());
+        assert_eq!(serial.clean, par.clean);
+        assert_eq!(serial.changes, par.changes);
     }
 }

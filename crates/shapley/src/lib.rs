@@ -16,6 +16,11 @@
 //! | parallel permutation sampling | [`parallel`] | `Θ(m / threads)` | cells, multi-core |
 //! | stratified / antithetic variants | [`stratified`] | `Θ(m)` | ablation A3 |
 //!
+//! Every sampling estimator — plain, adaptive, stratified, antithetic —
+//! has a [`parallel`] counterpart with the same `(seed, threads)`
+//! determinism contract (`threads = 1` replays the serial path bit for
+//! bit).
+//!
 //! All solvers operate on [`Game`]/[`StochasticGame`] and are exercised
 //! against closed-form fixtures ([`game::fixtures`]) and against each other
 //! by property tests (Shapley axioms: efficiency, symmetry, dummy,

@@ -18,6 +18,14 @@
 //!    [`estimate_all_walk`] reproduces
 //!    [`crate::sampling::estimate_all_walk`] — bit for bit.
 //!
+//! The same contract covers the variance-reduced estimators:
+//! [`estimate_player_adaptive`] runs synchronized rounds with a shared
+//! sample budget (the stopping rule sees only worker-order-merged
+//! statistics), [`estimate_player_stratified`] assigns *whole strata* to
+//! workers (a stratum never straddles a worker seam), and
+//! [`estimate_player_antithetic`] chunks permutation pairs like plain
+//! samples. Each replays its serial counterpart exactly at `threads = 1`.
+//!
 //! Changing `threads` changes which permutations are drawn (each worker has
 //! its own stream), so estimates differ *statistically insignificantly*
 //! across thread counts but are not expected to be identical. That is the
@@ -32,6 +40,7 @@
 use crate::convergence::RunningStats;
 use crate::game::{Game, StochasticGame};
 use crate::sampling::{marginal_sample, walk_once, Estimate, SamplingConfig};
+use crate::stratified::{antithetic_chunk, stratified_chunk, stratified_estimate};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -159,6 +168,21 @@ fn chunk_sizes(samples: usize, threads: usize) -> Vec<usize> {
     let extra = samples % threads;
     (0..threads)
         .map(|w| base + usize::from(w < extra))
+        .collect()
+}
+
+/// The contiguous index ranges induced by [`chunk_sizes`]: worker `w` owns
+/// `ranges[w]`, the ranges tile `0..items` in order. Used where the *items*
+/// are positional (strata) rather than interchangeable samples.
+fn chunk_ranges(items: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let mut start = 0;
+    chunk_sizes(items, threads)
+        .into_iter()
+        .map(|len| {
+            let range = start..start + len;
+            start += len;
+            range
+        })
         .collect()
 }
 
@@ -317,12 +341,174 @@ pub fn estimate_all_walk<G: Game + ?Sized>(game: &G, config: ParallelConfig) -> 
         .collect()
 }
 
+/// Parallel version of [`crate::sampling::estimate_player_adaptive`]:
+/// keep sampling in synchronized rounds of `threads × batch` samples until
+/// the `z`-confidence half-width of the *merged* estimate drops below
+/// `tolerance` or the shared `max_samples` budget is exhausted. Returns the
+/// estimate and whether it converged.
+///
+/// Determinism: each worker owns a persistent RNG stream
+/// (`worker_seed(seed, w)`) and a persistent [`RunningStats`] it pushes into
+/// sequentially across rounds; after every round the worker accumulators are
+/// merged in worker order and the stopping rule is evaluated on the merged
+/// statistics only. The stopping decision therefore depends on
+/// `(seed, threads)` alone, never on scheduling — and with `threads = 1`
+/// the single worker's stream, batch boundaries, and stopping checks are
+/// exactly the serial estimator's, so the result is bit-for-bit identical.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_player_adaptive<G: StochasticGame + ?Sized>(
+    game: &G,
+    player: usize,
+    tolerance: f64,
+    z: f64,
+    batch: usize,
+    max_samples: usize,
+    seed: u64,
+    threads: usize,
+) -> (Estimate, bool) {
+    let n = game.num_players();
+    assert!(player < n, "player {player} out of range ({n} players)");
+    assert!(batch > 0, "batch must be positive");
+    assert!(threads >= 1, "threads must be >= 1");
+    if threads == 1 {
+        // The contract says threads = 1 is bit-for-bit the serial
+        // estimator (pinned by tests), so run it directly instead of
+        // paying a spawn/join cycle per round.
+        return crate::sampling::estimate_player_adaptive(
+            game,
+            player,
+            tolerance,
+            z,
+            batch,
+            max_samples,
+            seed,
+        );
+    }
+    struct WorkerState {
+        rng: StdRng,
+        stats: RunningStats,
+    }
+    let mut workers: Vec<WorkerState> = (0..threads)
+        .map(|w| WorkerState {
+            rng: StdRng::seed_from_u64(worker_seed(seed, w)),
+            stats: RunningStats::new(),
+        })
+        .collect();
+    loop {
+        std::thread::scope(|scope| {
+            for worker in workers.iter_mut() {
+                scope.spawn(move || {
+                    for _ in 0..batch {
+                        let x = marginal_sample(game, player, &mut worker.rng);
+                        worker.stats.push(x);
+                    }
+                });
+            }
+        });
+        let merged = merge_in_order(workers.iter().map(|w| w.stats.clone()).collect());
+        let est = stats_to_estimate(&merged);
+        // Same stopping rule as the serial path: at least two batches'
+        // worth of samples before trusting the variance (one round already
+        // satisfies this at threads ≥ 2; at threads = 1 it is literally the
+        // serial "two batches" guard).
+        if merged.count() >= 2 * batch && est.ci_half_width(z) <= tolerance {
+            return (est, true);
+        }
+        if merged.count() >= max_samples {
+            return (est, false);
+        }
+    }
+}
+
+/// Parallel version of [`crate::stratified::estimate_player_stratified`]:
+/// the `n` coalition-size strata are split into contiguous ranges, one per
+/// worker — strata never straddle a worker seam, so every stratum's
+/// `samples_per_stratum` observations come from a single RNG stream exactly
+/// as in the serial estimator.
+///
+/// Worker `w` runs [`stratified_chunk`] — the *same code* the serial
+/// estimator runs over `0..n` — on its stratum range with the
+/// `worker_seed(seed, w)` stream; per-stratum statistics are concatenated
+/// in worker order (= stratum order) and combined with the shared
+/// stratified-variance formula. With `threads = 1` worker 0 owns all strata
+/// and the unmodified seed, reproducing the serial estimate bit for bit.
+pub fn estimate_player_stratified<G: StochasticGame + ?Sized>(
+    game: &G,
+    player: usize,
+    samples_per_stratum: usize,
+    seed: u64,
+    threads: usize,
+) -> Estimate {
+    let n = game.num_players();
+    assert!(player < n, "player {player} out of range ({n} players)");
+    assert!(
+        samples_per_stratum > 0,
+        "need at least one sample per stratum"
+    );
+    assert!(threads >= 1, "threads must be >= 1");
+    let ranges = chunk_ranges(n, threads);
+    let worker_stats = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(w, strata)| {
+                let seed = worker_seed(seed, w);
+                scope.spawn(move || {
+                    stratified_chunk(game, player, strata, samples_per_stratum, seed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sampling worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let stratum_stats: Vec<RunningStats> = worker_stats.into_iter().flatten().collect();
+    debug_assert_eq!(stratum_stats.len(), n, "strata must tile 0..n exactly");
+    stratified_estimate(&stratum_stats, samples_per_stratum)
+}
+
+/// Parallel version of [`crate::stratified::estimate_player_antithetic`]:
+/// the `pairs` permutation pairs are split across workers like plain
+/// samples; each worker runs [`antithetic_chunk`] (the serial loop body) on
+/// its own stream from a fresh identity permutation, and chunk statistics
+/// are merged in worker order. `threads = 1` replays the serial estimator
+/// bit for bit.
+pub fn estimate_player_antithetic<G: StochasticGame + ?Sized>(
+    game: &G,
+    player: usize,
+    pairs: usize,
+    seed: u64,
+    threads: usize,
+) -> Estimate {
+    let n = game.num_players();
+    assert!(player < n, "player {player} out of range ({n} players)");
+    assert!(threads >= 1, "threads must be >= 1");
+    let chunks = chunk_sizes(pairs, threads);
+    let worker_stats = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .map(|(w, &chunk)| {
+                let seed = worker_seed(seed, w);
+                scope.spawn(move || antithetic_chunk(game, player, chunk, seed))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sampling worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    stats_to_estimate(&merge_in_order(worker_stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exact::shapley_exact;
     use crate::game::fixtures;
     use crate::sampling;
+    use crate::stratified;
 
     fn assert_estimates_eq(a: &[Estimate], b: &[Estimate]) {
         assert_eq!(a.len(), b.len());
@@ -501,5 +687,132 @@ mod tests {
     #[should_panic(expected = "threads must be >= 1")]
     fn zero_threads_panics() {
         let _ = ParallelConfig::new(10, 0, 0);
+    }
+
+    #[test]
+    fn one_thread_adaptive_matches_serial() {
+        let g = fixtures::gloves(2, 3);
+        for (tol, max) in [(0.02, 50_000), (1e-9, 300)] {
+            let (se, sc) = sampling::estimate_player_adaptive(&g, 0, tol, 1.96, 100, max, 7);
+            let (pe, pc) = estimate_player_adaptive(&g, 0, tol, 1.96, 100, max, 7, 1);
+            assert_eq!(se, pe, "tol {tol} max {max}");
+            assert_eq!(sc, pc);
+        }
+    }
+
+    #[test]
+    fn one_thread_stratified_matches_serial() {
+        let g = fixtures::majority(7);
+        for seed in [0u64, 5, 99] {
+            let serial = stratified::estimate_player_stratified(&g, 1, 80, seed);
+            let par = estimate_player_stratified(&g, 1, 80, seed, 1);
+            assert_eq!(serial, par);
+        }
+    }
+
+    #[test]
+    fn one_thread_antithetic_matches_serial() {
+        let g = fixtures::gloves(3, 4);
+        for seed in [0u64, 5, 99] {
+            let serial = stratified::estimate_player_antithetic(&g, 2, 150, seed);
+            let par = estimate_player_antithetic(&g, 2, 150, seed, 1);
+            assert_eq!(serial, par);
+        }
+    }
+
+    #[test]
+    fn variance_reduced_estimators_are_reproducible_per_seed_and_threads() {
+        let g = fixtures::majority(9);
+        for threads in [2usize, 3, 4, 7] {
+            let s1 = estimate_player_stratified(&g, 0, 40, 11, threads);
+            let s2 = estimate_player_stratified(&g, 0, 40, 11, threads);
+            assert_eq!(s1, s2, "stratified, threads {threads}");
+            let a1 = estimate_player_antithetic(&g, 0, 90, 11, threads);
+            let a2 = estimate_player_antithetic(&g, 0, 90, 11, threads);
+            assert_eq!(a1, a2, "antithetic, threads {threads}");
+            let (e1, c1) = estimate_player_adaptive(&g, 0, 0.05, 1.96, 50, 5000, 11, threads);
+            let (e2, c2) = estimate_player_adaptive(&g, 0, 0.05, 1.96, 50, 5000, 11, threads);
+            assert_eq!(e1, e2, "adaptive, threads {threads}");
+            assert_eq!(c1, c2);
+        }
+    }
+
+    #[test]
+    fn parallel_stratified_stays_unbiased() {
+        let g = fixtures::gloves(2, 3);
+        let exact = shapley_exact(&g).unwrap();
+        for (p, want) in exact.iter().enumerate() {
+            let est = estimate_player_stratified(&g, p, 2000, 17, 4);
+            assert!(
+                (est.value - want).abs() < 0.02,
+                "player {p}: {} vs {want}",
+                est.value
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_antithetic_stays_unbiased() {
+        let g = fixtures::paper_example_2_3();
+        let exact = shapley_exact(&g).unwrap();
+        for (p, want) in exact.iter().enumerate() {
+            let est = estimate_player_antithetic(&g, p, 8000, 23, 4);
+            assert!(
+                (est.value - want).abs() < 0.02,
+                "player {p}: {} vs {want}",
+                est.value
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_adaptive_converges_with_shared_budget() {
+        let g = fixtures::unanimity(6, vec![0, 1, 2]);
+        let (est, converged) = estimate_player_adaptive(&g, 0, 0.02, 1.96, 500, 200_000, 7, 4);
+        assert!(converged);
+        assert!((est.value - 1.0 / 3.0).abs() < 0.05);
+        // The shared budget is respected: a tolerance that can never be met
+        // stops within one round of max_samples (rounds add threads × batch).
+        let (est, converged) = estimate_player_adaptive(&g, 0, 1e-12, 1.96, 10, 100, 7, 4);
+        assert!(!converged);
+        assert!(est.samples >= 100 && est.samples < 100 + 4 * 10);
+    }
+
+    #[test]
+    fn parallel_stratified_beats_plain_variance_on_majority() {
+        // Stratification's variance win must survive the worker split.
+        let g = fixtures::majority(9);
+        let plain = estimate_player(&g, 0, ParallelConfig::new(9 * 200, 31, 4));
+        let strat = estimate_player_stratified(&g, 0, 200, 31, 4);
+        assert_eq!(plain.samples, strat.samples);
+        assert!(
+            strat.std_error() < plain.std_error() * 0.5,
+            "stratified {} vs plain {}",
+            strat.std_error(),
+            plain.std_error()
+        );
+    }
+
+    #[test]
+    fn stratified_with_more_threads_than_strata() {
+        // Workers past the stratum count get empty ranges; the estimate
+        // still covers every stratum exactly once.
+        let g = fixtures::gloves(1, 2);
+        let est = estimate_player_stratified(&g, 0, 25, 3, 8);
+        assert_eq!(est.samples, 3 * 25);
+    }
+
+    #[test]
+    fn chunk_ranges_tile_in_order() {
+        for (items, threads) in [(10usize, 3usize), (0, 4), (7, 7), (5, 8), (100, 1)] {
+            let ranges = chunk_ranges(items, threads);
+            assert_eq!(ranges.len(), threads);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "{items}/{threads}: {ranges:?}");
+                next = r.end;
+            }
+            assert_eq!(next, items);
+        }
     }
 }

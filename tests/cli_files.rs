@@ -42,6 +42,30 @@ fn shipped_files_repair_matches_the_library_tables() {
 }
 
 #[test]
+fn shipped_files_repair_is_thread_count_invariant() {
+    // The repair/violations paths share the explain path's --threads knob;
+    // parallel violation detection must not change a single witness or fix.
+    let table = read_csv_strings(&data("laliga_dirty.csv")).unwrap();
+    let dcs = parse_dcs(&data("laliga.dcs")).unwrap();
+    let resolved: Vec<_> = dcs
+        .iter()
+        .map(|d| d.resolved(table.schema()).unwrap())
+        .collect();
+    let serial = trex_constraints::find_all_violations_indexed(&resolved, &table);
+    for threads in [1usize, 2, 4] {
+        assert_eq!(
+            serial,
+            trex_constraints::find_all_violations_par(&resolved, &table, threads)
+        );
+        let alg = RuleRepair::parse_rules(&data("algorithm1.rules"))
+            .unwrap()
+            .with_threads(threads);
+        let result = alg.repair(&dcs, &table);
+        assert_eq!(result.changes.len(), 2, "threads {threads}");
+    }
+}
+
+#[test]
 fn dcs_file_parses_all_four_constraints() {
     let dcs = parse_dcs(&data("laliga.dcs")).unwrap();
     assert_eq!(dcs.len(), 4);

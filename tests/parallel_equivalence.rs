@@ -4,7 +4,9 @@
 //!
 //! The determinism contract under test:
 //! * `parallel::estimate_all` / `estimate_all_walk` with `threads = 1`
-//!   reproduce `sampling::estimate_all` / `estimate_all_walk` bit for bit;
+//!   reproduce `sampling::estimate_all` / `estimate_all_walk` bit for bit —
+//!   and the same holds for the adaptive, stratified, and antithetic
+//!   variants against their serial counterparts;
 //! * for any fixed `(seed, threads)` pair the parallel estimates are
 //!   reproducible;
 //! * the walk estimator stays exactly efficient (per-permutation marginals
@@ -12,7 +14,9 @@
 
 use trex::{CellGameMasked, CellGameSampled, MaskMode};
 use trex_datagen::laliga;
-use trex_shapley::{parallel, sampling, Game, ParallelConfig, SamplingConfig, StochasticGame};
+use trex_shapley::{
+    parallel, sampling, stratified, Game, ParallelConfig, SamplingConfig, StochasticGame,
+};
 use trex_table::Value;
 
 fn masked_game<'a>(
@@ -97,6 +101,78 @@ fn parallel_walk_keeps_the_efficiency_axiom_and_the_headline() {
             .unwrap();
         assert_eq!(Game::player_label(&game, top), "t5[League]");
     }
+}
+
+/// The la Liga replacement-semantics cell game (the stochastic game the
+/// per-player estimators run on) with a fresh oracle cache.
+fn sampled_game<'a>(
+    alg: &'a trex_repair::RuleRepair,
+    dcs: &'a [trex_constraints::DenialConstraint],
+    dirty: &'a trex_table::Table,
+) -> CellGameSampled<'a> {
+    let cell = laliga::cell_of_interest(dirty);
+    CellGameSampled::new(alg, dcs, dirty, cell, Value::str("Spain"))
+}
+
+#[test]
+fn one_thread_adaptive_matches_serial_on_the_laliga_cell_game() {
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    let game = sampled_game(&alg, &dcs, &dirty);
+    // A converging run (loose tolerance) and a budget-capped run (absurd
+    // tolerance) must both replay the serial stream exactly.
+    for (tol, max) in [(0.2, 2000), (1e-9, 60)] {
+        let (serial, s_ok) = sampling::estimate_player_adaptive(&game, 0, tol, 1.96, 20, max, 7);
+        let (par, p_ok) = parallel::estimate_player_adaptive(&game, 0, tol, 1.96, 20, max, 7, 1);
+        assert_eq!(serial, par, "tol {tol}");
+        assert_eq!(s_ok, p_ok);
+    }
+}
+
+#[test]
+fn one_thread_stratified_and_antithetic_match_serial_on_the_laliga_cell_game() {
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    let game = sampled_game(&alg, &dcs, &dirty);
+    let serial = stratified::estimate_player_stratified(&game, 3, 2, 11);
+    let par = parallel::estimate_player_stratified(&game, 3, 2, 11, 1);
+    assert_eq!(serial, par, "stratified: threads = 1 replays serial");
+    let serial = stratified::estimate_player_antithetic(&game, 3, 30, 11);
+    let par = parallel::estimate_player_antithetic(&game, 3, 30, 11, 1);
+    assert_eq!(serial, par, "antithetic: threads = 1 replays serial");
+}
+
+#[test]
+fn variance_reduced_estimators_are_reproducible_at_four_threads() {
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    // Fresh games per run: the shared oracle cache must not be able to mask
+    // a nondeterministic estimate.
+    let strat =
+        || parallel::estimate_player_stratified(&sampled_game(&alg, &dcs, &dirty), 3, 2, 9, 4);
+    assert_eq!(strat(), strat());
+    let anti =
+        || parallel::estimate_player_antithetic(&sampled_game(&alg, &dcs, &dirty), 3, 24, 9, 4);
+    assert_eq!(anti(), anti());
+    let adapt = || {
+        parallel::estimate_player_adaptive(
+            &sampled_game(&alg, &dcs, &dirty),
+            3,
+            0.15,
+            1.96,
+            15,
+            300,
+            9,
+            4,
+        )
+    };
+    let (a, a_ok) = adapt();
+    let (b, b_ok) = adapt();
+    assert_eq!(a, b);
+    assert_eq!(a_ok, b_ok);
 }
 
 #[test]
