@@ -290,6 +290,32 @@ fn main() {
         adapt.samples
     );
 
+    // The all-player drivers over the whole ground-truth game, on the
+    // schedule `auto` would pick for this shape (player-sharded output is
+    // identical to the serial ladder loop at any thread count).
+    let schedule = trex_shapley::Schedule::auto(n, threads);
+    let max_err = |ests: &[trex_shapley::Estimate]| {
+        ests.iter()
+            .zip(&exact)
+            .map(|(e, x)| (e.value - x).abs())
+            .fold(0.0f64, f64::max)
+    };
+    let all_strat = trex_shapley::parallel::estimate_all_stratified(
+        &game,
+        (m / n).max(1),
+        1,
+        threads,
+        schedule,
+    );
+    let all_anti =
+        trex_shapley::parallel::estimate_all_antithetic(&game, m / 2, 1, threads, schedule);
+    println!(
+        "all-player drivers ({schedule} schedule, all {n} cells): \
+         stratified max err {:.4}, antithetic max err {:.4}",
+        max_err(&all_strat),
+        max_err(&all_anti)
+    );
+
     // ---- Part 3: the machine-readable record the CI perf trajectory reads.
     if let Some(path) = json_path {
         let slope_json = slope

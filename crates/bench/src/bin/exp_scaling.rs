@@ -1,16 +1,23 @@
 //! Experiment E6: wall-clock scaling of the two solvers — exact Shapley is
 //! exponential in the player count (fine for constraint sets, "usually
 //! small"), sampling is linear in m·players (the only option for cells) —
-//! plus the thread-scaling of the parallel walk estimator and of
-//! constraint violation detection (the row-pair scan behind `trex
-//! violations` / `trex repair`).
+//! plus the thread-scaling of the parallel walk estimator (both work
+//! schedules side by side) and of constraint violation detection (the
+//! row-pair scan behind `trex violations` / `trex repair`).
 //!
 //! Run: `cargo run --release -p trex-bench --bin exp_scaling`
+//!
+//! Flags (all optional):
+//!   --json PATH     also write the machine-readable scaling record (the
+//!                   exp_scaling.json the CI bench-smoke job uploads as an
+//!                   artifact next to bench_current.json)
 
 use std::time::Instant;
 use trex_bench::RandomBinaryGame;
 use trex_constraints::{find_all_violations_par, parse_dcs, DenialConstraint};
-use trex_shapley::{estimate_player, parallel, shapley_exact, ParallelConfig, SamplingConfig};
+use trex_shapley::{
+    estimate_player, parallel, shapley_exact, ParallelConfig, SamplingConfig, Schedule,
+};
 use trex_table::{Table, TableBuilder};
 
 /// A synthetic league table with planted conflicts: `rows` rows bucketed
@@ -38,7 +45,24 @@ fn violation_dcs(table: &Table) -> Vec<DenialConstraint> {
     .collect()
 }
 
+/// Minimal `--json PATH` reader (the experiment binaries stay
+/// dependency-free). Any other flag is fatal: a typo in the CI command must
+/// fail the job, not silently mislabel the artifact.
+fn json_flag() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.into_iter();
+    let mut path = None;
+    while let Some(flag) = iter.next() {
+        assert!(flag == "--json", "unknown flag {flag:?} (known: --json)");
+        let value = iter.next().expect("--json: missing value");
+        assert!(!value.starts_with("--"), "--json: missing value");
+        path = Some(value);
+    }
+    path
+}
+
 fn main() {
+    let json_path = json_flag();
     println!("== exact subset enumeration: time vs players (2^n growth) ==");
     println!("{:>4} {:>12} {:>14}", "n", "coalitions", "time");
     for n in [4usize, 8, 12, 16, 20] {
@@ -68,24 +92,57 @@ fn main() {
         let _ = est;
     }
 
-    println!("\n== parallel walk estimation: time vs threads (n = 40, m = 2000) ==");
+    println!(
+        "\n== parallel walk estimation: time vs threads, both schedules (n = 40, m = 2000) =="
+    );
     println!(
         "({} hardware thread(s) available; past that, extra workers only re-chunk)",
         parallel::available_threads()
     );
-    println!("{:>8} {:>14} {:>10}", "threads", "time", "speedup");
+    println!("(budget-split: deterministic per (seed, threads); player-sharded:");
+    println!(" identical to the serial estimator at every thread count. The sharded");
+    println!(" walk replays ~2n evaluations per walk vs the serial n+1, so on a");
+    println!(" cheap uncached game like this one budget-split wins on raw time;");
+    println!(" player-sharding pays off when evaluations are repair-oracle calls)");
+    println!(
+        "{:>8} {:>14} {:>10} {:>14} {:>10}",
+        "threads", "budget", "speedup", "player", "speedup"
+    );
     let game = RandomBinaryGame::new(40, 5, 11);
-    let mut serial_time = None;
+    let mut budget_base = None;
+    let mut player_base = None;
+    let mut sharded_reference: Option<Vec<trex_shapley::Estimate>> = None;
+    let mut walk_rows: Vec<(usize, f64, f64)> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let start = Instant::now();
         let ests = parallel::estimate_all_walk(&game, ParallelConfig::new(2000, 3, threads));
-        let dt = start.elapsed();
+        let budget_dt = start.elapsed();
         assert_eq!(ests.len(), 40);
-        let base = *serial_time.get_or_insert(dt);
-        println!(
-            "{threads:>8} {dt:>14.3?} {:>9.2}x",
-            base.as_secs_f64() / dt.as_secs_f64().max(1e-12)
+        let start = Instant::now();
+        let sharded = parallel::estimate_all_walk(
+            &game,
+            ParallelConfig::new(2000, 3, threads).with_schedule(Schedule::PlayerSharded),
         );
+        let player_dt = start.elapsed();
+        // The player-sharded contract, asserted while we measure: every
+        // thread count reproduces the same (serial) estimates.
+        let reference = sharded_reference.get_or_insert_with(|| sharded.clone());
+        assert_eq!(
+            *reference, sharded,
+            "player-sharded output changed at {threads} threads"
+        );
+        let b_base = *budget_base.get_or_insert(budget_dt);
+        let p_base = *player_base.get_or_insert(player_dt);
+        println!(
+            "{threads:>8} {budget_dt:>14.3?} {:>9.2}x {player_dt:>14.3?} {:>9.2}x",
+            b_base.as_secs_f64() / budget_dt.as_secs_f64().max(1e-12),
+            p_base.as_secs_f64() / player_dt.as_secs_f64().max(1e-12)
+        );
+        walk_rows.push((
+            threads,
+            budget_dt.as_secs_f64() * 1e3,
+            player_dt.as_secs_f64() * 1e3,
+        ));
     }
 
     println!("\n== violation detection: time vs threads (2000 rows, 2 DCs) ==");
@@ -98,6 +155,7 @@ fn main() {
     let table = synthetic_table(2000);
     let dcs = violation_dcs(&table);
     let mut baseline: Option<(std::time::Duration, usize)> = None;
+    let mut violation_rows: Vec<(usize, f64, usize)> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let start = Instant::now();
         let violations = find_all_violations_par(&dcs, &table, threads);
@@ -113,10 +171,57 @@ fn main() {
             base.as_secs_f64() / dt.as_secs_f64().max(1e-12),
             violations.len()
         );
+        violation_rows.push((threads, dt.as_secs_f64() * 1e3, violations.len()));
     }
 
     println!("\ninterpretation: exact doubles per added player; sampling is flat per sample");
     println!("and splits across workers — and so does the violation scan, which is why");
     println!("repair loops (detect → fix → re-detect) take --threads too. This is the");
     println!("asymmetry behind the paper's two-solver design (§2.3).");
+
+    // Machine-readable record for the CI artifact: the per-schedule walk
+    // curve and the violation-detection curve, per thread count.
+    if let Some(path) = json_path {
+        let walk_json: Vec<String> = walk_rows
+            .iter()
+            .map(|(threads, budget_ms, player_ms)| {
+                format!(
+                    "    {{ \"threads\": {threads}, \"budget_ms\": {budget_ms:.3}, \
+                     \"player_ms\": {player_ms:.3} }}"
+                )
+            })
+            .collect();
+        let violation_json: Vec<String> = violation_rows
+            .iter()
+            .map(|(threads, ms, count)| {
+                format!(
+                    "    {{ \"threads\": {threads}, \"wall_ms\": {ms:.3}, \
+                     \"violations\": {count} }}"
+                )
+            })
+            .collect();
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"experiment\": \"scaling\",\n",
+                "  \"hardware_threads\": {hw},\n",
+                "  \"walk\": {{\n",
+                "    \"players\": 40,\n",
+                "    \"samples\": 2000,\n",
+                "    \"per_thread\": [\n{walk}\n    ]\n",
+                "  }},\n",
+                "  \"violations\": {{\n",
+                "    \"rows\": 2000,\n",
+                "    \"dcs\": 2,\n",
+                "    \"per_thread\": [\n{violations}\n    ]\n",
+                "  }}\n",
+                "}}\n",
+            ),
+            hw = parallel::available_threads(),
+            walk = walk_json.join(",\n"),
+            violations = violation_json.join(",\n"),
+        );
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
 }

@@ -20,11 +20,12 @@ mod args;
 use args::{ArgError, Args};
 use std::process::ExitCode;
 use trex::{
-    render_explanation_screen, render_input_screen, render_repair_screen, Explainer, MaskMode,
+    render_explanation_screen, render_input_screen, render_repair_screen, AdaptiveConfig,
+    Explainer, MaskMode,
 };
 use trex_constraints::{find_all_violations_par, parse_dcs, DenialConstraint};
 use trex_repair::{FdChaseRepair, HolisticRepair, HoloCleanStyle, RepairAlgorithm, RuleRepair};
-use trex_shapley::SamplingConfig;
+use trex_shapley::{SamplingConfig, Schedule};
 use trex_table::{read_csv_strings, CellRef, Table};
 
 const USAGE: &str = "\
@@ -35,7 +36,8 @@ USAGE:
   trex repair     --table FILE.csv --dcs FILE.txt [--threads N] [engine flags]
   trex explain    --table FILE.csv --dcs FILE.txt --cell tROW.Attr
                   [--cells] [--samples N] [--seed N] [--mask null|distinct|replace]
-                  [--threads N] [engine flags]
+                  [--adaptive] [--tolerance F] [--batch N] [--max-samples N]
+                  [--threads N] [--schedule auto|player|budget] [engine flags]
   trex mine       --table FILE.csv [--max-predicates N] [--order]
   trex demo
 
@@ -48,10 +50,21 @@ ENGINE FLAGS:
 THREADS:
   --threads N is shared by violations, repair, and explain (default: all
   hardware threads; 0 also means that). For explain it runs cell sampling
-  on N workers — deterministic for a fixed (--seed, --threads) pair, with
-  --threads 1 reproducing the serial estimator. For violations and repair
-  it splits the row-pair violation scan, whose output is identical at any
-  thread count (a wall-time knob only).
+  on N workers; for violations and repair it splits the row-pair violation
+  scan, whose output is identical at any thread count (a wall-time knob
+  only). --schedule picks how explain's sampling distributes work:
+  player (workers claim whole cells; output identical to the serial
+  estimator at ANY thread count), budget (every cell's sample budget is
+  split across workers; deterministic per (--seed, --threads) pair), or
+  auto (default: player when the table has at least 4 cells per worker).
+
+ADAPTIVE BUDGET (explain --cells --adaptive):
+  instead of a fixed --samples per cell, each cell is sampled under
+  replacement semantics until its 95%-confidence half-width drops below
+  --tolerance (default 0.05) or its --max-samples budget (default 10000)
+  runs out, in --batch-sized rounds (default 100); cells with tight
+  estimates stop early and the budget concentrates on contested ones.
+  Not combinable with --mask (adaptive implies replacement semantics).
 
 FILES:
   tables are CSV with a header row (all columns read as strings);
@@ -143,6 +156,20 @@ fn load_threads(args: &Args) -> Result<usize, ArgError> {
     trex_shapley::resolve_threads(requested).map_err(|e| ArgError(e.to_string()))
 }
 
+/// Parse the `--schedule` flag of `explain`: `player` and `budget` pin a
+/// schedule, `auto` (and absent) lets `Schedule::auto` pick from the cell
+/// count.
+fn load_schedule(args: &Args) -> Result<Option<Schedule>, ArgError> {
+    match args.get("schedule").unwrap_or("auto") {
+        "auto" => Ok(None),
+        "player" => Ok(Some(Schedule::PlayerSharded)),
+        "budget" => Ok(Some(Schedule::BudgetSplit)),
+        other => Err(ArgError(format!(
+            "unknown schedule {other:?} (auto | player | budget)"
+        ))),
+    }
+}
+
 /// Parse a cell reference like `t5.Country` or `5.Country` (1-based row).
 fn parse_cell(table: &Table, spec: &str) -> Result<CellRef, ArgError> {
     let (row_part, attr_part) = spec
@@ -198,22 +225,79 @@ fn cmd_repair(args: &Args) -> Result<(), ArgError> {
 fn cmd_explain(args: &Args) -> Result<(), ArgError> {
     let (table, dcs) = load_inputs(args)?;
     let threads = load_threads(args)?;
+    let schedule = load_schedule(args)?;
     let engine = load_engine(args, threads)?;
     let cell_spec = args.require("cell")?.to_string();
     let cell = parse_cell(&table, &cell_spec)?;
     let want_cells = args.has("cells");
+    let samples_given = args.get("samples").is_some();
     let samples: usize = args.get_parsed("samples", 500)?;
     let seed: u64 = args.get_parsed("seed", 0)?;
-    let mask = args.get("mask").unwrap_or("null").to_string();
+    let adaptive = args.has("adaptive");
+    let adaptive_flags_given = ["tolerance", "batch", "max-samples"]
+        .iter()
+        .find(|f| args.get(f).is_some());
+    let tolerance: f64 = args.get_parsed("tolerance", 0.05)?;
+    let batch: usize = args.get_parsed("batch", 100)?;
+    let max_samples: usize = args.get_parsed("max-samples", 10_000)?;
+    let mask = args.get("mask").map(str::to_string);
     args.reject_unknown()?;
+    if adaptive && mask.is_some() {
+        return Err(ArgError(
+            "--adaptive implies replacement semantics; drop --mask".to_string(),
+        ));
+    }
+    if adaptive && !want_cells {
+        return Err(ArgError(
+            "--adaptive only affects cell explanations; add --cells".to_string(),
+        ));
+    }
+    if adaptive && samples_given {
+        return Err(ArgError(
+            "--adaptive budgets with --tolerance/--batch/--max-samples, not --samples".to_string(),
+        ));
+    }
+    if let (false, Some(flag)) = (adaptive, adaptive_flags_given) {
+        return Err(ArgError(format!("--{flag} requires --adaptive")));
+    }
+    if tolerance <= 0.0 || tolerance.is_nan() {
+        return Err(ArgError(format!(
+            "--tolerance must be positive (got {tolerance})"
+        )));
+    }
+    if batch == 0 {
+        return Err(ArgError("--batch must be at least 1".to_string()));
+    }
 
-    let explainer = Explainer::new(engine.as_ref()).with_threads(threads);
+    let mut explainer = Explainer::new(engine.as_ref()).with_threads(threads);
+    if let Some(schedule) = schedule {
+        explainer = explainer.with_schedule(schedule);
+    }
     let constraints = explainer
         .explain_constraints(&dcs, &table, cell)
         .map_err(|e| ArgError(e.to_string()))?;
-    let cells = if want_cells {
+    let mut adaptive_note = None;
+    let cells = if want_cells && adaptive {
+        let config = AdaptiveConfig {
+            tolerance,
+            batch,
+            max_samples,
+            seed,
+            ..AdaptiveConfig::default()
+        };
+        let (out, converged) = explainer
+            .explain_cells_adaptive(&dcs, &table, cell, config)
+            .map_err(|e| ArgError(e.to_string()))?;
+        let done = converged.iter().filter(|c| **c).count();
+        adaptive_note = Some(format!(
+            "adaptive budget: {done}/{} cells converged to ±{tolerance} \
+             (95% CI; batch {batch}, cap {max_samples} samples/cell)",
+            converged.len()
+        ));
+        Some(out)
+    } else if want_cells {
         let config = SamplingConfig { samples, seed };
-        let out = match mask.as_str() {
+        let out = match mask.as_deref().unwrap_or("null") {
             "replace" => explainer.explain_cells_sampled(&dcs, &table, cell, config),
             "null" => explainer.explain_cells_masked(&dcs, &table, cell, MaskMode::Null, config),
             "distinct" => {
@@ -234,6 +318,9 @@ fn cmd_explain(args: &Args) -> Result<(), ArgError> {
         "{}",
         render_explanation_screen(&cell_spec, Some(&constraints), cells.as_ref())
     );
+    if let Some(note) = adaptive_note {
+        println!("{note}");
+    }
     Ok(())
 }
 
@@ -294,6 +381,32 @@ fn cmd_demo(args: &Args) -> Result<(), ArgError> {
         "{}",
         render_explanation_screen("t5[Country]", Some(&constraints), Some(&cells))
     );
+    // The interactive budget: instead of a fixed sample count, let each
+    // cell run until its estimate is tight — dummies stop after two
+    // batches, so the budget concentrates on the contested cells the
+    // audience actually asks about.
+    let config = AdaptiveConfig {
+        tolerance: 0.05,
+        batch: 100,
+        max_samples: 4000,
+        ..AdaptiveConfig::default()
+    };
+    let (adaptive, converged) = explainer
+        .explain_cells_adaptive(&dcs, &dirty, cell, config)
+        .expect("the demo cell is repaired");
+    let done = converged.iter().filter(|c| **c).count();
+    println!(
+        "adaptive budget (replacement semantics): {done}/{} cells converged to \
+         ±{} (95% CI, cap {} samples/cell); top cell: {}",
+        converged.len(),
+        config.tolerance,
+        config.max_samples,
+        adaptive
+            .ranking
+            .top()
+            .map(|e| e.label.clone())
+            .unwrap_or_default()
+    );
     Ok(())
 }
 
@@ -353,6 +466,20 @@ mod tests {
             let e = Args::parse([command, "--threads", "many"]).unwrap();
             assert!(load_threads(&e).is_err());
         }
+    }
+
+    #[test]
+    fn schedule_flag_validation() {
+        let a = Args::parse(["explain"]).unwrap();
+        assert_eq!(load_schedule(&a).unwrap(), None);
+        let b = Args::parse(["explain", "--schedule", "player"]).unwrap();
+        assert_eq!(load_schedule(&b).unwrap(), Some(Schedule::PlayerSharded));
+        let c = Args::parse(["explain", "--schedule", "budget"]).unwrap();
+        assert_eq!(load_schedule(&c).unwrap(), Some(Schedule::BudgetSplit));
+        let d = Args::parse(["explain", "--schedule", "auto"]).unwrap();
+        assert_eq!(load_schedule(&d).unwrap(), None);
+        let e = Args::parse(["explain", "--schedule", "nope"]).unwrap();
+        assert!(load_schedule(&e).is_err());
     }
 
     #[test]

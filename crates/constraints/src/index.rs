@@ -78,7 +78,24 @@ pub(crate) fn scan_group(
     rows: &[usize],
     out: &mut Vec<Violation>,
 ) {
-    for &i in rows {
+    scan_group_block(dc, table, rows, 0..rows.len(), out);
+}
+
+/// Scan one *block* of an equality group's pair matrix: the outer rows
+/// `rows[outer]` against every row of the group, in scan order. With
+/// `outer = 0..rows.len()` this is exactly [`scan_group`]; smaller blocks
+/// let [`crate::parallel`] split a single giant bucket across workers
+/// while keeping the concatenated output identical to the serial scan
+/// (blocks tile the outer loop in order, and each block's inner loop is
+/// the serial inner loop verbatim).
+pub(crate) fn scan_group_block(
+    dc: &DenialConstraint,
+    table: &Table,
+    rows: &[usize],
+    outer: std::ops::Range<usize>,
+    out: &mut Vec<Violation>,
+) {
+    for &i in &rows[outer] {
         for &j in rows {
             if i == j {
                 continue;

@@ -14,11 +14,12 @@
 //! Work split (always contiguous, results concatenated in worker order):
 //!
 //! * DCs with an equality join reuse the hash partition of
-//!   [`crate::index`]: the sorted group list is cut into contiguous ranges
-//!   balanced by ordered-pair count (`b·(b−1)` per group of size `b`), so a
-//!   few large buckets do not starve the other workers. Groups are the unit
-//!   of work — one degenerate all-rows bucket parallelizes no better than
-//!   the nested loop below, which is what it is.
+//!   [`crate::index`]: each group's ordered-pair matrix is decomposed into
+//!   outer-row *blocks* ([`pair_blocks`]) — small groups are one block,
+//!   giant buckets are cut along the outer-row axis — and the block list
+//!   is cut into contiguous ranges balanced by pair count (`b·(b−1)` per
+//!   group of size `b`). A single degenerate all-rows bucket therefore
+//!   spreads across the workers instead of landing on one.
 //! * DCs without an equality join chunk the outer row of the `(i, j)`
 //!   nested loop; unary DCs chunk the row range.
 //!
@@ -26,7 +27,7 @@
 
 use crate::ast::DenialConstraint;
 use crate::eval::{collect_noisy_cells, violation_for, Violation};
-use crate::index::{equality_groups, find_violations_indexed, scan_group};
+use crate::index::{equality_groups, find_violations_indexed, scan_group_block};
 use std::ops::Range;
 use trex_table::{CellRef, Table};
 
@@ -134,10 +135,56 @@ fn nested_loop_par(dc: &DenialConstraint, table: &Table, threads: usize) -> Vec<
     }
 }
 
+/// One block of within-bucket pair work: the rows `outer` of group
+/// `group`, to be scanned against the whole group.
+struct PairBlock {
+    group: usize,
+    outer: Range<usize>,
+}
+
+/// Decompose the equality groups' pair matrices into scan blocks: a group
+/// whose ordered-pair count fits the per-worker cost share stays one block;
+/// a *giant* bucket is cut along its outer-row axis into blocks of roughly
+/// the share, so it spreads across workers instead of landing on one.
+/// Every outer row of a size-`b` group costs the same `b − 1` inner
+/// probes, so equal row counts are equal costs and the split stays
+/// balanced whatever the bucket shape. Blocks tile each group's outer loop
+/// in order and groups stay in order, so concatenating block outputs
+/// reproduces the serial scan exactly.
+fn pair_blocks(groups: &[Vec<usize>], threads: usize) -> Vec<PairBlock> {
+    let total: usize = groups.iter().map(|g| g.len() * (g.len() - 1)).sum();
+    let share = (total / threads).max(1);
+    let mut blocks = Vec::new();
+    for (group, rows) in groups.iter().enumerate() {
+        let b = rows.len();
+        if b < 2 {
+            continue; // no ordered pairs — nothing a scan could emit
+        }
+        let cost = b * (b - 1);
+        if cost <= share {
+            blocks.push(PairBlock { group, outer: 0..b });
+            continue;
+        }
+        let rows_per_block = (share / (b - 1)).max(1);
+        let mut start = 0;
+        while start < b {
+            let end = (start + rows_per_block).min(b);
+            blocks.push(PairBlock {
+                group,
+                outer: start..end,
+            });
+            start = end;
+        }
+    }
+    blocks
+}
+
 /// Find all violations of a single resolved DC on `threads` workers.
 ///
 /// Exactly [`find_violations_indexed`] — same witnesses, same order — for
-/// every thread count; `threads = 1` *is* the serial call.
+/// every thread count; `threads = 1` *is* the serial call. The
+/// equality-join path splits *within* buckets too ([`pair_blocks`]), so a
+/// degenerate table whose rows all share one key still parallelizes.
 pub fn find_violations_par(dc: &DenialConstraint, table: &Table, threads: usize) -> Vec<Violation> {
     assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
     // Clamp to the available work: spawning more workers than rows (the
@@ -149,13 +196,17 @@ pub fn find_violations_par(dc: &DenialConstraint, table: &Table, threads: usize)
     let Some(groups) = equality_groups(dc, table) else {
         return nested_loop_par(dc, table, threads);
     };
-    let threads = threads.min(groups.len()).max(1);
-    let costs: Vec<usize> = groups.iter().map(|g| g.len() * (g.len() - 1)).collect();
+    let blocks = pair_blocks(&groups, threads);
+    let threads = threads.min(blocks.len()).max(1);
+    let costs: Vec<usize> = blocks
+        .iter()
+        .map(|blk| blk.outer.len() * (groups[blk.group].len() - 1))
+        .collect();
     let ranges = partition_by_cost(&costs, threads);
     scan_on_workers(ranges, |range| {
         let mut out = Vec::new();
-        for rows in &groups[range] {
-            scan_group(dc, table, rows, &mut out);
+        for blk in &blocks[range] {
+            scan_group_block(dc, table, &groups[blk.group], blk.outer.clone(), &mut out);
         }
         out
     })
@@ -330,5 +381,80 @@ mod tests {
         let t = table(3);
         let dc = resolved(DCS[0], &t);
         let _ = find_violations_par(&dc, &t, 0);
+    }
+
+    /// The pathological shape the block split exists for: every row shares
+    /// one equality-bucket key, so pre-split scheduling put the entire
+    /// `n·(n−1)` pair scan on a single worker.
+    fn giant_bucket_table(rows: usize) -> Table {
+        let mut b = TableBuilder::new().str_columns(["Team", "City", "Country"]);
+        for i in 0..rows {
+            let city = format!("C{}", i % 4);
+            b = b.str_row(["SameTeam", city.as_str(), "Y"]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn giant_bucket_is_serial_identical_at_every_thread_count() {
+        let t = giant_bucket_table(61);
+        let dc = resolved(DCS[0], &t);
+        let serial = find_violations_indexed(&dc, &t);
+        assert!(!serial.is_empty(), "the bucket must actually conflict");
+        for threads in [1usize, 2, 3, 4, 8, 16, 61, 64] {
+            let par = find_violations_par(&dc, &t, threads);
+            assert_eq!(serial, par, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn giant_bucket_splits_into_multiple_blocks() {
+        // One 61-row bucket at 4 threads must not be a single work unit.
+        let t = giant_bucket_table(61);
+        let dc = resolved(DCS[0], &t);
+        let groups = equality_groups(&dc, &t).unwrap();
+        assert_eq!(groups.len(), 1, "all rows share the Team key");
+        let blocks = pair_blocks(&groups, 4);
+        assert!(blocks.len() >= 4, "got {} block(s)", blocks.len());
+        // Blocks tile the group's outer rows in order.
+        let mut next = 0;
+        for blk in &blocks {
+            assert_eq!(blk.group, 0);
+            assert_eq!(blk.outer.start, next);
+            next = blk.outer.end;
+        }
+        assert_eq!(next, 61);
+    }
+
+    #[test]
+    fn pair_blocks_keep_small_groups_whole_and_skip_singletons() {
+        let groups: Vec<Vec<usize>> = vec![vec![0], vec![1, 2], vec![3], vec![4, 5, 6]];
+        // One worker: every group fits the share, singletons vanish.
+        let spans = |threads: usize| -> Vec<(usize, Range<usize>)> {
+            pair_blocks(&groups, threads)
+                .iter()
+                .map(|b| (b.group, b.outer.clone()))
+                .collect()
+        };
+        assert_eq!(spans(1), vec![(1, 0..2), (3, 0..3)]);
+        // Two workers: the 3-row group's cost (6) exceeds the share (4),
+        // so it splits along its outer rows; the 2-row group stays whole.
+        assert_eq!(spans(2), vec![(1, 0..2), (3, 0..2), (3, 2..3)]);
+    }
+
+    #[test]
+    fn all_singleton_buckets_yield_no_violations() {
+        // Every row its own bucket: no pairs, no blocks, empty output at
+        // any thread count (and no spawns).
+        let mut b = TableBuilder::new().str_columns(["Team", "City", "Country"]);
+        for i in 0..9 {
+            let team = format!("T{i}");
+            b = b.str_row([team.as_str(), "C", "Y"]);
+        }
+        let t = b.build();
+        let dc = resolved(DCS[0], &t);
+        for threads in [1usize, 4] {
+            assert!(find_violations_par(&dc, &t, threads).is_empty());
+        }
     }
 }

@@ -13,7 +13,7 @@ use trex_constraints::DenialConstraint;
 use trex_repair::{RepairAlgorithm, RepairResult};
 use trex_shapley::{
     parallel, shapley_exact, shapley_exact_rational, Game, ParallelConfig, Rational,
-    SamplingConfig, StochasticGame,
+    SamplingConfig, Schedule, StochasticGame,
 };
 use trex_table::{CellRef, Table, Value};
 
@@ -82,7 +82,12 @@ pub struct AdaptiveConfig {
     pub tolerance: f64,
     /// Confidence multiplier (`1.96` ≈ 95%).
     pub z: f64,
-    /// Samples per round *per worker* (the serial batch size).
+    /// Samples per adaptive round, between convergence checks. Under
+    /// `Schedule::PlayerSharded` (the auto default once the table has ≥ 4
+    /// cells per worker) each cell runs the serial loop, so a round is
+    /// exactly `batch` samples; under `Schedule::BudgetSplit` every worker
+    /// contributes `batch` samples per round, so a round is
+    /// `threads × batch` and convergence is checked that much less often.
     pub batch: usize,
     /// Per-cell cap on total samples across all workers.
     pub max_samples: usize,
@@ -124,16 +129,25 @@ pub struct CellExplanation {
 /// Cell explanations run on the parallel sampling engine
 /// (`trex_shapley::parallel`). The default is one worker, which reproduces
 /// the historical serial estimates bit for bit; [`Explainer::with_threads`]
-/// opts into multi-core sampling (deterministic per `(seed, threads)` pair).
+/// opts into multi-core sampling. The work [`Schedule`] defaults to
+/// [`Schedule::auto`] over the cell count — player-sharded (serial-identical
+/// output at any thread count) when the table has plenty of cells per
+/// worker, budget-split (deterministic per `(seed, threads)` pair)
+/// otherwise; [`Explainer::with_schedule`] pins one explicitly.
 pub struct Explainer<'a> {
     alg: &'a dyn RepairAlgorithm,
     threads: usize,
+    schedule: Option<Schedule>,
 }
 
 impl<'a> Explainer<'a> {
-    /// Wrap a repair algorithm (single sampling worker).
+    /// Wrap a repair algorithm (single sampling worker, auto schedule).
     pub fn new(alg: &'a dyn RepairAlgorithm) -> Self {
-        Explainer { alg, threads: 1 }
+        Explainer {
+            alg,
+            threads: 1,
+            schedule: None,
+        }
     }
 
     /// Use `threads` sampling workers for cell explanations (must be ≥ 1;
@@ -144,9 +158,27 @@ impl<'a> Explainer<'a> {
         self
     }
 
+    /// Pin the all-player sampling schedule instead of letting
+    /// [`Schedule::auto`] choose from the cell count.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
     /// The configured sampling worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The pinned schedule, if any (`None` = auto by cell count).
+    pub fn schedule(&self) -> Option<Schedule> {
+        self.schedule
+    }
+
+    /// The schedule an explanation over `players` cells will use.
+    fn schedule_for(&self, players: usize) -> Schedule {
+        self.schedule
+            .unwrap_or_else(|| Schedule::auto(players, self.threads))
     }
 
     /// The wrapped algorithm.
@@ -266,8 +298,11 @@ impl<'a> Explainer<'a> {
     ) -> Result<CellExplanation, ExplainError> {
         let target = self.repair_target(dcs, dirty, cell)?;
         let game = CellGameSampled::new(self.alg, dcs, dirty, cell, target.clone());
-        let estimates =
-            parallel::estimate_all(&game, ParallelConfig::from_sampling(config, self.threads));
+        let schedule = self.schedule_for(StochasticGame::num_players(&game));
+        let estimates = parallel::estimate_all(
+            &game,
+            ParallelConfig::from_sampling(config, self.threads).with_schedule(schedule),
+        );
         let players = game.players().to_vec();
         let ranking = Ranking::with_errors(
             estimates
@@ -311,28 +346,19 @@ impl<'a> Explainer<'a> {
         let target = self.repair_target(dcs, dirty, cell)?;
         let game = CellGameSampled::new(self.alg, dcs, dirty, cell, target.clone());
         let players = game.players().to_vec();
-        let n = players.len();
-        let player_seed = |p: usize| {
-            config
-                .seed
-                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(p as u64 + 1))
-        };
-        let mut estimates = Vec::with_capacity(n);
-        let mut converged = Vec::with_capacity(n);
-        for p in 0..n {
-            let (est, ok) = parallel::estimate_player_adaptive(
-                &game,
-                p,
-                config.tolerance,
-                config.z,
-                config.batch,
-                config.max_samples,
-                player_seed(p),
-                self.threads,
-            );
-            estimates.push(est);
-            converged.push(ok);
-        }
+        let schedule = self.schedule_for(players.len());
+        let (estimates, converged): (Vec<_>, Vec<_>) = parallel::estimate_all_adaptive(
+            &game,
+            config.tolerance,
+            config.z,
+            config.batch,
+            config.max_samples,
+            config.seed,
+            self.threads,
+            schedule,
+        )
+        .into_iter()
+        .unzip();
         let ranking = Ranking::with_errors(
             estimates
                 .iter()
@@ -371,8 +397,11 @@ impl<'a> Explainer<'a> {
     ) -> Result<CellExplanation, ExplainError> {
         let target = self.repair_target(dcs, dirty, cell)?;
         let game = CellGameMasked::new(self.alg, dcs, dirty, cell, target.clone(), mode);
-        let estimates =
-            parallel::estimate_all_walk(&game, ParallelConfig::from_sampling(config, self.threads));
+        let schedule = self.schedule_for(Game::num_players(&game));
+        let estimates = parallel::estimate_all_walk(
+            &game,
+            ParallelConfig::from_sampling(config, self.threads).with_schedule(schedule),
+        );
         let players = game.players().to_vec();
         let ranking = Ranking::with_errors(
             estimates
@@ -412,8 +441,11 @@ impl<'a> Explainer<'a> {
         let target = self.repair_target(dcs, dirty, cell)?;
         let game = CellGameMasked::new(self.alg, dcs, dirty, cell, target.clone(), mode);
         let players = game.players().to_vec();
-        let screened =
-            parallel::estimate_all_walk(&game, ParallelConfig::from_sampling(screen, self.threads));
+        let schedule = self.schedule_for(players.len());
+        let screened = parallel::estimate_all_walk(
+            &game,
+            ParallelConfig::from_sampling(screen, self.threads).with_schedule(schedule),
+        );
 
         // Leaders by screened value.
         let mut order: Vec<usize> = (0..players.len()).collect();
@@ -853,6 +885,89 @@ mod tests {
         let alg = laliga::algorithm1();
         assert_eq!(Explainer::new(&alg).threads(), 1);
         assert_eq!(Explainer::new(&alg).with_threads(8).threads(), 8);
+        assert_eq!(Explainer::new(&alg).schedule(), None);
+        assert_eq!(
+            Explainer::new(&alg)
+                .with_schedule(Schedule::PlayerSharded)
+                .schedule(),
+            Some(Schedule::PlayerSharded)
+        );
+    }
+
+    #[test]
+    fn player_sharded_explanations_are_serial_identical_at_any_thread_count() {
+        // The stronger contract of Schedule::PlayerSharded, end to end:
+        // the multi-threaded explanation *is* the single-threaded one.
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let cfg = SamplingConfig {
+            samples: 200,
+            seed: 3,
+        };
+        let run = |threads: usize| {
+            Explainer::new(&alg)
+                .with_threads(threads)
+                .with_schedule(Schedule::PlayerSharded)
+                .explain_cells_masked(&dcs, &dirty, cell, MaskMode::Null, cfg)
+                .unwrap()
+        };
+        let serial = run(1);
+        for threads in [2usize, 4] {
+            assert_eq!(serial.values, run(threads).values, "threads {threads}");
+        }
+        // Same for the replacement-semantics per-player estimator.
+        let run_sampled = |threads: usize| {
+            Explainer::new(&alg)
+                .with_threads(threads)
+                .with_schedule(Schedule::PlayerSharded)
+                .explain_cells_sampled(
+                    &dcs,
+                    &dirty,
+                    cell,
+                    SamplingConfig {
+                        samples: 60,
+                        seed: 7,
+                    },
+                )
+                .unwrap()
+        };
+        let serial = run_sampled(1);
+        for threads in [2usize, 4] {
+            assert_eq!(
+                serial.values,
+                run_sampled(threads).values,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn player_sharded_adaptive_is_serial_identical() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let config = AdaptiveConfig {
+            tolerance: 0.1,
+            batch: 30,
+            max_samples: 240,
+            ..AdaptiveConfig::default()
+        };
+        let run = |threads: usize| {
+            Explainer::new(&alg)
+                .with_threads(threads)
+                .with_schedule(Schedule::PlayerSharded)
+                .explain_cells_adaptive(&dcs, &dirty, cell, config)
+                .unwrap()
+        };
+        let (serial, serial_conv) = run(1);
+        for threads in [2usize, 4] {
+            let (multi, multi_conv) = run(threads);
+            assert_eq!(serial.values, multi.values, "threads {threads}");
+            assert_eq!(serial_conv, multi_conv, "threads {threads}");
+        }
     }
 
     #[test]

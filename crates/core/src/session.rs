@@ -10,7 +10,7 @@ use crate::explain::{CellExplanation, ConstraintExplanation, ExplainError, Expla
 use crate::games::MaskMode;
 use trex_constraints::{DenialConstraint, ResolveError, Violation};
 use trex_repair::{RepairAlgorithm, RepairResult};
-use trex_shapley::SamplingConfig;
+use trex_shapley::{SamplingConfig, Schedule};
 use trex_table::{CellRef, Table, Value};
 
 /// One entry of the session's repair history.
@@ -29,6 +29,7 @@ pub struct Session {
     dcs: Vec<DenialConstraint>,
     history: Vec<HistoryEntry>,
     threads: usize,
+    schedule: Option<Schedule>,
 }
 
 impl Session {
@@ -41,6 +42,7 @@ impl Session {
             dcs,
             history: Vec::new(),
             threads: 1,
+            schedule: None,
         }
     }
 
@@ -56,6 +58,30 @@ impl Session {
     /// The configured sampling worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Pin the all-player sampling schedule for the session's cell
+    /// explanations (`Schedule::PlayerSharded` is serial-identical at any
+    /// thread count, `Schedule::BudgetSplit` deterministic per
+    /// `(seed, threads)`). The default lets `Schedule::auto` choose from
+    /// the cell count.
+    pub fn set_schedule(&mut self, schedule: Schedule) {
+        self.schedule = Some(schedule);
+    }
+
+    /// The pinned schedule, if any (`None` = auto by cell count).
+    pub fn schedule(&self) -> Option<Schedule> {
+        self.schedule
+    }
+
+    /// The session's explainer: the wrapped algorithm with the session's
+    /// thread count and schedule applied.
+    fn explainer(&self) -> Explainer<'_> {
+        let ex = Explainer::new(self.alg.as_ref()).with_threads(self.threads);
+        match self.schedule {
+            Some(s) => ex.with_schedule(s),
+            None => ex,
+        }
     }
 
     /// The current (possibly user-edited) dirty table.
@@ -116,8 +142,7 @@ impl Session {
         cell: CellRef,
         config: SamplingConfig,
     ) -> Result<CellExplanation, ExplainError> {
-        Explainer::new(self.alg.as_ref())
-            .with_threads(self.threads)
+        self.explainer()
             .explain_cells_sampled(&self.dcs, &self.table, cell, config)
     }
 
@@ -128,8 +153,7 @@ impl Session {
         mode: MaskMode,
         config: SamplingConfig,
     ) -> Result<CellExplanation, ExplainError> {
-        Explainer::new(self.alg.as_ref())
-            .with_threads(self.threads)
+        self.explainer()
             .explain_cells_masked(&self.dcs, &self.table, cell, mode, config)
     }
 
@@ -349,6 +373,26 @@ mod tests {
             s.set_cell(c.cell, c.to.clone());
         }
         assert!(s.violations().unwrap().is_empty());
+    }
+
+    #[test]
+    fn session_schedule_pin_is_serial_identical() {
+        let mut a = session();
+        let b = session();
+        a.set_schedule(Schedule::PlayerSharded);
+        assert_eq!(a.schedule(), Some(Schedule::PlayerSharded));
+        assert_eq!(b.schedule(), None);
+        a.set_threads(4);
+        let cell = laliga::cell_of_interest(a.table());
+        let cfg = SamplingConfig {
+            samples: 200,
+            seed: 5,
+        };
+        // b stays single-threaded (the serial estimates); the
+        // player-sharded 4-thread session must reproduce them exactly.
+        let sharded = a.explain_cells_masked(cell, MaskMode::Null, cfg).unwrap();
+        let serial = b.explain_cells_masked(cell, MaskMode::Null, cfg).unwrap();
+        assert_eq!(sharded.values, serial.values);
     }
 
     #[test]

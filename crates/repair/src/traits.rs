@@ -257,6 +257,14 @@ impl<'a> ShardedOracle<'a> {
     /// shards cut lock contention on many-core machines; `shards = 1`
     /// degenerates to a single-lock cache (useful as a contention baseline
     /// and in tests).
+    ///
+    /// Any shard count ≥ 1 is valid — zero is rejected (there would be no
+    /// shard to hold an entry). Non-power-of-two counts are deliberately
+    /// *not* rounded up: shard selection reduces the key hash with a
+    /// modulo (see [`Self::shard_of`]), not a bitmask, so an odd count
+    /// distributes keys just as uniformly, and silently rounding would
+    /// change the per-shard capacity bound (`capacity / shards`) behind
+    /// the caller's back.
     pub fn with_config(alg: &'a dyn RepairAlgorithm, capacity: usize, shards: usize) -> Self {
         assert!(shards >= 1, "need at least one shard");
         let shard_capacity = if capacity == 0 {
@@ -768,6 +776,40 @@ mod tests {
     fn zero_shards_rejected() {
         let alg = NoOpRepair;
         let _ = ShardedOracle::with_config(&alg, 16, 0);
+    }
+
+    #[test]
+    fn non_power_of_two_shard_counts_are_exact() {
+        // Shard selection is a modulo, not a bitmask: an odd shard count
+        // must keep count, answers, and stats identical to any other —
+        // which is why with_config does not round to a power of two.
+        let t = table();
+        let mut t2 = t.clone();
+        t2.set(CellRef::new(0, AttrId(0)), Value::str("other"));
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        let queries = [(&t, "FIXED"), (&t, "FIXED"), (&t2, "FIXED"), (&t2, "OTHER")];
+        let run = |shards: usize| {
+            let alg = CountingRepair {
+                need: 1,
+                calls: AtomicUsize::new(0),
+            };
+            let oracle = ShardedOracle::with_config(&alg, ShardedOracle::DEFAULT_CAPACITY, shards);
+            assert_eq!(oracle.num_shards(), shards);
+            let answers: Vec<bool> = queries
+                .iter()
+                .map(|(tbl, target)| oracle.repairs_cell_to(&dcs, tbl, cell, &Value::str(*target)))
+                .collect();
+            (answers, oracle.stats())
+        };
+        let (base_answers, base_stats) = run(16);
+        for shards in [1usize, 3, 7, 13] {
+            let (answers, stats) = run(shards);
+            assert_eq!(answers, base_answers, "{shards} shards");
+            assert_eq!(stats, base_stats, "{shards} shards");
+        }
+        assert_eq!(base_stats.misses, 3);
+        assert_eq!(base_stats.hits, 1);
     }
 
     /// A repairer that panics whenever the table contains a null — the kind

@@ -46,11 +46,13 @@ pub use exact::{
 };
 pub use game::{Coalition, FnGame, Game, StochasticGame};
 pub use interaction::shapley_interaction_exact;
-pub use parallel::{available_threads, resolve_threads, ParallelConfig, ThreadsError, MAX_THREADS};
+pub use parallel::{
+    available_threads, resolve_threads, ParallelConfig, Schedule, ThreadsError, MAX_THREADS,
+};
 pub use perm::{shapley_permutation_exact, MAX_PERM_PLAYERS};
 pub use sampling::{
-    estimate_all, estimate_all_walk, estimate_player, estimate_player_adaptive, Estimate,
-    SamplingConfig,
+    estimate_all, estimate_all_walk, estimate_player, estimate_player_adaptive, player_seed,
+    Estimate, SamplingConfig,
 };
 pub use stratified::{estimate_player_antithetic, estimate_player_stratified};
 

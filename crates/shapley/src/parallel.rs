@@ -26,11 +26,21 @@
 //! [`estimate_player_antithetic`] chunks permutation pairs like plain
 //! samples. Each replays its serial counterpart exactly at `threads = 1`.
 //!
-//! Changing `threads` changes which permutations are drawn (each worker has
-//! its own stream), so estimates differ *statistically insignificantly*
-//! across thread counts but are not expected to be identical. That is the
-//! standard trade-off for reproducible parallel Monte Carlo; record
-//! `(seed, threads)` to reproduce a run.
+//! Under that **budget-split** schedule, changing `threads` changes which
+//! permutations are drawn (each worker has its own stream), so estimates
+//! differ *statistically insignificantly* across thread counts but are not
+//! expected to be identical — record `(seed, threads)` to reproduce a run.
+//!
+//! The all-player drivers additionally support a **player-sharded**
+//! schedule ([`Schedule::PlayerSharded`]) with a strictly stronger
+//! contract: workers claim whole players from an atomic work queue and run
+//! the *serial* per-player loop with that player's
+//! [`crate::sampling::player_seed`], so the output is **bit-for-bit
+//! identical to the serial estimators at any thread count** — `threads`
+//! becomes a wall-time knob only. For tables with thousands of cells this
+//! also scales better than splitting every player's budget across every
+//! worker (each worker touches only the players it claims). See
+//! [`Schedule`] for when each mode wins.
 //!
 //! Games must be [`Sync`]: workers share one `&G`. The coalition games of
 //! the T-REx core hold their oracle cache in a sharded mutex map
@@ -38,11 +48,14 @@
 //! hits.
 
 use crate::convergence::RunningStats;
-use crate::game::{Game, StochasticGame};
-use crate::sampling::{marginal_sample, walk_once, Estimate, SamplingConfig};
+use crate::game::{Coalition, Game, StochasticGame};
+use crate::sampling::{
+    marginal_sample, player_seed, random_permutation, walk_once, Estimate, SamplingConfig,
+};
 use crate::stratified::{antithetic_chunk, stratified_chunk, stratified_estimate};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Upper bound on an explicit thread count. Far above any machine this
 /// workload meaningfully scales to; requests beyond it are almost certainly
@@ -89,32 +102,99 @@ pub fn resolve_threads(requested: usize) -> Result<usize, ThreadsError> {
     }
 }
 
+/// How the all-player drivers ([`estimate_all`], [`estimate_all_walk`], and
+/// the `estimate_all_*` variance-reduced drivers) distribute work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Split every player's sample budget into contiguous chunks, one per
+    /// worker (the original engine). Deterministic per `(seed, threads)`
+    /// pair; `threads = 1` replays the serial estimators bit for bit.
+    /// Keeps every core busy even when there are fewer players than
+    /// workers, but every worker touches every player — wasteful for
+    /// tables with thousands of cells.
+    #[default]
+    BudgetSplit,
+    /// Workers claim whole players from an atomic work queue and run the
+    /// *serial* per-player loop with that player's
+    /// [`crate::sampling::player_seed`]. Output is **identical to the
+    /// serial estimators at any thread count** (each player's statistics
+    /// are one worker's sequential pushes from the serial stream — no
+    /// cross-worker merge), so `threads` is a wall-time knob only.
+    /// Parallelism is capped by the player count; prefer it whenever
+    /// players comfortably outnumber workers.
+    PlayerSharded,
+}
+
+impl Schedule {
+    /// Pick a schedule from the shape of the problem: player-sharded when
+    /// there are enough players to keep every worker busy through the
+    /// claim queue (at least four claims per worker smooths out uneven
+    /// per-player costs), budget-split otherwise. This is the CLI's
+    /// `--schedule auto`.
+    ///
+    /// A single worker always gets budget-split: at `threads = 1` both
+    /// schedules are bit-identical to the serial estimators, but the
+    /// sharded walk replay would pay its `2n`-evaluations-per-walk price
+    /// with no parallelism to buy back.
+    pub fn auto(players: usize, threads: usize) -> Schedule {
+        if threads > 1 && players >= 4 * threads {
+            Schedule::PlayerSharded
+        } else {
+            Schedule::BudgetSplit
+        }
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Schedule::BudgetSplit => write!(f, "budget"),
+            Schedule::PlayerSharded => write!(f, "player"),
+        }
+    }
+}
+
 /// Configuration of the parallel estimators: a [`SamplingConfig`] plus a
-/// resolved worker count.
+/// resolved worker count and a work [`Schedule`].
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelConfig {
-    /// Total number of Monte-Carlo samples (split across workers).
+    /// Total number of Monte-Carlo samples (split across workers under
+    /// [`Schedule::BudgetSplit`]; per player under
+    /// [`Schedule::PlayerSharded`], exactly like the serial drivers).
     pub samples: usize,
-    /// Base RNG seed; combined with the worker id per stream.
+    /// Base RNG seed; combined with the worker id per stream
+    /// (budget-split) or the player id (player-sharded).
     pub seed: u64,
     /// Worker count (must be ≥ 1; see [`resolve_threads`]).
     pub threads: usize,
+    /// How the all-player drivers distribute work (single-player
+    /// estimators always budget-split — there is nothing to shard).
+    pub schedule: Schedule,
 }
 
 impl ParallelConfig {
-    /// Build from explicit values.
+    /// Build from explicit values (budget-split schedule; see
+    /// [`ParallelConfig::with_schedule`]).
     pub fn new(samples: usize, seed: u64, threads: usize) -> Self {
         assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
         ParallelConfig {
             samples,
             seed,
             threads,
+            schedule: Schedule::BudgetSplit,
         }
     }
 
-    /// Lift a serial [`SamplingConfig`] onto `threads` workers.
+    /// Lift a serial [`SamplingConfig`] onto `threads` workers
+    /// (budget-split schedule; see [`ParallelConfig::with_schedule`]).
     pub fn from_sampling(config: SamplingConfig, threads: usize) -> Self {
         Self::new(config.samples, config.seed, threads)
+    }
+
+    /// Select the work schedule of the all-player drivers.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
     }
 
     /// The serial view of this configuration (same samples and seed).
@@ -132,6 +212,7 @@ impl Default for ParallelConfig {
             samples: 1000,
             seed: 0,
             threads: 1,
+            schedule: Schedule::BudgetSplit,
         }
     }
 }
@@ -183,6 +264,56 @@ fn chunk_ranges(items: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
             start += len;
             range
         })
+        .collect()
+}
+
+/// Run `work(p)` for every player `0..n` on `threads` workers claiming
+/// players from an atomic queue, and return the results in player order.
+///
+/// The claim order is scheduling-dependent, but each player's result is a
+/// pure function of its index, so the returned vector is not: this is what
+/// makes the player-sharded schedules deterministic at any thread count.
+/// `threads = 1` (or a single player) runs inline without spawning.
+fn run_player_sharded<T, F>(n: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let claimed = std::thread::scope(|scope| {
+        let next = &next;
+        let work = &work;
+        let handles: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let p = next.fetch_add(1, Ordering::Relaxed);
+                        if p >= n {
+                            break;
+                        }
+                        out.push((p, work(p)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("player-sharded worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    for (p, result) in claimed.into_iter().flatten() {
+        debug_assert!(slots[p].is_none(), "player {p} claimed twice");
+        slots[p] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("the atomic queue claims every player exactly once"))
         .collect()
 }
 
@@ -252,22 +383,28 @@ pub fn estimate_player<G: StochasticGame + ?Sized>(
 }
 
 /// Parallel version of [`crate::sampling::estimate_all`]: each player keeps
-/// the exact per-player derived seed of the serial path, and each player's
-/// sample budget is split across the workers.
+/// the exact per-player derived seed ([`player_seed`]) of the serial path.
 ///
-/// Worker `w` computes chunk `w` of *every* player (a static schedule — no
-/// work stealing, so the assignment is reproducible), then per-player chunk
-/// statistics are merged in worker order.
+/// Under [`Schedule::BudgetSplit`], worker `w` computes chunk `w` of
+/// *every* player (a static schedule — no work stealing, so the assignment
+/// is reproducible), then per-player chunk statistics are merged in worker
+/// order. Under [`Schedule::PlayerSharded`], workers claim whole players
+/// from an atomic queue and run the serial per-player loop, so the output
+/// is identical to [`crate::sampling::estimate_all`] at any thread count.
 pub fn estimate_all<G: StochasticGame + ?Sized>(game: &G, config: ParallelConfig) -> Vec<Estimate> {
     let n = game.num_players();
     assert!(config.threads >= 1, "threads must be >= 1");
+    if config.schedule == Schedule::PlayerSharded {
+        return run_player_sharded(n, config.threads, |p| {
+            stats_to_estimate(&player_chunk(
+                game,
+                p,
+                config.samples,
+                player_seed(config.seed, p),
+            ))
+        });
+    }
     let chunks = chunk_sizes(config.samples, config.threads);
-    // player_seed mirrors sampling::estimate_all exactly.
-    let player_seed = |p: usize| {
-        config
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(p as u64 + 1))
-    };
     // worker_stats[w][p] = worker w's chunk statistics for player p.
     let worker_stats = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
@@ -276,7 +413,14 @@ pub fn estimate_all<G: StochasticGame + ?Sized>(game: &G, config: ParallelConfig
             .map(|(w, &chunk)| {
                 scope.spawn(move || {
                     (0..n)
-                        .map(|p| player_chunk(game, p, chunk, worker_seed(player_seed(p), w)))
+                        .map(|p| {
+                            player_chunk(
+                                game,
+                                p,
+                                chunk,
+                                worker_seed(player_seed(config.seed, p), w),
+                            )
+                        })
                         .collect::<Vec<_>>()
                 })
             })
@@ -297,17 +441,67 @@ pub fn estimate_all<G: StochasticGame + ?Sized>(game: &G, config: ParallelConfig
         .collect()
 }
 
+/// One player's replay of the serial permutation-walk stream: regenerate
+/// the `samples` permutations from the *unmodified* seed (the exact
+/// Fisher–Yates draws of [`crate::sampling::estimate_all_walk`] — a walk
+/// consumes the RNG only for its permutation, never for evaluations), and
+/// for each walk evaluate only the two coalitions adjacent to `player` in
+/// it. The pushed marginals, and their order, are bit-for-bit the serial
+/// walk's, because the game is deterministic and `v(pred ∪ {p}) − v(pred)`
+/// is the same subtraction the serial walk performs when it inserts `p`.
+fn walk_replay_player<G: Game + ?Sized>(
+    game: &G,
+    player: usize,
+    samples: usize,
+    seed: u64,
+) -> RunningStats {
+    let n = game.num_players();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = RunningStats::new();
+    for _ in 0..samples {
+        let perm = random_permutation(n, &mut rng);
+        let mut pred = Coalition::empty(n);
+        for &p in &perm {
+            if p == player {
+                break;
+            }
+            pred.insert(p);
+        }
+        let without = game.value(&pred);
+        pred.insert(player);
+        let with = game.value(&pred);
+        stats.push(with - without);
+    }
+    stats
+}
+
 /// Parallel version of [`crate::sampling::estimate_all_walk`] (the
-/// Castro-style all-players estimator): the `config.samples` permutation
-/// walks are split across workers, each walk contributing one marginal
-/// sample to every player at `n + 1` evaluations.
+/// Castro-style all-players estimator).
 ///
-/// Per-permutation the marginals telescope to `v(N) − v(∅)`, so the merged
-/// means still sum to `v(N)` exactly (the efficiency axiom holds per walk
-/// and merging preserves it).
+/// Under [`Schedule::BudgetSplit`], the `config.samples` permutation walks
+/// are split across workers, each walk contributing one marginal sample to
+/// every player at `n + 1` evaluations; per-permutation the marginals
+/// telescope to `v(N) − v(∅)`, so the merged means still sum to `v(N)`
+/// exactly (the efficiency axiom holds per walk and merging preserves it).
+///
+/// Under [`Schedule::PlayerSharded`], workers claim whole players and
+/// *replay* the serial walk stream for each ([`walk_replay_player`]), so
+/// the output — efficiency axiom included — is identical to the serial
+/// estimator at any thread count. The replay evaluates `2·n` coalitions
+/// per walk instead of the serial `n + 1`, but they are the *same*
+/// coalitions the serial walk visits (every replayed prefix is a walk
+/// prefix), so games backed by a shared memoizing oracle
+/// (`trex_repair::ShardedOracle`) pay roughly the serial number of repair
+/// calls; for uncached games that need raw throughput over serial
+/// identity, prefer budget-split.
 pub fn estimate_all_walk<G: Game + ?Sized>(game: &G, config: ParallelConfig) -> Vec<Estimate> {
     let n = game.num_players();
     assert!(config.threads >= 1, "threads must be >= 1");
+    if config.schedule == Schedule::PlayerSharded {
+        return run_player_sharded(n, config.threads, |p| {
+            stats_to_estimate(&walk_replay_player(game, p, config.samples, config.seed))
+        });
+    }
     let chunks = chunk_sizes(config.samples, config.threads);
     let worker_stats = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
@@ -500,6 +694,127 @@ pub fn estimate_player_antithetic<G: StochasticGame + ?Sized>(
             .collect::<Vec<_>>()
     });
     stats_to_estimate(&merge_in_order(worker_stats))
+}
+
+/// All-player adaptive driver: estimate every player with
+/// [`estimate_player_adaptive`] semantics, seeds laddered by
+/// [`player_seed`] exactly like [`crate::sampling::estimate_all`]. Returns
+/// one `(estimate, converged)` pair per player.
+///
+/// Under [`Schedule::PlayerSharded`], workers claim whole players and run
+/// the *serial* [`crate::sampling::estimate_player_adaptive`] — output
+/// identical to the serial per-player loop at any thread count, and the
+/// natural schedule here: adaptive budgets are uneven across players
+/// (dummies stop after two batches, contested cells run to the cap), which
+/// the claim queue load-balances for free. Under
+/// [`Schedule::BudgetSplit`], players are processed in order with each
+/// player's rounds split across all workers (deterministic per
+/// `(seed, threads)`).
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_all_adaptive<G: StochasticGame + ?Sized>(
+    game: &G,
+    tolerance: f64,
+    z: f64,
+    batch: usize,
+    max_samples: usize,
+    seed: u64,
+    threads: usize,
+    schedule: Schedule,
+) -> Vec<(Estimate, bool)> {
+    let n = game.num_players();
+    assert!(threads >= 1, "threads must be >= 1");
+    match schedule {
+        Schedule::PlayerSharded => run_player_sharded(n, threads, |p| {
+            crate::sampling::estimate_player_adaptive(
+                game,
+                p,
+                tolerance,
+                z,
+                batch,
+                max_samples,
+                player_seed(seed, p),
+            )
+        }),
+        Schedule::BudgetSplit => (0..n)
+            .map(|p| {
+                estimate_player_adaptive(
+                    game,
+                    p,
+                    tolerance,
+                    z,
+                    batch,
+                    max_samples,
+                    player_seed(seed, p),
+                    threads,
+                )
+            })
+            .collect(),
+    }
+}
+
+/// All-player stratified driver: one [`estimate_player_stratified`]-style
+/// estimate per player, seeds laddered by [`player_seed`].
+///
+/// [`Schedule::PlayerSharded`] claims whole players and runs the serial
+/// [`crate::stratified::estimate_player_stratified`] (serial-identical at
+/// any thread count); [`Schedule::BudgetSplit`] processes players in order
+/// with each player's strata split across all workers.
+pub fn estimate_all_stratified<G: StochasticGame + ?Sized>(
+    game: &G,
+    samples_per_stratum: usize,
+    seed: u64,
+    threads: usize,
+    schedule: Schedule,
+) -> Vec<Estimate> {
+    let n = game.num_players();
+    assert!(threads >= 1, "threads must be >= 1");
+    match schedule {
+        Schedule::PlayerSharded => run_player_sharded(n, threads, |p| {
+            crate::stratified::estimate_player_stratified(
+                game,
+                p,
+                samples_per_stratum,
+                player_seed(seed, p),
+            )
+        }),
+        Schedule::BudgetSplit => (0..n)
+            .map(|p| {
+                estimate_player_stratified(
+                    game,
+                    p,
+                    samples_per_stratum,
+                    player_seed(seed, p),
+                    threads,
+                )
+            })
+            .collect(),
+    }
+}
+
+/// All-player antithetic driver: one [`estimate_player_antithetic`]-style
+/// estimate per player, seeds laddered by [`player_seed`].
+///
+/// [`Schedule::PlayerSharded`] claims whole players and runs the serial
+/// [`crate::stratified::estimate_player_antithetic`] (serial-identical at
+/// any thread count); [`Schedule::BudgetSplit`] processes players in order
+/// with each player's pair budget split across all workers.
+pub fn estimate_all_antithetic<G: StochasticGame + ?Sized>(
+    game: &G,
+    pairs: usize,
+    seed: u64,
+    threads: usize,
+    schedule: Schedule,
+) -> Vec<Estimate> {
+    let n = game.num_players();
+    assert!(threads >= 1, "threads must be >= 1");
+    match schedule {
+        Schedule::PlayerSharded => run_player_sharded(n, threads, |p| {
+            crate::stratified::estimate_player_antithetic(game, p, pairs, player_seed(seed, p))
+        }),
+        Schedule::BudgetSplit => (0..n)
+            .map(|p| estimate_player_antithetic(game, p, pairs, player_seed(seed, p), threads))
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -813,6 +1128,154 @@ mod tests {
                 next = r.end;
             }
             assert_eq!(next, items);
+        }
+    }
+
+    #[test]
+    fn player_sharded_estimate_all_is_serial_at_any_thread_count() {
+        let g = fixtures::majority(9);
+        let cfg = SamplingConfig {
+            samples: 150,
+            seed: 13,
+        };
+        let serial = sampling::estimate_all(&g, cfg);
+        for threads in [1usize, 2, 3, 4, 8, 16] {
+            let par = estimate_all(
+                &g,
+                ParallelConfig::from_sampling(cfg, threads).with_schedule(Schedule::PlayerSharded),
+            );
+            assert_estimates_eq(&serial, &par);
+        }
+    }
+
+    #[test]
+    fn player_sharded_walk_is_serial_at_any_thread_count() {
+        let g = fixtures::paper_example_2_3();
+        let cfg = SamplingConfig {
+            samples: 250,
+            seed: 5,
+        };
+        let serial = sampling::estimate_all_walk(&g, cfg);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let par = estimate_all_walk(
+                &g,
+                ParallelConfig::from_sampling(cfg, threads).with_schedule(Schedule::PlayerSharded),
+            );
+            assert_estimates_eq(&serial, &par);
+        }
+    }
+
+    #[test]
+    fn walk_replay_keeps_the_efficiency_axiom() {
+        let g = fixtures::gloves(3, 4);
+        let ests = estimate_all_walk(
+            &g,
+            ParallelConfig::new(400, 21, 4).with_schedule(Schedule::PlayerSharded),
+        );
+        let total: f64 = ests.iter().map(|e| e.value).sum();
+        // Replayed marginals are the serial walk's, so they telescope to
+        // v(N) = 3 matched glove pairs exactly.
+        assert!((total - 3.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn all_adaptive_player_sharded_matches_the_serial_loop() {
+        let g = fixtures::majority(7);
+        let serial: Vec<(Estimate, bool)> = (0..7)
+            .map(|p| {
+                sampling::estimate_player_adaptive(&g, p, 0.05, 1.96, 40, 2000, player_seed(9, p))
+            })
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let par = estimate_all_adaptive(
+                &g,
+                0.05,
+                1.96,
+                40,
+                2000,
+                9,
+                threads,
+                Schedule::PlayerSharded,
+            );
+            assert_eq!(serial, par, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn all_adaptive_budget_split_matches_the_per_player_driver() {
+        let g = fixtures::gloves(2, 3);
+        let par = estimate_all_adaptive(&g, 0.05, 1.96, 30, 1500, 7, 2, Schedule::BudgetSplit);
+        for (p, got) in par.iter().enumerate() {
+            let want = estimate_player_adaptive(&g, p, 0.05, 1.96, 30, 1500, player_seed(7, p), 2);
+            assert_eq!(*got, want, "player {p}");
+        }
+    }
+
+    #[test]
+    fn all_stratified_and_antithetic_player_sharded_match_serial() {
+        let g = fixtures::majority(5);
+        let serial_strat: Vec<Estimate> = (0..5)
+            .map(|p| stratified::estimate_player_stratified(&g, p, 30, player_seed(3, p)))
+            .collect();
+        let serial_anti: Vec<Estimate> = (0..5)
+            .map(|p| stratified::estimate_player_antithetic(&g, p, 40, player_seed(3, p)))
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            assert_estimates_eq(
+                &serial_strat,
+                &estimate_all_stratified(&g, 30, 3, threads, Schedule::PlayerSharded),
+            );
+            assert_estimates_eq(
+                &serial_anti,
+                &estimate_all_antithetic(&g, 40, 3, threads, Schedule::PlayerSharded),
+            );
+        }
+    }
+
+    #[test]
+    fn budget_split_all_drivers_are_reproducible() {
+        let g = fixtures::gloves(2, 3);
+        let s1 = estimate_all_stratified(&g, 20, 11, 3, Schedule::BudgetSplit);
+        let s2 = estimate_all_stratified(&g, 20, 11, 3, Schedule::BudgetSplit);
+        assert_estimates_eq(&s1, &s2);
+        let a1 = estimate_all_antithetic(&g, 30, 11, 3, Schedule::BudgetSplit);
+        let a2 = estimate_all_antithetic(&g, 30, 11, 3, Schedule::BudgetSplit);
+        assert_estimates_eq(&a1, &a2);
+    }
+
+    #[test]
+    fn schedule_auto_picks_by_player_count() {
+        // Plenty of players per worker: shard them.
+        assert_eq!(Schedule::auto(64, 4), Schedule::PlayerSharded);
+        assert_eq!(Schedule::auto(8, 2), Schedule::PlayerSharded);
+        // Too few claims per worker: split the budget instead.
+        assert_eq!(Schedule::auto(7, 2), Schedule::BudgetSplit);
+        assert_eq!(Schedule::auto(4, 8), Schedule::BudgetSplit);
+        // One worker never shards: both schedules replay serial exactly,
+        // so sharding would only add the walk-replay overhead.
+        assert_eq!(Schedule::auto(64, 1), Schedule::BudgetSplit);
+        assert_eq!(Schedule::auto(0, 1), Schedule::BudgetSplit);
+    }
+
+    #[test]
+    fn schedule_display_and_config_builder() {
+        assert_eq!(Schedule::BudgetSplit.to_string(), "budget");
+        assert_eq!(Schedule::PlayerSharded.to_string(), "player");
+        let cfg = ParallelConfig::new(10, 0, 2);
+        assert_eq!(cfg.schedule, Schedule::BudgetSplit);
+        assert_eq!(
+            cfg.with_schedule(Schedule::PlayerSharded).schedule,
+            Schedule::PlayerSharded
+        );
+        assert_eq!(Schedule::default(), Schedule::BudgetSplit);
+    }
+
+    #[test]
+    fn run_player_sharded_covers_every_player_once() {
+        for (n, threads) in [(0usize, 4usize), (1, 4), (5, 2), (9, 16), (100, 7)] {
+            let got = run_player_sharded(n, threads, |p| p * p);
+            let want: Vec<usize> = (0..n).map(|p| p * p).collect();
+            assert_eq!(got, want, "n {n}, threads {threads}");
         }
     }
 }

@@ -73,6 +73,18 @@ impl Estimate {
     }
 }
 
+/// The derived seed of `player` in the all-players drivers: the base seed
+/// laddered by a golden-ratio multiple of the player index, so per-player
+/// sample streams are decorrelated but fully determined by the base seed.
+///
+/// Shared by [`estimate_all`], the parallel engine's player-sharded
+/// schedules, and `trex` core's adaptive explainer — every all-player
+/// driver must ladder identically for the serial-equivalence contracts to
+/// compose.
+pub fn player_seed(seed: u64, player: usize) -> u64 {
+    seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(player as u64 + 1))
+}
+
 /// Draw a uniform permutation of `0..n` (Fisher–Yates).
 ///
 /// Shared with [`crate::parallel`]: the serial and parallel estimators must
@@ -161,9 +173,7 @@ pub fn estimate_all<G: StochasticGame + ?Sized>(game: &G, config: SamplingConfig
                 p,
                 SamplingConfig {
                     samples: config.samples,
-                    seed: config
-                        .seed
-                        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(p as u64 + 1)),
+                    seed: player_seed(config.seed, p),
                 },
             )
         })

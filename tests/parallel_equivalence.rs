@@ -10,14 +10,38 @@
 //! * for any fixed `(seed, threads)` pair the parallel estimates are
 //!   reproducible;
 //! * the walk estimator stays exactly efficient (per-permutation marginals
-//!   telescope to `v(N)`), regardless of how walks are chunked onto workers.
+//!   telescope to `v(N)`), regardless of how walks are chunked onto workers;
+//! * `Schedule::PlayerSharded` is **identical to the serial estimators at
+//!   any thread count** (the strictly stronger contract), and the
+//!   giant-bucket block split keeps `find_violations_par` serial-identical
+//!   on a table whose rows all share one equality-bucket key.
+//!
+//! CI's thread-matrix job re-runs this file with `TREX_TEST_THREADS` set to
+//! 1/2/4/8 on a machine with real cores; the variable adds that count to
+//! every thread sweep below.
 
 use trex::{CellGameMasked, CellGameSampled, MaskMode};
 use trex_datagen::laliga;
 use trex_shapley::{
-    parallel, sampling, stratified, Game, ParallelConfig, SamplingConfig, StochasticGame,
+    parallel, sampling, stratified, Game, ParallelConfig, SamplingConfig, Schedule, StochasticGame,
 };
 use trex_table::Value;
+
+/// The thread counts a sweep exercises: `base`, plus the CI thread-matrix
+/// count from `TREX_TEST_THREADS` when set.
+fn thread_counts(base: &[usize]) -> Vec<usize> {
+    let mut counts = base.to_vec();
+    if let Ok(raw) = std::env::var("TREX_TEST_THREADS") {
+        let extra: usize = raw
+            .parse()
+            .expect("TREX_TEST_THREADS must be a thread count");
+        assert!(extra >= 1, "TREX_TEST_THREADS must be >= 1");
+        if !counts.contains(&extra) {
+            counts.push(extra);
+        }
+    }
+    counts
+}
 
 fn masked_game<'a>(
     alg: &'a trex_repair::RuleRepair,
@@ -173,6 +197,111 @@ fn variance_reduced_estimators_are_reproducible_at_four_threads() {
     let (b, b_ok) = adapt();
     assert_eq!(a, b);
     assert_eq!(a_ok, b_ok);
+}
+
+#[test]
+fn player_sharded_walk_is_serial_identical_on_the_laliga_cell_game() {
+    // Acceptance criterion of the player-sharded schedule: bit-for-bit the
+    // serial `sampling::estimate_all_walk` at thread counts 1, 2, and 4
+    // (and the CI matrix count), on the paper's own cell game over the
+    // shared repair oracle.
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    let cfg = SamplingConfig {
+        samples: 150,
+        seed: 3,
+    };
+    let serial = sampling::estimate_all_walk(&masked_game(&alg, &dcs, &dirty), cfg);
+    for threads in thread_counts(&[1, 2, 4]) {
+        let par = parallel::estimate_all_walk(
+            &masked_game(&alg, &dcs, &dirty),
+            ParallelConfig::from_sampling(cfg, threads).with_schedule(Schedule::PlayerSharded),
+        );
+        assert_eq!(serial, par, "threads = {threads}");
+    }
+}
+
+#[test]
+fn player_sharded_estimate_all_is_serial_identical_on_the_laliga_cell_game() {
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    let cfg = SamplingConfig {
+        samples: 30,
+        seed: 7,
+    };
+    let serial = sampling::estimate_all(&sampled_game(&alg, &dcs, &dirty), cfg);
+    for threads in thread_counts(&[1, 2, 4]) {
+        let par = parallel::estimate_all(
+            &sampled_game(&alg, &dcs, &dirty),
+            ParallelConfig::from_sampling(cfg, threads).with_schedule(Schedule::PlayerSharded),
+        );
+        assert_eq!(serial, par, "threads = {threads}");
+    }
+}
+
+#[test]
+fn player_sharded_adaptive_driver_is_serial_identical() {
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    let serial: Vec<_> = {
+        let game = sampled_game(&alg, &dcs, &dirty);
+        (0..StochasticGame::num_players(&game))
+            .map(|p| {
+                sampling::estimate_player_adaptive(
+                    &game,
+                    p,
+                    0.15,
+                    1.96,
+                    15,
+                    120,
+                    trex_shapley::player_seed(9, p),
+                )
+            })
+            .collect()
+    };
+    for threads in thread_counts(&[1, 2, 4]) {
+        let par = parallel::estimate_all_adaptive(
+            &sampled_game(&alg, &dcs, &dirty),
+            0.15,
+            1.96,
+            15,
+            120,
+            9,
+            threads,
+            Schedule::PlayerSharded,
+        );
+        assert_eq!(serial, par, "threads = {threads}");
+    }
+}
+
+#[test]
+fn giant_equality_bucket_detection_is_serial_identical() {
+    // Regression for the block-split path: a pathological table whose rows
+    // all share one equality-bucket key (every row the same Team) used to
+    // land its entire pair scan on a single worker; the split must keep
+    // the output — witnesses and order — exactly the serial scan's at
+    // every thread count.
+    let mut builder = trex_table::TableBuilder::new().str_columns(["Team", "City", "Country"]);
+    for i in 0..53 {
+        let city = format!("C{}", i % 5);
+        builder = builder.str_row(["OneTeam", city.as_str(), "Y"]);
+    }
+    let table = builder.build();
+    let dcs: Vec<trex_constraints::DenialConstraint> =
+        trex_constraints::parse_dcs("C1: !(t1.Team = t2.Team & t1.City != t2.City)")
+            .unwrap()
+            .into_iter()
+            .map(|dc| dc.resolved(table.schema()).unwrap())
+            .collect();
+    let serial = trex_constraints::find_all_violations_indexed(&dcs, &table);
+    assert!(!serial.is_empty(), "the bucket must conflict");
+    for threads in thread_counts(&[1, 2, 4, 8, 16]) {
+        let par = trex_constraints::find_all_violations_par(&dcs, &table, threads);
+        assert_eq!(serial, par, "threads = {threads}");
+    }
 }
 
 #[test]
