@@ -37,7 +37,8 @@ USAGE:
   trex explain    --table FILE.csv --dcs FILE.txt --cell tROW.Attr
                   [--cells] [--samples N] [--seed N] [--mask null|distinct|replace]
                   [--adaptive] [--tolerance F] [--batch N] [--max-samples N]
-                  [--threads N] [--schedule auto|player|budget] [engine flags]
+                  [--threads N] [--schedule auto|player|budget|steal]
+                  [--oracle-cap N] [engine flags]
   trex mine       --table FILE.csv [--max-predicates N] [--order]
   trex demo
 
@@ -54,9 +55,19 @@ THREADS:
   scan, whose output is identical at any thread count (a wall-time knob
   only). --schedule picks how explain's sampling distributes work:
   player (workers claim whole cells; output identical to the serial
-  estimator at ANY thread count), budget (every cell's sample budget is
-  split across workers; deterministic per (--seed, --threads) pair), or
-  auto (default: player when the table has at least 4 cells per worker).
+  estimator at ANY thread count), steal (player-sharding plus round
+  stealing on --adaptive runs: idle workers take over rounds of a hot
+  cell's budget; output identical at ANY thread count to the round-
+  laddered serial estimator — a different, equally valid stream than
+  player's), budget (every cell's sample budget is split across workers;
+  deterministic per (--seed, --threads) pair), or auto (default: player
+  when the table has at least 4 cells per worker).
+
+ORACLE CAPACITY:
+  --oracle-cap N bounds the repair-oracle memo cache of explain to N
+  entries (second-chance eviction once full; 0 disables caching). Results
+  are identical at any capacity — a smaller cache only recomputes more.
+  Default: 1048576 entries.
 
 ADAPTIVE BUDGET (explain --cells --adaptive):
   instead of a fixed --samples per cell, each cell is sampled under
@@ -164,9 +175,23 @@ fn load_schedule(args: &Args) -> Result<Option<Schedule>, ArgError> {
         "auto" => Ok(None),
         "player" => Ok(Some(Schedule::PlayerSharded)),
         "budget" => Ok(Some(Schedule::BudgetSplit)),
+        "steal" => Ok(Some(Schedule::WorkStealing)),
         other => Err(ArgError(format!(
-            "unknown schedule {other:?} (auto | player | budget)"
+            "unknown schedule {other:?} (auto | player | budget | steal)"
         ))),
+    }
+}
+
+/// Parse the `--oracle-cap` flag of `explain`: an entry bound for the
+/// repair-oracle memo cache (`0` disables caching); absent means the oracle
+/// default.
+fn load_oracle_cap(args: &Args) -> Result<Option<usize>, ArgError> {
+    match args.get("oracle-cap") {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| ArgError(format!("--oracle-cap: cannot parse {v:?}"))),
     }
 }
 
@@ -226,6 +251,7 @@ fn cmd_explain(args: &Args) -> Result<(), ArgError> {
     let (table, dcs) = load_inputs(args)?;
     let threads = load_threads(args)?;
     let schedule = load_schedule(args)?;
+    let oracle_cap = load_oracle_cap(args)?;
     let engine = load_engine(args, threads)?;
     let cell_spec = args.require("cell")?.to_string();
     let cell = parse_cell(&table, &cell_spec)?;
@@ -272,6 +298,9 @@ fn cmd_explain(args: &Args) -> Result<(), ArgError> {
     let mut explainer = Explainer::new(engine.as_ref()).with_threads(threads);
     if let Some(schedule) = schedule {
         explainer = explainer.with_schedule(schedule);
+    }
+    if let Some(cap) = oracle_cap {
+        explainer = explainer.with_oracle_capacity(cap);
     }
     let constraints = explainer
         .explain_constraints(&dcs, &table, cell)
@@ -478,8 +507,22 @@ mod tests {
         assert_eq!(load_schedule(&c).unwrap(), Some(Schedule::BudgetSplit));
         let d = Args::parse(["explain", "--schedule", "auto"]).unwrap();
         assert_eq!(load_schedule(&d).unwrap(), None);
+        let s = Args::parse(["explain", "--schedule", "steal"]).unwrap();
+        assert_eq!(load_schedule(&s).unwrap(), Some(Schedule::WorkStealing));
         let e = Args::parse(["explain", "--schedule", "nope"]).unwrap();
         assert!(load_schedule(&e).is_err());
+    }
+
+    #[test]
+    fn oracle_cap_flag_validation() {
+        let a = Args::parse(["explain"]).unwrap();
+        assert_eq!(load_oracle_cap(&a).unwrap(), None);
+        let b = Args::parse(["explain", "--oracle-cap", "0"]).unwrap();
+        assert_eq!(load_oracle_cap(&b).unwrap(), Some(0));
+        let c = Args::parse(["explain", "--oracle-cap", "4096"]).unwrap();
+        assert_eq!(load_oracle_cap(&c).unwrap(), Some(4096));
+        let d = Args::parse(["explain", "--oracle-cap", "lots"]).unwrap();
+        assert!(load_oracle_cap(&d).is_err());
     }
 
     #[test]

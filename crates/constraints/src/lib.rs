@@ -39,9 +39,10 @@ pub use mine::{mine_dcs, MineConfig};
 pub use parallel::{find_all_violations_par, find_violations_par, is_clean_par, noisy_cells_par};
 pub use parser::{parse_dc, parse_dc_named, parse_dcs, ParseError};
 
-// Gated: needs crates.io `proptest`, unavailable in the offline build
-// container. Enable the `proptest` feature (and add the dev-dependency)
-// in an environment with registry access.
+// Property tests, gated behind the `proptest` feature to keep plain
+// `cargo test` fast. They compile against the offline shim in
+// `vendor/proptest` (or crates.io proptest — CI's weekly cron runs both):
+// `cargo test --workspace --features proptest`.
 #[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;

@@ -133,20 +133,30 @@ pub struct CellExplanation {
 /// [`Schedule::auto`] over the cell count — player-sharded (serial-identical
 /// output at any thread count) when the table has plenty of cells per
 /// worker, budget-split (deterministic per `(seed, threads)` pair)
-/// otherwise; [`Explainer::with_schedule`] pins one explicitly.
+/// otherwise; [`Explainer::with_schedule`] pins one explicitly
+/// ([`Schedule::WorkStealing`] additionally steals adaptive rounds between
+/// workers, see the schedule docs for its determinism contract).
+///
+/// The memoizing repair oracle behind the coalition games grows with the
+/// number of distinct coalition tables visited;
+/// [`Explainer::with_oracle_capacity`] bounds it (entries, second-chance
+/// eviction) without changing any result.
 pub struct Explainer<'a> {
     alg: &'a dyn RepairAlgorithm,
     threads: usize,
     schedule: Option<Schedule>,
+    oracle_capacity: Option<usize>,
 }
 
 impl<'a> Explainer<'a> {
-    /// Wrap a repair algorithm (single sampling worker, auto schedule).
+    /// Wrap a repair algorithm (single sampling worker, auto schedule,
+    /// default oracle capacity).
     pub fn new(alg: &'a dyn RepairAlgorithm) -> Self {
         Explainer {
             alg,
             threads: 1,
             schedule: None,
+            oracle_capacity: None,
         }
     }
 
@@ -175,10 +185,64 @@ impl<'a> Explainer<'a> {
         self.schedule
     }
 
+    /// Bound the repair-oracle memo cache to `capacity` entries
+    /// (second-chance eviction once full; `0` disables caching entirely).
+    /// Explanation results are unchanged at any capacity — a smaller cache
+    /// only recomputes more. The default is
+    /// `trex_repair::ShardedOracle::DEFAULT_CAPACITY`.
+    pub fn with_oracle_capacity(mut self, capacity: usize) -> Self {
+        self.oracle_capacity = Some(capacity);
+        self
+    }
+
+    /// The pinned oracle capacity, if any (`None` = the oracle default).
+    pub fn oracle_capacity(&self) -> Option<usize> {
+        self.oracle_capacity
+    }
+
     /// The schedule an explanation over `players` cells will use.
     fn schedule_for(&self, players: usize) -> Schedule {
         self.schedule
             .unwrap_or_else(|| Schedule::auto(players, self.threads))
+    }
+
+    /// Build the constraint game with this explainer's oracle capacity.
+    fn constraint_game<'b>(
+        &self,
+        dcs: &'b [DenialConstraint],
+        dirty: &'b Table,
+        cell: CellRef,
+        target: Value,
+    ) -> ConstraintGame<'b>
+    where
+        'a: 'b,
+    {
+        match self.oracle_capacity {
+            Some(cap) => {
+                ConstraintGame::with_oracle_capacity(self.alg, dcs, dirty, cell, target, cap)
+            }
+            None => ConstraintGame::new(self.alg, dcs, dirty, cell, target),
+        }
+    }
+
+    /// Build the masked cell game with this explainer's oracle capacity.
+    fn masked_game<'b>(
+        &self,
+        dcs: &'b [DenialConstraint],
+        dirty: &'b Table,
+        cell: CellRef,
+        target: Value,
+        mode: MaskMode,
+    ) -> CellGameMasked<'b>
+    where
+        'a: 'b,
+    {
+        match self.oracle_capacity {
+            Some(cap) => {
+                CellGameMasked::with_oracle_capacity(self.alg, dcs, dirty, cell, target, mode, cap)
+            }
+            None => CellGameMasked::new(self.alg, dcs, dirty, cell, target, mode),
+        }
     }
 
     /// The wrapped algorithm.
@@ -222,7 +286,7 @@ impl<'a> Explainer<'a> {
         cell: CellRef,
     ) -> Result<ConstraintExplanation, ExplainError> {
         let target = self.repair_target(dcs, dirty, cell)?;
-        let game = ConstraintGame::new(self.alg, dcs, dirty, cell, target.clone());
+        let game = self.constraint_game(dcs, dirty, cell, target.clone());
         let values = shapley_exact(&game).expect("constraint sets are small");
         let rationals = shapley_exact_rational(&game).expect("constraint sets are small");
         let ranking = Ranking::new(
@@ -255,7 +319,7 @@ impl<'a> Explainer<'a> {
         cell: CellRef,
     ) -> Result<(Vec<String>, Vec<Vec<f64>>), ExplainError> {
         let target = self.repair_target(dcs, dirty, cell)?;
-        let game = ConstraintGame::new(self.alg, dcs, dirty, cell, target);
+        let game = self.constraint_game(dcs, dirty, cell, target);
         let matrix =
             trex_shapley::shapley_interaction_exact(&game).expect("constraint sets are small");
         let labels = (0..dcs.len())
@@ -275,7 +339,7 @@ impl<'a> Explainer<'a> {
         cell: CellRef,
     ) -> Result<Ranking, ExplainError> {
         let target = self.repair_target(dcs, dirty, cell)?;
-        let game = ConstraintGame::new(self.alg, dcs, dirty, cell, target);
+        let game = self.constraint_game(dcs, dirty, cell, target);
         let values = trex_shapley::banzhaf_exact(&game).expect("constraint sets are small");
         Ok(Ranking::new(
             values
@@ -396,7 +460,7 @@ impl<'a> Explainer<'a> {
         config: SamplingConfig,
     ) -> Result<CellExplanation, ExplainError> {
         let target = self.repair_target(dcs, dirty, cell)?;
-        let game = CellGameMasked::new(self.alg, dcs, dirty, cell, target.clone(), mode);
+        let game = self.masked_game(dcs, dirty, cell, target.clone(), mode);
         let schedule = self.schedule_for(Game::num_players(&game));
         let estimates = parallel::estimate_all_walk(
             &game,
@@ -439,7 +503,7 @@ impl<'a> Explainer<'a> {
         refine_samples: usize,
     ) -> Result<CellExplanation, ExplainError> {
         let target = self.repair_target(dcs, dirty, cell)?;
-        let game = CellGameMasked::new(self.alg, dcs, dirty, cell, target.clone(), mode);
+        let game = self.masked_game(dcs, dirty, cell, target.clone(), mode);
         let players = game.players().to_vec();
         let schedule = self.schedule_for(players.len());
         let screened = parallel::estimate_all_walk(
@@ -494,7 +558,7 @@ impl<'a> Explainer<'a> {
         mode: MaskMode,
     ) -> Result<CellExplanation, ExplainError> {
         let target = self.repair_target(dcs, dirty, cell)?;
-        let game = CellGameMasked::new(self.alg, dcs, dirty, cell, target.clone(), mode);
+        let game = self.masked_game(dcs, dirty, cell, target.clone(), mode);
         let players = game.players().to_vec();
         if players.len() > trex_shapley::MAX_EXACT_PLAYERS {
             return Err(ExplainError::TooManyCells {
@@ -892,6 +956,75 @@ mod tests {
                 .schedule(),
             Some(Schedule::PlayerSharded)
         );
+        assert_eq!(Explainer::new(&alg).oracle_capacity(), None);
+        assert_eq!(
+            Explainer::new(&alg)
+                .with_oracle_capacity(64)
+                .oracle_capacity(),
+            Some(64)
+        );
+    }
+
+    #[test]
+    fn bounded_oracle_capacity_does_not_change_any_explanation() {
+        // The bounded-memory acceptance criterion end to end: a tiny
+        // eviction-thrashing capacity (and a disabled cache) must reproduce
+        // the default explainer's output exactly, constraints and cells.
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let cfg = SamplingConfig {
+            samples: 300,
+            seed: 3,
+        };
+        let reference_cons = Explainer::new(&alg)
+            .explain_constraints(&dcs, &dirty, cell)
+            .unwrap();
+        let reference_cells = Explainer::new(&alg)
+            .explain_cells_masked(&dcs, &dirty, cell, MaskMode::Null, cfg)
+            .unwrap();
+        for capacity in [0usize, 3, 17, 1 << 20] {
+            let ex = Explainer::new(&alg).with_oracle_capacity(capacity);
+            let cons = ex.explain_constraints(&dcs, &dirty, cell).unwrap();
+            assert_eq!(cons.exact, reference_cons.exact, "capacity {capacity}");
+            let cells = ex
+                .explain_cells_masked(&dcs, &dirty, cell, MaskMode::Null, cfg)
+                .unwrap();
+            assert_eq!(cells.values, reference_cells.values, "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn work_stealing_explanations_are_thread_count_invariant() {
+        // The stealing schedule end to end: the adaptive explanation is
+        // identical at every thread count (its serial reference is the
+        // round-laddered estimator, pinned in trex-shapley).
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let config = AdaptiveConfig {
+            tolerance: 0.1,
+            batch: 30,
+            max_samples: 240,
+            ..AdaptiveConfig::default()
+        };
+        let run = |threads: usize| {
+            Explainer::new(&alg)
+                .with_threads(threads)
+                .with_schedule(Schedule::WorkStealing)
+                .explain_cells_adaptive(&dcs, &dirty, cell, config)
+                .unwrap()
+        };
+        let (serial, serial_conv) = run(1);
+        for threads in [2usize, 4] {
+            let (multi, multi_conv) = run(threads);
+            assert_eq!(serial.values, multi.values, "threads {threads}");
+            assert_eq!(serial_conv, multi_conv, "threads {threads}");
+        }
+        // The dummy cell still pins to zero under the round ladder.
+        assert_eq!(serial.ranking.get("t1[Place]").unwrap().value, 0.0);
     }
 
     #[test]

@@ -78,6 +78,28 @@ impl<'a> ConstraintGame<'a> {
         }
     }
 
+    /// Build the game with an explicit oracle cache capacity (entries):
+    /// the memo cache evicts (second-chance, per shard) once it holds
+    /// `capacity` coalition answers, so long explanations run in bounded
+    /// memory. Results are identical to [`ConstraintGame::new`] — eviction
+    /// only ever costs recomputation time.
+    pub fn with_oracle_capacity(
+        alg: &'a dyn RepairAlgorithm,
+        dcs: &'a [DenialConstraint],
+        dirty: &'a Table,
+        cell: CellRef,
+        target: Value,
+        capacity: usize,
+    ) -> Self {
+        ConstraintGame {
+            oracle: ShardedOracle::with_capacity(alg, capacity),
+            dcs,
+            dirty,
+            cell,
+            target,
+        }
+    }
+
     /// Disable oracle caching (ablation A1).
     pub fn without_cache(
         alg: &'a dyn RepairAlgorithm,
@@ -86,13 +108,7 @@ impl<'a> ConstraintGame<'a> {
         cell: CellRef,
         target: Value,
     ) -> Self {
-        ConstraintGame {
-            oracle: ShardedOracle::with_capacity(alg, 0),
-            dcs,
-            dirty,
-            cell,
-            target,
-        }
+        Self::with_oracle_capacity(alg, dcs, dirty, cell, target, 0)
     }
 
     /// Oracle cache statistics (hits/misses) accumulated so far.
@@ -157,6 +173,33 @@ impl<'a> CellGameMasked<'a> {
     ) -> Self {
         CellGameMasked {
             oracle: ShardedOracle::new(alg),
+            dcs,
+            dirty,
+            cell,
+            target,
+            players: cell_players(dirty, cell),
+            mode,
+        }
+    }
+
+    /// Build the game with an explicit oracle cache capacity (entries):
+    /// the memo cache evicts (second-chance, per shard) once it holds
+    /// `capacity` coalition answers — the knob that keeps week-long
+    /// sampling runs over large tables from growing the cache without
+    /// bound. Results are identical to [`CellGameMasked::new`]; eviction
+    /// only ever costs recomputation time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_oracle_capacity(
+        alg: &'a dyn RepairAlgorithm,
+        dcs: &'a [DenialConstraint],
+        dirty: &'a Table,
+        cell: CellRef,
+        target: Value,
+        mode: MaskMode,
+        capacity: usize,
+    ) -> Self {
+        CellGameMasked {
+            oracle: ShardedOracle::with_capacity(alg, capacity),
             dcs,
             dirty,
             cell,
@@ -341,7 +384,8 @@ mod tests {
             game.oracle_stats(),
             trex_repair::OracleStats {
                 hits: 0,
-                misses: 16
+                misses: 16,
+                evictions: 0
             }
         );
         // ...and a second solve (e.g. the rational cross-check an explainer

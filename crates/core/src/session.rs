@@ -30,6 +30,7 @@ pub struct Session {
     history: Vec<HistoryEntry>,
     threads: usize,
     schedule: Option<Schedule>,
+    oracle_capacity: Option<usize>,
 }
 
 impl Session {
@@ -43,6 +44,7 @@ impl Session {
             history: Vec::new(),
             threads: 1,
             schedule: None,
+            oracle_capacity: None,
         }
     }
 
@@ -74,14 +76,31 @@ impl Session {
         self.schedule
     }
 
+    /// Bound the repair-oracle memo cache of the session's explanations to
+    /// `capacity` entries (second-chance eviction once full; `0` disables
+    /// caching). Explanation results are unchanged at any capacity — the
+    /// knob trades recomputation time for bounded memory on long sessions
+    /// over large tables.
+    pub fn set_oracle_capacity(&mut self, capacity: usize) {
+        self.oracle_capacity = Some(capacity);
+    }
+
+    /// The pinned oracle capacity, if any (`None` = the oracle default).
+    pub fn oracle_capacity(&self) -> Option<usize> {
+        self.oracle_capacity
+    }
+
     /// The session's explainer: the wrapped algorithm with the session's
-    /// thread count and schedule applied.
+    /// thread count, schedule, and oracle capacity applied.
     fn explainer(&self) -> Explainer<'_> {
-        let ex = Explainer::new(self.alg.as_ref()).with_threads(self.threads);
-        match self.schedule {
-            Some(s) => ex.with_schedule(s),
-            None => ex,
+        let mut ex = Explainer::new(self.alg.as_ref()).with_threads(self.threads);
+        if let Some(s) = self.schedule {
+            ex = ex.with_schedule(s);
         }
+        if let Some(cap) = self.oracle_capacity {
+            ex = ex.with_oracle_capacity(cap);
+        }
+        ex
     }
 
     /// The current (possibly user-edited) dirty table.
@@ -133,7 +152,8 @@ impl Session {
         &self,
         cell: CellRef,
     ) -> Result<ConstraintExplanation, ExplainError> {
-        Explainer::new(self.alg.as_ref()).explain_constraints(&self.dcs, &self.table, cell)
+        self.explainer()
+            .explain_constraints(&self.dcs, &self.table, cell)
     }
 
     /// The "Explain" button, cell half (sampling estimator of §2.3).
@@ -393,6 +413,30 @@ mod tests {
         let sharded = a.explain_cells_masked(cell, MaskMode::Null, cfg).unwrap();
         let serial = b.explain_cells_masked(cell, MaskMode::Null, cfg).unwrap();
         assert_eq!(sharded.values, serial.values);
+    }
+
+    #[test]
+    fn session_oracle_capacity_preserves_results() {
+        let mut bounded = session();
+        let reference = session();
+        bounded.set_oracle_capacity(4);
+        assert_eq!(bounded.oracle_capacity(), Some(4));
+        assert_eq!(reference.oracle_capacity(), None);
+        let cell = laliga::cell_of_interest(bounded.table());
+        let cons = bounded.explain_constraints(cell).unwrap();
+        let want = reference.explain_constraints(cell).unwrap();
+        assert_eq!(cons.exact, want.exact);
+        let cfg = SamplingConfig {
+            samples: 200,
+            seed: 5,
+        };
+        let cells = bounded
+            .explain_cells_masked(cell, MaskMode::Null, cfg)
+            .unwrap();
+        let want = reference
+            .explain_cells_masked(cell, MaskMode::Null, cfg)
+            .unwrap();
+        assert_eq!(cells.values, want.values);
     }
 
     #[test]

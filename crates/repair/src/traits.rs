@@ -19,7 +19,7 @@
 
 use std::cell::RefCell;
 use std::collections::hash_map::{DefaultHasher, Entry};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -111,13 +111,17 @@ fn hash_value(v: &Value) -> u64 {
     h.finish()
 }
 
-/// Cache statistics of a [`CachedOracle`].
+/// Cache statistics of a [`CachedOracle`] / [`ShardedOracle`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OracleStats {
     /// Queries answered from the cache.
     pub hits: usize,
     /// Queries that ran the underlying repair.
     pub misses: usize,
+    /// Entries evicted to stay under the capacity bound (always 0 for
+    /// [`CachedOracle`], which stops inserting instead of evicting, and for
+    /// a [`ShardedOracle`] that never exceeded its capacity).
+    pub evictions: usize,
 }
 
 impl OracleStats {
@@ -212,6 +216,43 @@ impl<'a> CachedOracle<'a> {
 /// The memoization key: `(dcs, table, cell, target)` fingerprints.
 type OracleKey = (u64, u64, CellRef, u64);
 
+/// One cached answer plus its second-chance reference bit.
+struct CacheSlot {
+    answer: bool,
+    referenced: bool,
+}
+
+/// One mutex-guarded shard: the memo map plus the clock queue ordering its
+/// eviction candidates (the queue always holds exactly the map's keys).
+#[derive(Default)]
+struct OracleShard {
+    map: HashMap<OracleKey, CacheSlot>,
+    clock: VecDeque<OracleKey>,
+}
+
+impl OracleShard {
+    /// Evict one entry by the second-chance (clock) policy: sweep from the
+    /// oldest entry, giving each recently-hit entry one reprieve (clear its
+    /// bit, rotate it to the back) and evicting the first entry found
+    /// unreferenced. Bounded by one full lap — a lap clears every bit, so
+    /// the lap's survivor at the front is evictable.
+    fn evict_one(&mut self) {
+        for _ in 0..self.clock.len() {
+            let key = self.clock.pop_front().expect("clock tracks map keys");
+            let slot = self.map.get_mut(&key).expect("clock tracks map keys");
+            if slot.referenced {
+                slot.referenced = false;
+                self.clock.push_back(key);
+            } else {
+                self.map.remove(&key);
+                return;
+            }
+        }
+        let key = self.clock.pop_front().expect("clock tracks map keys");
+        self.map.remove(&key);
+    }
+}
+
 /// Thread-safe memoizing oracle: the [`CachedOracle`] contract behind a
 /// sharded lock so the parallel sampling workers can query it concurrently.
 ///
@@ -224,15 +265,31 @@ type OracleKey = (u64, u64, CellRef, u64);
 /// one that installs the key (see [`ShardedOracle::repairs_cell_to`]), so
 /// the same workload yields the same [`OracleStats`] at any thread count.
 ///
-/// The capacity bound is also sharded: each shard stops inserting at
-/// `capacity / shards` entries (minimum 1 for non-zero capacities), so
-/// total memory stays bounded like the serial oracle's.
+/// **Bounded memory.** The capacity is a hard bound on live entries: the
+/// per-shard quotas sum to exactly `capacity` (shard `i` gets
+/// `capacity / shards`, plus one of the remainder entries for the first
+/// `capacity % shards` shards; a non-zero capacity below the shard count
+/// clamps the shard count so every shard can hold at least one entry), and
+/// a shard at quota **evicts** by a
+/// per-shard second-chance (clock) policy before inserting — recently
+/// re-queried entries survive the sweep, cold entries go first. Long
+/// sampling runs over tables with millions of coalition variants therefore
+/// stop growing the cache instead of eating the heap, at the price of
+/// recomputing an evicted key if it is queried again (the recompute is
+/// counted as a fresh miss, and every eviction increments
+/// [`OracleStats::evictions`]). Results are *always* identical to an
+/// unbounded oracle — eviction only ever costs time, never changes an
+/// answer — and a capacity at least the live-key count of the workload
+/// evicts nothing at all.
 pub struct ShardedOracle<'a> {
     alg: &'a dyn RepairAlgorithm,
-    shard_capacity: usize,
-    shards: Vec<Mutex<HashMap<OracleKey, bool>>>,
+    /// Per-shard capacity quotas; index-aligned with `shards` and summing
+    /// to the constructor's total capacity.
+    shard_caps: Vec<usize>,
+    shards: Vec<Mutex<OracleShard>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 impl<'a> ShardedOracle<'a> {
@@ -263,21 +320,40 @@ impl<'a> ShardedOracle<'a> {
     /// *not* rounded up: shard selection reduces the key hash with a
     /// modulo (see [`Self::shard_of`]), not a bitmask, so an odd count
     /// distributes keys just as uniformly, and silently rounding would
-    /// change the per-shard capacity bound (`capacity / shards`) behind
-    /// the caller's back.
+    /// change the per-shard capacity quotas behind the caller's back.
+    ///
+    /// The default of [`ShardedOracle::DEFAULT_SHARDS`] (16) comes from the
+    /// `oracle_cache` bench's contention sweep (1/4/16/64 shards hammered
+    /// by up to 8 workers): 1 shard serializes every worker on one lock,
+    /// 4 still collide measurably at 8 workers, while 16 is within noise
+    /// of 64 on every machine profiled — so 16 takes the smallest
+    /// per-entry bookkeeping that already removes the contention.
     pub fn with_config(alg: &'a dyn RepairAlgorithm, capacity: usize, shards: usize) -> Self {
         assert!(shards >= 1, "need at least one shard");
-        let shard_capacity = if capacity == 0 {
-            0
+        // A tiny capacity takes fewer shards than requested: every shard
+        // must hold at least one entry, or the keys hashing to a quota-0
+        // shard would recompute on every query forever — far worse than a
+        // true N-entry cache. (Capacity 0 means caching is off; the shard
+        // count is then irrelevant.)
+        let shards = if capacity > 0 {
+            shards.min(capacity)
         } else {
-            (capacity / shards).max(1)
+            shards
         };
+        // Distribute the capacity exactly: quotas sum to `capacity`, so the
+        // bound on total live entries is the number the caller asked for.
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        let shard_caps = (0..shards).map(|i| base + usize::from(i < extra)).collect();
         ShardedOracle {
             alg,
-            shard_capacity,
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_caps,
+            shards: (0..shards)
+                .map(|_| Mutex::new(OracleShard::default()))
+                .collect(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
     }
 
@@ -291,12 +367,32 @@ impl<'a> ShardedOracle<'a> {
         self.shards.len()
     }
 
-    fn shard_of(&self, key: &OracleKey) -> &Mutex<HashMap<OracleKey, bool>> {
+    /// Total capacity (the sum of the per-shard quotas): the hard bound on
+    /// [`ShardedOracle::len`].
+    pub fn capacity(&self) -> usize {
+        self.shard_caps.iter().sum()
+    }
+
+    /// Number of live cached entries across all shards (always ≤
+    /// [`ShardedOracle::capacity`]).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("oracle shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_of(&self, key: &OracleKey) -> usize {
         // The table fingerprint is the high-entropy component: coalition
         // variants of one explanation differ almost exclusively there.
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        (h.finish() as usize) % self.shards.len()
     }
 
     /// Memoized `Alg|cell(dcs, table) == target` query; safe to call from
@@ -320,51 +416,75 @@ impl<'a> ShardedOracle<'a> {
         target: &Value,
     ) -> bool {
         let key = (hash_dcs(dcs), table.fingerprint(), cell, hash_value(target));
-        let shard = self.shard_of(&key);
-        if let Some(hit) = shard.lock().expect("oracle shard poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return *hit;
+        let idx = self.shard_of(&key);
+        {
+            let mut shard = self.shards[idx].lock().expect("oracle shard poisoned");
+            if let Some(slot) = shard.map.get_mut(&key) {
+                slot.referenced = true; // a hit earns its second chance
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return slot.answer;
+            }
         }
         let answer = repairs_cell_to(self.alg, dcs, table, cell, target);
-        let mut map = shard.lock().expect("oracle shard poisoned");
-        if let Some(cached) = map.get(&key) {
+        let mut shard = self.shards[idx].lock().expect("oracle shard poisoned");
+        if let Some(slot) = shard.map.get_mut(&key) {
             // Lost a cold-key race: another worker installed the key while
             // this one computed. The installer already recorded the miss;
             // this query is logically a hit (the deterministic oracle
-            // guarantees `*cached == answer`).
+            // guarantees `slot.answer == answer`).
+            slot.referenced = true;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return *cached;
+            return slot.answer;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        if map.len() < self.shard_capacity {
-            map.insert(key, answer);
+        let quota = self.shard_caps[idx];
+        if quota > 0 {
+            if shard.map.len() >= quota {
+                shard.evict_one();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            shard.map.insert(
+                key,
+                CacheSlot {
+                    answer,
+                    referenced: false,
+                },
+            );
+            shard.clock.push_back(key);
         }
         answer
     }
 
     /// Aggregated cache statistics so far.
     ///
-    /// Scheduling-independent: each distinct key accounts for exactly one
-    /// miss (the query that installed it — see
+    /// `hits + misses` always equals the number of queries answered.
+    /// Scheduling-independent below capacity: each distinct key accounts
+    /// for exactly one miss (the query that installed it — see
     /// [`ShardedOracle::repairs_cell_to`]), every other query of that key
     /// is a hit, so repeated runs of the same workload report identical
-    /// hit/miss totals at any thread count. The one exception is a
-    /// capacity-saturated cache, where uninstallable keys miss on every
-    /// query, as in [`CachedOracle`].
+    /// hit/miss totals at any thread count and `evictions` stays 0. Once
+    /// capacity pressure triggers evictions, a re-queried evicted key
+    /// recomputes (a fresh miss) and which key was evicted can depend on
+    /// query interleaving, so only the invariants — not the exact split —
+    /// are schedule-independent under pressure.
     pub fn stats(&self) -> OracleStats {
         OracleStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Drop all cached entries and reset statistics.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("oracle shard poisoned").clear();
+            let mut shard = shard.lock().expect("oracle shard poisoned");
+            shard.map.clear();
+            shard.clock.clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -769,6 +889,107 @@ mod tests {
         assert_eq!(oracle.stats(), serial.stats());
         assert_eq!(oracle.stats().misses, 3);
         assert_eq!(oracle.stats().hits, 2);
+    }
+
+    #[test]
+    fn sharded_oracle_capacity_is_a_hard_bound() {
+        let alg = CountingRepair {
+            need: 1,
+            calls: AtomicUsize::new(0),
+        };
+        // One shard so the whole capacity is one clock; 64 distinct keys
+        // through a capacity of 5.
+        let oracle = ShardedOracle::with_config(&alg, 5, 1);
+        assert_eq!(oracle.capacity(), 5);
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        for i in 0..64 {
+            let mut t = table();
+            t.set(cell, Value::str(format!("v{i}")));
+            let _ = oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED"));
+            assert!(oracle.len() <= 5, "len {} after key {i}", oracle.len());
+        }
+        let stats = oracle.stats();
+        assert_eq!(stats.misses, 64);
+        assert_eq!(stats.evictions, 64 - 5);
+        assert_eq!(oracle.len(), 5);
+        assert!(!oracle.is_empty());
+    }
+
+    #[test]
+    fn second_chance_keeps_the_hot_key() {
+        let alg = CountingRepair {
+            need: 1,
+            calls: AtomicUsize::new(0),
+        };
+        let oracle = ShardedOracle::with_config(&alg, 2, 1);
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        let keyed = |i: usize| {
+            let mut t = table();
+            t.set(cell, Value::str(format!("v{i}")));
+            t
+        };
+        let hot = keyed(0);
+        let _ = oracle.repairs_cell_to(&dcs, &hot, cell, &Value::str("FIXED"));
+        // Cycle cold keys through the second slot, re-touching the hot key
+        // between installs: its reference bit must survive every sweep.
+        for i in 1..12 {
+            let _ = oracle.repairs_cell_to(&dcs, &keyed(i), cell, &Value::str("FIXED"));
+            let calls_before = alg.calls();
+            let _ = oracle.repairs_cell_to(&dcs, &hot, cell, &Value::str("FIXED"));
+            assert_eq!(alg.calls(), calls_before, "hot key was evicted at {i}");
+        }
+    }
+
+    #[test]
+    fn evicted_key_recomputes_the_same_answer() {
+        let alg = CountingRepair {
+            need: 1,
+            calls: AtomicUsize::new(0),
+        };
+        let oracle = ShardedOracle::with_config(&alg, 1, 1);
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        let t = table();
+        let mut t2 = table();
+        t2.set(cell, Value::str("other"));
+        let first = oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED"));
+        let _ = oracle.repairs_cell_to(&dcs, &t2, cell, &Value::str("FIXED")); // evicts t's key
+        let again = oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED"));
+        assert_eq!(first, again);
+        let stats = oracle.stats();
+        assert_eq!(stats.misses, 3, "the re-query recomputes");
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.hits + stats.misses, 3, "every query is counted");
+    }
+
+    #[test]
+    fn capacity_below_shard_count_clamps_shards_and_bounds_exactly() {
+        // 3 entries through a requested 16 shards: the shard count clamps
+        // to 3 so every shard can hold an entry (a quota-0 shard would
+        // recompute its keys on every query forever), and the cache always
+        // fills to — never past — its full capacity under key pressure.
+        let alg = CountingRepair {
+            need: 1,
+            calls: AtomicUsize::new(0),
+        };
+        let oracle = ShardedOracle::with_config(&alg, 3, 16);
+        assert_eq!(oracle.capacity(), 3);
+        assert_eq!(oracle.num_shards(), 3, "shards clamp to capacity");
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        for i in 0..40 {
+            let mut t = table();
+            t.set(cell, Value::str(format!("v{i}")));
+            let _ = oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED"));
+            assert!(oracle.len() <= 3, "len {} after key {i}", oracle.len());
+        }
+        assert_eq!(oracle.len(), 3, "every shard holds its one entry");
+        // Capacity 0 still disables caching without touching shard count.
+        let off = ShardedOracle::with_config(&alg, 0, 16);
+        assert_eq!(off.num_shards(), 16);
+        assert_eq!(off.capacity(), 0);
     }
 
     #[test]

@@ -251,6 +251,58 @@ pub mod fixtures {
             }
         })
     }
+
+    /// The one-hot skewed *stochastic* game: player 0's marginal is a fair
+    /// ±1 coin flip (unit variance — its adaptive budget runs to the
+    /// sample cap, Shapley value 0), every other player is a dummy (zero
+    /// variance — stops at the minimum two batches). The canonical
+    /// workload for `Schedule::WorkStealing`: one player owning nearly the
+    /// whole adaptive budget, which whole-player claiming cannot balance.
+    ///
+    /// `work` iterations of integer mixing are burned per evaluation to
+    /// emulate the cost of a repair-oracle call (`0` for pure logic
+    /// tests; the scaling experiment uses tens of thousands so wall-time
+    /// differences are measurable).
+    pub fn one_hot(n: usize, work: u64) -> OneHotGame {
+        assert!(n >= 1, "need at least the hot player");
+        OneHotGame { n, work }
+    }
+
+    /// See [`one_hot`].
+    pub struct OneHotGame {
+        n: usize,
+        work: u64,
+    }
+
+    impl super::StochasticGame for OneHotGame {
+        fn num_players(&self) -> usize {
+            self.n
+        }
+
+        fn eval_pair(
+            &self,
+            _coalition: &Coalition,
+            player: usize,
+            rng: &mut dyn rand::RngCore,
+        ) -> (f64, f64) {
+            use rand::Rng;
+            if self.work > 0 {
+                // Deterministic busywork standing in for the black-box
+                // repair; the result feeds black_box so the spin cannot
+                // be elided.
+                let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ player as u64;
+                for i in 0..self.work {
+                    x = x.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(i);
+                }
+                std::hint::black_box(x);
+            }
+            if player == 0 {
+                (if rng.gen_bool(0.5) { 1.0 } else { -1.0 }, 0.0)
+            } else {
+                (0.0, 0.0)
+            }
+        }
+    }
 }
 
 #[cfg(test)]

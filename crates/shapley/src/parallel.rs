@@ -50,12 +50,15 @@
 use crate::convergence::RunningStats;
 use crate::game::{Coalition, Game, StochasticGame};
 use crate::sampling::{
-    marginal_sample, player_seed, random_permutation, walk_once, Estimate, SamplingConfig,
+    marginal_sample, player_seed, random_permutation, round_seed, splitmix64, walk_once, Estimate,
+    SamplingConfig,
 };
 use crate::stratified::{antithetic_chunk, stratified_chunk, stratified_estimate};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Upper bound on an explicit thread count. Far above any machine this
 /// workload meaningfully scales to; requests beyond it are almost certainly
@@ -123,6 +126,32 @@ pub enum Schedule {
     /// Parallelism is capped by the player count; prefer it whenever
     /// players comfortably outnumber workers.
     PlayerSharded,
+    /// [`Schedule::PlayerSharded`] plus round stealing on the adaptive
+    /// driver: workers claim whole players from the atomic queue as usual,
+    /// but a worker that drains the queue *steals unfinished rounds* of
+    /// another player's adaptive budget via per-player round counters, so
+    /// one expensive player no longer pins wall-time to a single core.
+    ///
+    /// Determinism contract: per-player seeds keep the
+    /// [`crate::sampling::player_seed`] ladder, and each adaptive round is
+    /// a pure function of `(player_seed, round)`
+    /// ([`crate::sampling::round_seed`]), folded back in **round order**
+    /// with the stopping rule evaluated only on folded prefixes. The
+    /// output is therefore bit-identical to the serial round-laddered
+    /// estimator [`crate::sampling::estimate_player_adaptive_rounds`] at
+    /// **any** thread count, regardless of which worker ran which round.
+    /// Note that the round ladder is a *different sample stream* than the
+    /// continuous-stream [`crate::sampling::estimate_player_adaptive`]
+    /// that [`Schedule::PlayerSharded`] replays — a sequential stream
+    /// cannot be split across workers — so the two schedules agree
+    /// statistically, not bitwise, on adaptive runs.
+    ///
+    /// On the fixed-budget drivers ([`estimate_all`],
+    /// [`estimate_all_walk`], [`estimate_all_stratified`],
+    /// [`estimate_all_antithetic`]) per-player budgets are uniform, whole-
+    /// player claiming already balances, and this schedule behaves exactly
+    /// like [`Schedule::PlayerSharded`].
+    WorkStealing,
 }
 
 impl Schedule {
@@ -136,12 +165,22 @@ impl Schedule {
     /// schedules are bit-identical to the serial estimators, but the
     /// sharded walk replay would pay its `2n`-evaluations-per-walk price
     /// with no parallelism to buy back.
+    /// `auto` never picks [`Schedule::WorkStealing`]: stealing changes the
+    /// adaptive sample stream (round ladder instead of one continuous
+    /// stream), so it stays an explicit opt-in — the default must keep
+    /// reproducing the historical serial estimates.
     pub fn auto(players: usize, threads: usize) -> Schedule {
         if threads > 1 && players >= 4 * threads {
             Schedule::PlayerSharded
         } else {
             Schedule::BudgetSplit
         }
+    }
+
+    /// Whether this schedule's all-player drivers claim whole players from
+    /// the atomic queue (the player-sharded family).
+    fn claims_players(self) -> bool {
+        matches!(self, Schedule::PlayerSharded | Schedule::WorkStealing)
     }
 }
 
@@ -150,6 +189,7 @@ impl std::fmt::Display for Schedule {
         match self {
             Schedule::BudgetSplit => write!(f, "budget"),
             Schedule::PlayerSharded => write!(f, "player"),
+            Schedule::WorkStealing => write!(f, "steal"),
         }
     }
 }
@@ -215,15 +255,6 @@ impl Default for ParallelConfig {
             schedule: Schedule::BudgetSplit,
         }
     }
-}
-
-/// SplitMix64 finalizer (Steele, Lea, Flood 2014) — the standard 64-bit
-/// mixer, used to decorrelate worker streams.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// The seed of worker `w`'s RNG stream.
@@ -394,7 +425,7 @@ pub fn estimate_player<G: StochasticGame + ?Sized>(
 pub fn estimate_all<G: StochasticGame + ?Sized>(game: &G, config: ParallelConfig) -> Vec<Estimate> {
     let n = game.num_players();
     assert!(config.threads >= 1, "threads must be >= 1");
-    if config.schedule == Schedule::PlayerSharded {
+    if config.schedule.claims_players() {
         return run_player_sharded(n, config.threads, |p| {
             stats_to_estimate(&player_chunk(
                 game,
@@ -497,7 +528,7 @@ fn walk_replay_player<G: Game + ?Sized>(
 pub fn estimate_all_walk<G: Game + ?Sized>(game: &G, config: ParallelConfig) -> Vec<Estimate> {
     let n = game.num_players();
     assert!(config.threads >= 1, "threads must be >= 1");
-    if config.schedule == Schedule::PlayerSharded {
+    if config.schedule.claims_players() {
         return run_player_sharded(n, config.threads, |p| {
             stats_to_estimate(&walk_replay_player(game, p, config.samples, config.seed))
         });
@@ -696,6 +727,204 @@ pub fn estimate_player_antithetic<G: StochasticGame + ?Sized>(
     stats_to_estimate(&merge_in_order(worker_stats))
 }
 
+/// One batch-sized round of a player's adaptive budget under the round
+/// ladder: `batch` marginal samples from a fresh RNG seeded
+/// [`round_seed`]`(seed, round)`. A pure function of its arguments — the
+/// relocatable unit of work the stealing schedule moves between workers.
+fn adaptive_round<G: StochasticGame + ?Sized>(
+    game: &G,
+    player: usize,
+    batch: usize,
+    seed: u64,
+    round: usize,
+) -> RunningStats {
+    let mut rng = StdRng::seed_from_u64(round_seed(seed, round));
+    let mut stats = RunningStats::new();
+    for _ in 0..batch {
+        stats.push(marginal_sample(game, player, &mut rng));
+    }
+    stats
+}
+
+/// Fold state of one player under the stealing schedule. Rounds complete in
+/// arbitrary order (any worker may have computed any round); `pending`
+/// buffers out-of-order rounds and `folded` is always the merge of rounds
+/// `0..next_fold` *in round order* — the stopping rule only ever sees these
+/// contiguous prefixes, which is what makes the decision, and therefore the
+/// result, independent of scheduling.
+struct StealProgress {
+    pending: BTreeMap<usize, RunningStats>,
+    folded: RunningStats,
+    next_fold: usize,
+    done: Option<(Estimate, bool)>,
+}
+
+/// Shared per-player coordination of the stealing schedule.
+struct StealSlot {
+    /// Next unclaimed round index (claimed with `fetch_add`; claims past
+    /// the round cap or after `finished` do no work).
+    next_round: AtomicUsize,
+    /// Fast-path flag mirroring `progress.done.is_some()`.
+    finished: AtomicBool,
+    progress: Mutex<StealProgress>,
+}
+
+impl StealSlot {
+    fn new() -> Self {
+        StealSlot {
+            next_round: AtomicUsize::new(0),
+            finished: AtomicBool::new(false),
+            progress: Mutex::new(StealProgress {
+                pending: BTreeMap::new(),
+                folded: RunningStats::new(),
+                next_fold: 0,
+                done: None,
+            }),
+        }
+    }
+}
+
+/// The [`Schedule::WorkStealing`] engine behind [`estimate_all_adaptive`]:
+/// workers claim whole players from an atomic queue (phase 1, exactly like
+/// [`run_player_sharded`]), and a worker that drains the queue steals
+/// unclaimed *rounds* of still-unfinished players (phase 2), so one
+/// expensive player's budget spreads across every idle core.
+///
+/// Output is bit-identical to the serial
+/// [`crate::sampling::estimate_player_adaptive_rounds`] loop (with the
+/// [`player_seed`] ladder) at any thread count: rounds are pure functions
+/// of `(player_seed, round)`, they fold in round order, and the stopping
+/// rule replays the serial checks on each folded prefix. Rounds computed
+/// past the deterministic stopping round are discarded — bounded
+/// speculation (at most one in-flight round per worker plus the claims
+/// issued before the finished flag was observed), the price of letting
+/// workers run ahead without a barrier.
+fn steal_all_adaptive<G: StochasticGame + ?Sized>(
+    game: &G,
+    tolerance: f64,
+    z: f64,
+    batch: usize,
+    max_samples: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<(Estimate, bool)> {
+    let n = game.num_players();
+    assert!(batch > 0, "batch must be positive");
+    if threads == 1 || n <= 1 {
+        // The contract says any thread count replays the serial round
+        // ladder, so run it directly instead of paying the coordination.
+        return (0..n)
+            .map(|p| {
+                crate::sampling::estimate_player_adaptive_rounds(
+                    game,
+                    p,
+                    tolerance,
+                    z,
+                    batch,
+                    max_samples,
+                    player_seed(seed, p),
+                )
+            })
+            .collect();
+    }
+    // The serial loop stops, converged or not, by the time the sample count
+    // reaches `max_samples` — i.e. within ceil(max_samples / batch) rounds
+    // (and it always runs at least one round). Claims past this cap can
+    // never be folded, so they are refused instead of computed.
+    let max_rounds = max_samples.div_ceil(batch).max(1);
+    let slots: Vec<StealSlot> = (0..n).map(|_| StealSlot::new()).collect();
+    let next_player = AtomicUsize::new(0);
+    let finished_players = AtomicUsize::new(0);
+
+    // Claim and compute one round of player `p`; fold it and evaluate the
+    // stopping rule on every newly contiguous prefix. Returns false when
+    // the player needs no further work from this worker (finished, or all
+    // claimable rounds already handed out).
+    let try_round = |p: usize| -> bool {
+        let slot = &slots[p];
+        if slot.finished.load(Ordering::Acquire) {
+            return false;
+        }
+        let round = slot.next_round.fetch_add(1, Ordering::Relaxed);
+        if round >= max_rounds {
+            return false;
+        }
+        let stats = adaptive_round(game, p, batch, player_seed(seed, p), round);
+        let mut prog = slot.progress.lock().expect("steal slot poisoned");
+        if prog.done.is_some() {
+            return false; // speculative overshoot — discard
+        }
+        prog.pending.insert(round, stats);
+        while let Some(stats) = {
+            let next = prog.next_fold;
+            prog.pending.remove(&next)
+        } {
+            prog.folded.merge(&stats);
+            prog.next_fold += 1;
+            let est = stats_to_estimate(&prog.folded);
+            // The serial stopping checks, verbatim, on the folded prefix.
+            let decision = if prog.folded.count() >= 2 * batch && est.ci_half_width(z) <= tolerance
+            {
+                Some((est, true))
+            } else if prog.folded.count() >= max_samples {
+                Some((est, false))
+            } else {
+                None
+            };
+            if let Some(done) = decision {
+                prog.done = Some(done);
+                prog.pending.clear();
+                slot.finished.store(true, Ordering::Release);
+                finished_players.fetch_add(1, Ordering::AcqRel);
+                return false;
+            }
+        }
+        true
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| {
+                // Phase 1: own whole players from the queue, like the
+                // player-sharded schedule.
+                loop {
+                    let p = next_player.fetch_add(1, Ordering::Relaxed);
+                    if p >= n {
+                        break;
+                    }
+                    while try_round(p) {}
+                }
+                // Phase 2: the queue is drained — steal rounds from
+                // whichever players are still running.
+                while finished_players.load(Ordering::Acquire) < n {
+                    let mut worked = false;
+                    for p in 0..n {
+                        if try_round(p) {
+                            worked = true;
+                        }
+                    }
+                    if !worked {
+                        // Every remaining round is in flight on some other
+                        // worker; don't spin the lock.
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.progress
+                .into_inner()
+                .expect("steal slot poisoned")
+                .done
+                .expect("every player reaches a stopping decision")
+        })
+        .collect()
+}
+
 /// All-player adaptive driver: estimate every player with
 /// [`estimate_player_adaptive`] semantics, seeds laddered by
 /// [`player_seed`] exactly like [`crate::sampling::estimate_all`]. Returns
@@ -707,6 +936,12 @@ pub fn estimate_player_antithetic<G: StochasticGame + ?Sized>(
 /// natural schedule here: adaptive budgets are uneven across players
 /// (dummies stop after two batches, contested cells run to the cap), which
 /// the claim queue load-balances for free. Under
+/// [`Schedule::WorkStealing`], workers additionally steal *rounds* of
+/// unfinished players once the queue drains ([`steal_all_adaptive`]) —
+/// output identical to the serial round-laddered
+/// [`crate::sampling::estimate_player_adaptive_rounds`] loop at any thread
+/// count, and the schedule to pick when one hot player dominates the
+/// budget (player-sharding would pin its whole budget to one core). Under
 /// [`Schedule::BudgetSplit`], players are processed in order with each
 /// player's rounds split across all workers (deterministic per
 /// `(seed, threads)`).
@@ -724,6 +959,9 @@ pub fn estimate_all_adaptive<G: StochasticGame + ?Sized>(
     let n = game.num_players();
     assert!(threads >= 1, "threads must be >= 1");
     match schedule {
+        Schedule::WorkStealing => {
+            steal_all_adaptive(game, tolerance, z, batch, max_samples, seed, threads)
+        }
         Schedule::PlayerSharded => run_player_sharded(n, threads, |p| {
             crate::sampling::estimate_player_adaptive(
                 game,
@@ -769,7 +1007,7 @@ pub fn estimate_all_stratified<G: StochasticGame + ?Sized>(
     let n = game.num_players();
     assert!(threads >= 1, "threads must be >= 1");
     match schedule {
-        Schedule::PlayerSharded => run_player_sharded(n, threads, |p| {
+        Schedule::PlayerSharded | Schedule::WorkStealing => run_player_sharded(n, threads, |p| {
             crate::stratified::estimate_player_stratified(
                 game,
                 p,
@@ -808,7 +1046,7 @@ pub fn estimate_all_antithetic<G: StochasticGame + ?Sized>(
     let n = game.num_players();
     assert!(threads >= 1, "threads must be >= 1");
     match schedule {
-        Schedule::PlayerSharded => run_player_sharded(n, threads, |p| {
+        Schedule::PlayerSharded | Schedule::WorkStealing => run_player_sharded(n, threads, |p| {
             crate::stratified::estimate_player_antithetic(game, p, pairs, player_seed(seed, p))
         }),
         Schedule::BudgetSplit => (0..n)
@@ -1268,6 +1506,131 @@ mod tests {
             Schedule::PlayerSharded
         );
         assert_eq!(Schedule::default(), Schedule::BudgetSplit);
+    }
+
+    #[test]
+    fn work_stealing_adaptive_matches_the_serial_round_ladder() {
+        // The one-hot fixture is the shape the stealing schedule exists
+        // for: player 0's budget runs to the cap, everyone else stops at
+        // two batches.
+        let g = fixtures::one_hot(9, 0);
+        // ±1 marginals have unit variance: a 0.03 half-width needs ~4300
+        // samples, so the 2000-sample cap bites and the hot player runs
+        // every round while the dummies stop at two batches.
+        let serial: Vec<(Estimate, bool)> = (0..9)
+            .map(|p| {
+                sampling::estimate_player_adaptive_rounds(
+                    &g,
+                    p,
+                    0.03,
+                    1.96,
+                    25,
+                    2000,
+                    player_seed(7, p),
+                )
+            })
+            .collect();
+        assert!(!serial[0].1);
+        assert_eq!(serial[0].0.samples, 2000);
+        assert!(serial[1].1);
+        assert_eq!(serial[1].0.samples, 50);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let par =
+                estimate_all_adaptive(&g, 0.03, 1.96, 25, 2000, 7, threads, Schedule::WorkStealing);
+            assert_eq!(serial, par, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn work_stealing_adaptive_matches_serial_on_a_fixture_game() {
+        // Also pin on a game whose eval consumes the RNG (replacement-style
+        // draw counts vary), so the round ladder's independence from worker
+        // interleaving is exercised with real RNG consumption.
+        let g = fixtures::gloves(3, 4);
+        let serial: Vec<(Estimate, bool)> = (0..7)
+            .map(|p| {
+                sampling::estimate_player_adaptive_rounds(
+                    &g,
+                    p,
+                    0.08,
+                    1.96,
+                    30,
+                    1500,
+                    player_seed(3, p),
+                )
+            })
+            .collect();
+        for threads in [2usize, 4, 7] {
+            let par =
+                estimate_all_adaptive(&g, 0.08, 1.96, 30, 1500, 3, threads, Schedule::WorkStealing);
+            assert_eq!(serial, par, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn work_stealing_caps_in_whole_rounds() {
+        let g = fixtures::one_hot(3, 0);
+        for threads in [1usize, 2, 4] {
+            let out =
+                estimate_all_adaptive(&g, 1e-12, 1.96, 10, 95, 5, threads, Schedule::WorkStealing);
+            // ceil(95 / 10) = 10 rounds → exactly 100 samples at the cap.
+            assert_eq!(out[0].0.samples, 100, "threads {threads}");
+            assert!(!out[0].1);
+        }
+    }
+
+    #[test]
+    fn work_stealing_fixed_budget_drivers_fall_back_to_player_sharding() {
+        let g = fixtures::majority(9);
+        let cfg = SamplingConfig {
+            samples: 120,
+            seed: 13,
+        };
+        let serial = sampling::estimate_all(&g, cfg);
+        let walk_serial = sampling::estimate_all_walk(&g, cfg);
+        for threads in [1usize, 2, 4] {
+            let par = estimate_all(
+                &g,
+                ParallelConfig::from_sampling(cfg, threads).with_schedule(Schedule::WorkStealing),
+            );
+            assert_estimates_eq(&serial, &par);
+            let walk = estimate_all_walk(
+                &g,
+                ParallelConfig::from_sampling(cfg, threads).with_schedule(Schedule::WorkStealing),
+            );
+            assert_estimates_eq(&walk_serial, &walk);
+            assert_estimates_eq(
+                &estimate_all_stratified(&g, 20, 3, threads, Schedule::WorkStealing),
+                &estimate_all_stratified(&g, 20, 3, 1, Schedule::PlayerSharded),
+            );
+            assert_estimates_eq(
+                &estimate_all_antithetic(&g, 30, 3, threads, Schedule::WorkStealing),
+                &estimate_all_antithetic(&g, 30, 3, 1, Schedule::PlayerSharded),
+            );
+        }
+    }
+
+    #[test]
+    fn work_stealing_converges_to_exact_values() {
+        let g = fixtures::gloves(2, 3);
+        let exact = shapley_exact(&g).unwrap();
+        let out =
+            estimate_all_adaptive(&g, 0.02, 1.96, 200, 100_000, 11, 4, Schedule::WorkStealing);
+        for (p, want) in exact.iter().enumerate() {
+            assert!(
+                (out[p].0.value - want).abs() < 0.05,
+                "player {p}: {} vs {want}",
+                out[p].0.value
+            );
+        }
+    }
+
+    #[test]
+    fn steal_schedule_display_and_family() {
+        assert_eq!(Schedule::WorkStealing.to_string(), "steal");
+        assert!(Schedule::WorkStealing.claims_players());
+        assert!(Schedule::PlayerSharded.claims_players());
+        assert!(!Schedule::BudgetSplit.claims_players());
     }
 
     #[test]

@@ -85,6 +85,35 @@ pub fn player_seed(seed: u64, player: usize) -> u64 {
     seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(player as u64 + 1))
 }
 
+/// SplitMix64 finalizer (Steele, Lea, Flood 2014) — the standard 64-bit
+/// mixer. One copy serves every seed ladder in the crate: the parallel
+/// engine's worker streams and the round ladder below must all decorrelate
+/// with the same function, or two ladders could collide.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The derived seed of `round` in the round-laddered adaptive estimator
+/// ([`estimate_player_adaptive_rounds`]): round 0 keeps the (per-player)
+/// seed unmodified, later rounds xor a SplitMix64 hash of their index.
+///
+/// Laddering per *round* instead of running one continuous stream is what
+/// makes a round a relocatable unit of work: any worker can compute round
+/// `r` of any player from `(seed, r)` alone, so the work-stealing schedule
+/// (`trex_shapley::parallel::Schedule::WorkStealing`) can spread one
+/// player's rounds across workers and still merge, in round order, to the
+/// exact statistics of the serial round-laddered loop.
+pub fn round_seed(seed: u64, round: usize) -> u64 {
+    if round == 0 {
+        seed
+    } else {
+        seed ^ splitmix64(round as u64)
+    }
+}
+
 /// Draw a uniform permutation of `0..n` (Fisher–Yates).
 ///
 /// Shared with [`crate::parallel`]: the serial and parallel estimators must
@@ -239,6 +268,61 @@ pub fn estimate_player_adaptive<G: StochasticGame + ?Sized>(
     }
 }
 
+/// Round-laddered adaptive estimation of one player: the stopping rule of
+/// [`estimate_player_adaptive`] (same `batch`/`tolerance`/`z`/`max_samples`
+/// semantics), but round `r` draws its `batch` samples from a *fresh* RNG
+/// seeded [`round_seed`]`(seed, r)` instead of continuing one sequential
+/// stream.
+///
+/// This is the **serial reference of the work-stealing schedule**
+/// (`trex_shapley::parallel::Schedule::WorkStealing`): because every round
+/// is a pure function of `(seed, round)`, rounds can be computed on any
+/// worker in any order and folded back in round order, reproducing this
+/// function bit for bit at any thread count. The price is a different (but
+/// equally valid) sample stream than [`estimate_player_adaptive`] — the two
+/// estimators agree statistically, not bitwise. A sequential stream cannot
+/// be split across workers: each round's RNG state would depend on all
+/// previous rounds' draws.
+pub fn estimate_player_adaptive_rounds<G: StochasticGame + ?Sized>(
+    game: &G,
+    player: usize,
+    tolerance: f64,
+    z: f64,
+    batch: usize,
+    max_samples: usize,
+    seed: u64,
+) -> (Estimate, bool) {
+    let n = game.num_players();
+    assert!(player < n, "player {player} out of range");
+    assert!(batch > 0, "batch must be positive");
+    let mut stats = RunningStats::new();
+    for round in 0.. {
+        let mut rng = StdRng::seed_from_u64(round_seed(seed, round));
+        // Accumulate the round separately, then combine with the exact
+        // parallel-Welford merge: the work-stealing engine folds whole
+        // rounds, and the fold arithmetic is part of the bitwise contract.
+        let mut round_stats = RunningStats::new();
+        for _ in 0..batch {
+            round_stats.push(marginal_sample(game, player, &mut rng));
+        }
+        stats.merge(&round_stats);
+        let est = Estimate {
+            value: stats.mean(),
+            std_dev: stats.std_dev(),
+            samples: stats.count(),
+        };
+        // The exact stopping rule of `estimate_player_adaptive`: at least
+        // two batches before trusting the variance, then the CI check.
+        if stats.count() >= 2 * batch && est.ci_half_width(z) <= tolerance {
+            return (est, true);
+        }
+        if stats.count() >= max_samples {
+            return (est, false);
+        }
+    }
+    unreachable!("the sample cap terminates the round loop")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +430,39 @@ mod tests {
         let g = fixtures::gloves(2, 2);
         let (_est, converged) = estimate_player_adaptive(&g, 0, 1e-9, 1.96, 10, 50, 7);
         assert!(!converged);
+    }
+
+    #[test]
+    fn round_ladder_keeps_round_zero_and_decorrelates_the_rest() {
+        assert_eq!(round_seed(99, 0), 99, "round 0 keeps the player seed");
+        let seeds: Vec<u64> = (0..50).map(|r| round_seed(99, r)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "round seeds must not collide");
+    }
+
+    #[test]
+    fn adaptive_rounds_converges_and_respects_the_cap() {
+        let g = fixtures::unanimity(6, vec![0, 1, 2]);
+        let (est, converged) = estimate_player_adaptive_rounds(&g, 0, 0.02, 1.96, 500, 200_000, 7);
+        assert!(converged);
+        assert!((est.value - 1.0 / 3.0).abs() < 0.05);
+        let (est, converged) = estimate_player_adaptive_rounds(&g, 0, 1e-12, 1.96, 10, 100, 7);
+        assert!(!converged);
+        assert_eq!(est.samples, 100, "cap reached in whole batches");
+    }
+
+    #[test]
+    fn adaptive_rounds_is_deterministic_and_stops_dummies_early() {
+        let g = fixtures::paper_example_2_3();
+        let a = estimate_player_adaptive_rounds(&g, 3, 0.05, 1.96, 40, 4000, 11);
+        let b = estimate_player_adaptive_rounds(&g, 3, 0.05, 1.96, 40, 4000, 11);
+        assert_eq!(a, b);
+        // Player 3 is a dummy: zero variance, stop at exactly two batches.
+        assert!(a.1);
+        assert_eq!(a.0.samples, 80);
+        assert_eq!(a.0.value, 0.0);
     }
 
     #[test]

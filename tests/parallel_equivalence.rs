@@ -14,7 +14,13 @@
 //! * `Schedule::PlayerSharded` is **identical to the serial estimators at
 //!   any thread count** (the strictly stronger contract), and the
 //!   giant-bucket block split keeps `find_violations_par` serial-identical
-//!   on a table whose rows all share one equality-bucket key.
+//!   on a table whose rows all share one equality-bucket key;
+//! * `Schedule::WorkStealing` is identical at any thread count to the
+//!   serial *round-laddered* adaptive estimator
+//!   (`sampling::estimate_player_adaptive_rounds` under the `player_seed`
+//!   ladder) — pinned on a skewed-adaptive fixture where one hot player
+//!   owns an order of magnitude more budget than the rest, the exact shape
+//!   round stealing exists for.
 //!
 //! CI's thread-matrix job re-runs this file with `TREX_TEST_THREADS` set to
 //! 1/2/4/8 on a machine with real cores; the variable adds that count to
@@ -272,6 +278,91 @@ fn player_sharded_adaptive_driver_is_serial_identical() {
             9,
             threads,
             Schedule::PlayerSharded,
+        );
+        assert_eq!(serial, par, "threads = {threads}");
+    }
+}
+
+#[test]
+fn work_stealing_is_serial_identical_on_the_skewed_adaptive_fixture() {
+    // Acceptance criterion of the stealing schedule: bit-identical
+    // per-player estimates to the serial (round-laddered) estimator at
+    // thread counts 1/2/4/8 (and the CI matrix count) on the one-hot
+    // fixture — player 0's ±1 coin-flip marginal needs > 10× every other
+    // player's budget, so every worker ends up computing rounds of the
+    // same player, the hardest case for the determinism contract.
+    let game = trex_shapley::game::fixtures::one_hot(9, 0);
+    let n = StochasticGame::num_players(&game);
+    let (tol, z, batch, cap, seed) = (0.03f64, 1.96f64, 25usize, 2000usize, 7u64);
+    let serial: Vec<(trex_shapley::Estimate, bool)> = (0..n)
+        .map(|p| {
+            sampling::estimate_player_adaptive_rounds(
+                &game,
+                p,
+                tol,
+                z,
+                batch,
+                cap,
+                trex_shapley::player_seed(seed, p),
+            )
+        })
+        .collect();
+    // The skew is real: the hot player runs to the cap (2000 samples), the
+    // dummies stop at two batches (50) — a 40× budget ratio.
+    assert!(!serial[0].1, "the hot player must exhaust its budget");
+    assert_eq!(serial[0].0.samples, cap);
+    for dummy in &serial[1..] {
+        assert!(dummy.1);
+        assert_eq!(dummy.0.samples, 2 * batch);
+    }
+    for threads in thread_counts(&[1, 2, 4, 8]) {
+        let par = parallel::estimate_all_adaptive(
+            &game,
+            tol,
+            z,
+            batch,
+            cap,
+            seed,
+            threads,
+            Schedule::WorkStealing,
+        );
+        assert_eq!(serial, par, "threads = {threads}");
+    }
+}
+
+#[test]
+fn work_stealing_is_serial_identical_on_the_laliga_cell_game() {
+    // The same contract on the paper's own replacement-semantics cell game
+    // over the shared repair oracle (uneven RNG consumption per eval).
+    let dirty = laliga::dirty_table();
+    let dcs = laliga::constraints();
+    let alg = laliga::algorithm1();
+    let serial: Vec<_> = {
+        let game = sampled_game(&alg, &dcs, &dirty);
+        (0..StochasticGame::num_players(&game))
+            .map(|p| {
+                sampling::estimate_player_adaptive_rounds(
+                    &game,
+                    p,
+                    0.15,
+                    1.96,
+                    15,
+                    120,
+                    trex_shapley::player_seed(9, p),
+                )
+            })
+            .collect()
+    };
+    for threads in thread_counts(&[1, 2, 4]) {
+        let par = parallel::estimate_all_adaptive(
+            &sampled_game(&alg, &dcs, &dirty),
+            0.15,
+            1.96,
+            15,
+            120,
+            9,
+            threads,
+            Schedule::WorkStealing,
         );
         assert_eq!(serial, par, "threads = {threads}");
     }

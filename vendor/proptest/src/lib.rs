@@ -1,0 +1,752 @@
+//! Offline shim for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The workspace builds in a container with no network access, so the real
+//! `proptest` cannot be fetched — and without it the property-test modules
+//! gated behind the workspace's `proptest` feature never ran at all. This
+//! crate provides the exact API subset those modules use, source-compatible
+//! with proptest 1.x:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map` / `boxed`,
+//!   implemented for ranges, tuples, [`strategy::Just`], and
+//!   character-class string patterns (`"[a-z0-9]{0,12}"`);
+//! * [`collection::vec`] / [`collection::hash_set`], [`bool::ANY`],
+//!   [`arbitrary::any`];
+//! * the [`proptest!`] harness macro with `#![proptest_config(...)]`,
+//!   plus [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_oneof!`].
+//!
+//! Two deliberate simplifications, both safe for this workspace:
+//!
+//! 1. **No shrinking.** A failing case reports its generated inputs
+//!    verbatim (`Debug`) instead of minimizing them first. Failures stay
+//!    reproducible — the case seed is derived from the test name, so a red
+//!    run replays identically.
+//! 2. **Plain uniform generation.** The real crate biases toward edge
+//!    cases; the shim samples uniformly from the declared strategy. The
+//!    workspace's properties are invariants over the whole domain, not
+//!    boundary hunts, so coverage differs only statistically.
+//!
+//! Swap the path dependency for the registry crate to get shrinking and
+//! biased generation back — the gated modules compile against either.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use super::StdRng;
+    use rand::Rng;
+
+    /// A source of random values of one type. The shim's strategies are
+    /// pure generators: no shrinking state, just `(strategy, rng) → value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value: std::fmt::Debug;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map generated values through `f` (proptest's `prop_map`).
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: std::fmt::Debug,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Build a second strategy from each generated value and draw from
+        /// it (proptest's `prop_flat_map`).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erase the strategy (needed by [`crate::prop_oneof!`], whose
+        /// arms have distinct concrete types).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: std::fmt::Debug,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A type-erased strategy (see [`Strategy::boxed`]).
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// A uniform choice between boxed alternatives — the engine behind
+    /// [`crate::prop_oneof!`].
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T: std::fmt::Debug> Union<T> {
+        /// Build from the (non-empty) list of alternatives.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<T: std::fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let arm = rng.gen_range(0..self.0.len());
+            self.0[arm].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut StdRng) -> f32 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A / 0)
+        (A / 0, B / 1)
+        (A / 0, B / 1, C / 2)
+        (A / 0, B / 1, C / 2, D / 3)
+    }
+
+    /// `&str` patterns act as string strategies, as in the real crate. The
+    /// shim supports the subset the workspace uses: one character class
+    /// with literal characters and `a-z` ranges, followed by a `{lo,hi}`
+    /// repetition — e.g. `"[a-zA-Z0-9 ,]{0,10}"`. Any other pattern is
+    /// treated as a literal string.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            match parse_class_pattern(self) {
+                Some((alphabet, lo, hi)) => {
+                    let len = rng.gen_range(lo..=hi);
+                    (0..len)
+                        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+                        .collect()
+                }
+                None => (*self).to_string(),
+            }
+        }
+    }
+
+    /// Parse `[class]{lo,hi}` into (alphabet, lo, hi); `None` for anything
+    /// else.
+    fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            // `a-z` range (a dash with neighbors on both sides); a leading
+            // or trailing dash is a literal.
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i], class[i + 2]);
+                for c in lo..=hi {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        let reps = rest[close + 1..]
+            .strip_prefix('{')?
+            .strip_suffix('}')?
+            .split_once(',')?;
+        let lo: usize = reps.0.trim().parse().ok()?;
+        let hi: usize = reps.1.trim().parse().ok()?;
+        if alphabet.is_empty() || lo > hi {
+            return None;
+        }
+        Some((alphabet, lo, hi))
+    }
+}
+
+/// `any::<T>()` — full-domain strategies per type.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::RngCore;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// The strategy [`any`] returns.
+        type Strategy: Strategy<Value = Self>;
+        /// Build the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy of `A` (proptest's `any::<A>()`).
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    /// Full-domain strategy for one primitive (the `Strategy` types behind
+    /// [`Arbitrary`]).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyPrimitive<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyPrimitive<bool>;
+        fn arbitrary() -> Self::Strategy {
+            AnyPrimitive(std::marker::PhantomData)
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::RngCore;
+
+    /// The type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// A uniform coin flip.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, hash_set}`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+
+    /// A collection size specification: an exact length or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi_inclusive: exact,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.lo..=self.hi_inclusive)
+        }
+    }
+
+    /// `Vec` strategy: `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `HashSet` strategy: draws until the target size is reached (the
+    /// element domain must be able to supply that many distinct values).
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + std::hash::Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + std::hash::Hash,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.draw(rng);
+            let mut out = std::collections::HashSet::new();
+            // Collisions are expected (small domains); cap the attempts so
+            // an impossible target fails loudly instead of spinning.
+            let mut attempts = 0usize;
+            while out.len() < target {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+                assert!(
+                    attempts < 100 * (target + 1),
+                    "hash_set: domain cannot supply {target} distinct values"
+                );
+            }
+            out
+        }
+    }
+}
+
+/// Test-runner types: the failure type and the per-test configuration.
+pub mod test_runner {
+    /// A failed property case (what `prop_assert!` returns).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Build from a failure message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Per-`proptest!` configuration. Only `cases` is honored by the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A default configuration with `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// The glob import the property-test modules start with.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Derive the deterministic base seed of one property from its name: the
+/// shim has no global RNG state, so a failing property replays identically
+/// on every run.
+pub fn seed_of(test_name: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut h);
+    h.finish()
+}
+
+/// Build the seeded case RNG ([`proptest!`] expansion detail — keeps user
+/// crates from needing their own `rand` dependency for the macro).
+#[doc(hidden)]
+pub fn __new_rng(seed: u64) -> StdRng {
+    <StdRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+/// Uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Property assertion: fails the current case (with generated inputs in the
+/// message) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}\n  both: {:?}",
+            format!($($fmt)+),
+            left
+        );
+    }};
+}
+
+/// The property-test harness: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running `cases` random cases.
+///
+/// The body runs inside a closure returning
+/// `Result<(), TestCaseError>` — `prop_assert!` family failures and
+/// explicit `return Ok(())` early-exits both work as in the real crate. No
+/// shrinking: a failure reports the generated inputs directly.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::__new_rng($crate::seed_of(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            )));
+            // Bind each strategy once, under its argument's name; the
+            // per-case `let` below shadows them with generated values.
+            let ($($arg,)+) = ($($strat,)+);
+            for __case in 0..__config.cases {
+                let ($($arg,)+) = (
+                    $($crate::strategy::Strategy::generate(&$arg, &mut __rng),)+
+                );
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}\n  inputs: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        e,
+                        __inputs
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn ranges_tuples_and_just_generate_in_domain() {
+        let mut rng = crate::__new_rng(1);
+        let strat = (0usize..5, Just("x"), 1u64..=3);
+        for _ in 0..200 {
+            let (a, b, c) = strat.generate(&mut rng);
+            assert!(a < 5);
+            assert_eq!(b, "x");
+            assert!((1..=3).contains(&c));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = crate::collection::vec(0i64..100, 0..10);
+        let run = |seed| {
+            let mut rng = crate::__new_rng(seed);
+            (0..20)
+                .map(|_| strat.generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn string_patterns_honor_class_and_length() {
+        let mut rng = crate::__new_rng(3);
+        let strat = "[a-c0-1 ]{2,5}";
+        for _ in 0..300 {
+            let s = strat.generate(&mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| "abc01 ".contains(c)), "{s:?}");
+        }
+        // Non-pattern strings are literals.
+        assert_eq!("plain".generate(&mut rng), "plain");
+    }
+
+    #[test]
+    fn oneof_hits_every_arm_and_hash_set_hits_its_size() {
+        let mut rng = crate::__new_rng(5);
+        let strat = prop_oneof![Just(0usize), Just(1usize), Just(2usize)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let sets = crate::collection::hash_set(0usize..4, 1..3);
+        for _ in 0..100 {
+            let s = sets.generate(&mut rng);
+            assert!((1..=2).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn flat_map_feeds_the_outer_draw_through() {
+        let mut rng = crate::__new_rng(9);
+        let strat = (1usize..4).prop_flat_map(|n| crate::collection::vec(0usize..10, n));
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+        }
+    }
+
+    // The harness macro itself, including the config override...
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_runs_and_assertions_hold(x in 0usize..10, y in any::<bool>()) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x + 1, x, "increment changed nothing: {}", x);
+            if y { return Ok(()); }
+            prop_assert!(!y);
+        }
+    }
+
+    // ...and the failure path: a violated property must panic (the harness
+    // is not vacuous).
+    proptest! {
+        #[test]
+        #[should_panic(expected = "property")]
+        fn harness_propagates_failures(x in 0usize..10) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+}
