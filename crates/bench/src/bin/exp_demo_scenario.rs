@@ -29,9 +29,10 @@ fn main() {
             &clean,
             &errors::ErrorConfig {
                 rate: 0.04,
-                kind_weights: [0, 0, 1, 0],
+                kind_weights: [0, 0, 1, 0, 0],
                 columns: vec!["Country".to_string()],
                 seed: 900 + seed,
+                ..Default::default()
             },
         );
         let dcs = parse_dcs(

@@ -32,9 +32,10 @@ fn main() {
             &clean,
             &errors::ErrorConfig {
                 rate,
-                kind_weights: [1, 0, 2, 0],
+                kind_weights: [1, 0, 2, 0, 0],
                 columns: vec!["Country".to_string(), "City".to_string()],
                 seed: 100 + (rate * 1000.0) as u64,
+                ..Default::default()
             },
         );
         let engines: Vec<Box<dyn RepairAlgorithm>> = vec![

@@ -25,9 +25,10 @@ pub fn standings_workload(rows: usize, dirt: f64, seed: u64) -> (Table, Vec<Deni
         &clean,
         &errors::ErrorConfig {
             rate: dirt,
-            kind_weights: [0, 0, 1, 0],
+            kind_weights: [0, 0, 1, 0, 0],
             columns: vec!["Country".to_string()],
             seed: seed.wrapping_add(1),
+            ..Default::default()
         },
     );
     (injected.dirty, soccer::soccer_constraints())

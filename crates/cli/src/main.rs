@@ -40,6 +40,8 @@ USAGE:
                   [--threads N] [--schedule auto|player|budget|steal]
                   [--oracle-cap N] [engine flags]
   trex mine       --table FILE.csv [--max-predicates N] [--order]
+  trex datagen    --schema laliga|soccer|adult|sensor [--rows N] [--seed N]
+                  [--rate F] [--skew F] [--out DIR]
   trex demo
 
 ENGINE FLAGS:
@@ -68,6 +70,17 @@ ORACLE CAPACITY:
   entries (second-chance eviction once full; 0 disables caching). Results
   are identical at any capacity — a smaller cache only recomputes more.
   Default: 1048576 entries.
+
+DATAGEN:
+  trex datagen generates a scenario-corpus member and writes the files the
+  other subcommands consume: SCHEMA_clean.csv, SCHEMA_dirty.csv (with
+  injected errors), SCHEMA.dcs (constraints in the paper syntax),
+  SCHEMA.rules (the schema's Algorithm 1 for --engine rules), and
+  SCHEMA_truth.tsv (the injected-error ground truth, cell/from/to). --rate
+  is the total error rate, split across typo/swap/null/out-of-domain/
+  duplicate kinds with exact integer accounting; --skew is the Zipf
+  exponent for sensor keys and duplicate donors; the same --seed always
+  reproduces byte-identical files.
 
 ADAPTIVE BUDGET (explain --cells --adaptive):
   instead of a fixed --samples per cell, each cell is sampled under
@@ -99,6 +112,7 @@ fn main() -> ExitCode {
         Some("repair") => cmd_repair(&args),
         Some("explain") => cmd_explain(&args),
         Some("mine") => cmd_mine(&args),
+        Some("datagen") => cmd_datagen(&args),
         Some("demo") => cmd_demo(&args),
         Some("help") | None => {
             println!("{USAGE}");
@@ -380,6 +394,83 @@ fn cmd_mine(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+fn cmd_datagen(args: &Args) -> Result<(), ArgError> {
+    use trex_datagen::{generate_scenario, ErrorRates, ScenarioConfig, SchemaKind};
+    let schema: SchemaKind = args
+        .require("schema")?
+        .parse()
+        .map_err(|e: String| ArgError(e))?;
+    let rows: usize = args.get_parsed("rows", 1000)?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let rate: f64 = args.get_parsed("rate", 0.005)?;
+    let skew: f64 = args.get_parsed("skew", 1.0)?;
+    let out_dir = args.get("out").unwrap_or(".").to_string();
+    args.reject_unknown()?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(ArgError(format!("--rate must be in 0..=1 (got {rate})")));
+    }
+    if !skew.is_finite() || skew < 0.0 {
+        return Err(ArgError(format!(
+            "--skew must be finite and >= 0 (got {skew})"
+        )));
+    }
+
+    let mut config = ScenarioConfig::new(schema, rows, seed);
+    config.error.rates = Some(ErrorRates::split(rate));
+    config.error.duplicate_skew = skew;
+    config.sensor.skew = skew;
+    let scenario = generate_scenario(&config);
+
+    let dir = std::path::Path::new(&out_dir);
+    std::fs::create_dir_all(dir).map_err(|e| ArgError(format!("cannot create {out_dir}: {e}")))?;
+    let write = |name: String, contents: String| -> Result<String, ArgError> {
+        let path = dir.join(&name);
+        std::fs::write(&path, contents)
+            .map_err(|e| ArgError(format!("cannot write {}: {e}", path.display())))?;
+        Ok(path.display().to_string())
+    };
+    let mut truth = String::new();
+    for ch in &scenario.injection.truth {
+        truth.push_str(&format!("{}\t{}\t{}\n", ch.cell, ch.from, ch.to));
+    }
+    let mut dcs_text = String::new();
+    for dc in &scenario.constraints {
+        dcs_text.push_str(&format!("{dc}\n"));
+    }
+    let files = [
+        write(
+            format!("{schema}_clean.csv"),
+            trex_table::write_csv(&scenario.clean),
+        )?,
+        write(
+            format!("{schema}_dirty.csv"),
+            trex_table::write_csv(scenario.dirty()),
+        )?,
+        write(format!("{schema}.dcs"), dcs_text)?,
+        write(format!("{schema}.rules"), scenario.repairer.rules_text())?,
+        write(format!("{schema}_truth.tsv"), truth)?,
+    ];
+    println!(
+        "{schema}: {} rows, {} cells, {} injected error(s), fingerprint {:016x}",
+        scenario.clean.num_rows(),
+        scenario.clean.num_cells(),
+        scenario.injection.truth.len(),
+        scenario.fingerprint(),
+    );
+    for f in &files {
+        println!("  wrote {f}");
+    }
+    println!(
+        "\nnext: trex violations --table {} --dcs {}",
+        files[1], files[2]
+    );
+    println!(
+        "      trex repair --table {} --dcs {} --engine rules --rules {}",
+        files[1], files[2], files[3]
+    );
+    Ok(())
+}
+
 fn cmd_demo(args: &Args) -> Result<(), ArgError> {
     args.reject_unknown()?;
     use trex_datagen::laliga;
@@ -523,6 +614,60 @@ mod tests {
         assert_eq!(load_oracle_cap(&c).unwrap(), Some(4096));
         let d = Args::parse(["explain", "--oracle-cap", "lots"]).unwrap();
         assert!(load_oracle_cap(&d).is_err());
+    }
+
+    #[test]
+    fn datagen_flag_validation() {
+        // --schema is required and validated.
+        let a = Args::parse(["datagen"]).unwrap();
+        assert!(cmd_datagen(&a).is_err());
+        let b = Args::parse(["datagen", "--schema", "nope"]).unwrap();
+        assert!(cmd_datagen(&b).unwrap_err().to_string().contains("nope"));
+        // Rates outside 0..=1 and bad skews are proper errors.
+        let c = Args::parse(["datagen", "--schema", "soccer", "--rate", "2"]).unwrap();
+        assert!(cmd_datagen(&c).unwrap_err().to_string().contains("--rate"));
+        let d = Args::parse(["datagen", "--schema", "soccer", "--skew", "-1"]).unwrap();
+        assert!(cmd_datagen(&d).unwrap_err().to_string().contains("--skew"));
+    }
+
+    #[test]
+    fn datagen_writes_a_round_trippable_corpus_member() {
+        let dir = std::env::temp_dir().join(format!("trex-datagen-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_str().unwrap().to_string();
+        let a = Args::parse([
+            "datagen", "--schema", "soccer", "--rows", "240", "--rate", "0.02", "--out", &out,
+        ])
+        .unwrap();
+        cmd_datagen(&a).unwrap();
+
+        // Every emitted file parses back through the consuming subcommands'
+        // own readers, and the exported Algorithm 1 repairs the exported
+        // dirty table back to the exported clean table.
+        let read = |name: &str| std::fs::read_to_string(dir.join(name)).unwrap();
+        let clean = read_csv_strings(&read("soccer_clean.csv")).unwrap();
+        let dirty = read_csv_strings(&read("soccer_dirty.csv")).unwrap();
+        let dcs = trex_constraints::parse_dcs(&read("soccer.dcs")).unwrap();
+        let rules = RuleRepair::parse_rules(&read("soccer.rules")).unwrap();
+        let truth = read("soccer_truth.tsv");
+        assert_eq!(clean.num_rows(), dirty.num_rows());
+        assert!(!dcs.is_empty());
+        // Exact accounting: the truth file has one line per injected cell,
+        // floor(cells × rate) of them.
+        let expected = (clean.num_cells() as f64 * 0.02).floor() as usize;
+        assert_eq!(truth.trim_end().lines().count(), expected);
+        // The dirty table violates the exported constraints, and the
+        // exported Algorithm 1 repairs cells (not every injected error
+        // violates a constraint, so full clean-table recovery is not
+        // guaranteed for an all-kinds error mix).
+        let resolved: Vec<_> = dcs
+            .iter()
+            .map(|d| d.resolved(dirty.schema()).unwrap())
+            .collect();
+        assert!(!find_all_violations_par(&resolved, &dirty, 2).is_empty());
+        let repaired = rules.repair(&dcs, &dirty);
+        assert!(!repaired.changes.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

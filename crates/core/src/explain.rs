@@ -285,6 +285,21 @@ impl<'a> Explainer<'a> {
         dirty: &Table,
         cell: CellRef,
     ) -> Result<ConstraintExplanation, ExplainError> {
+        self.explain_constraints_with_stats(dcs, dirty, cell)
+            .map(|(explanation, _)| explanation)
+    }
+
+    /// [`Explainer::explain_constraints`], also returning the repair-oracle
+    /// cache counters the explanation accumulated (hits, misses,
+    /// evictions). The stress harness records these as cache-pressure
+    /// telemetry; the explanation itself is identical at any oracle
+    /// capacity.
+    pub fn explain_constraints_with_stats(
+        &self,
+        dcs: &[DenialConstraint],
+        dirty: &Table,
+        cell: CellRef,
+    ) -> Result<(ConstraintExplanation, trex_repair::OracleStats), ExplainError> {
         let target = self.repair_target(dcs, dirty, cell)?;
         let game = self.constraint_game(dcs, dirty, cell, target.clone());
         let values = shapley_exact(&game).expect("constraint sets are small");
@@ -296,7 +311,7 @@ impl<'a> Explainer<'a> {
                 .map(|(i, v)| (Game::player_label(&game, i), *v))
                 .collect(),
         );
-        Ok(ConstraintExplanation {
+        let explanation = ConstraintExplanation {
             ranking,
             exact: rationals
                 .into_iter()
@@ -304,7 +319,8 @@ impl<'a> Explainer<'a> {
                 .map(|(i, r)| (Game::player_label(&game, i), r))
                 .collect(),
             target,
-        })
+        };
+        Ok((explanation, game.oracle_stats()))
     }
 
     /// Pairwise **Shapley interaction indices** of the constraints for the

@@ -156,6 +156,19 @@ impl Session {
             .explain_constraints(&self.dcs, &self.table, cell)
     }
 
+    /// [`Session::explain_constraints`], also returning the repair-oracle
+    /// cache counters (hits, misses, evictions) the explanation
+    /// accumulated — the cache-pressure telemetry `exp_stress` records.
+    /// The explanation itself is identical at any
+    /// [`Session::set_oracle_capacity`] setting.
+    pub fn explain_constraints_with_stats(
+        &self,
+        cell: CellRef,
+    ) -> Result<(ConstraintExplanation, trex_repair::OracleStats), ExplainError> {
+        self.explainer()
+            .explain_constraints_with_stats(&self.dcs, &self.table, cell)
+    }
+
     /// The "Explain" button, cell half (sampling estimator of §2.3).
     pub fn explain_cells(
         &self,
@@ -437,6 +450,25 @@ mod tests {
             .explain_cells_masked(cell, MaskMode::Null, cfg)
             .unwrap();
         assert_eq!(cells.values, want.values);
+    }
+
+    #[test]
+    fn explain_with_stats_reports_oracle_pressure() {
+        let mut bounded = session();
+        bounded.set_oracle_capacity(4);
+        let cell = laliga::cell_of_interest(bounded.table());
+        let (cons, stats) = bounded.explain_constraints_with_stats(cell).unwrap();
+        // Identical explanation to the unbounded session...
+        let reference = session();
+        let (want, unbounded) = reference.explain_constraints_with_stats(cell).unwrap();
+        assert_eq!(cons.exact, want.exact);
+        // ...but capacity 4 cannot hold the 16 coalition values, so the
+        // bounded run must report evictions where the unbounded one
+        // reports none.
+        assert!(stats.misses > 0);
+        assert!(stats.evictions > 0, "capacity 4 must evict: {stats:?}");
+        assert_eq!(unbounded.evictions, 0, "{unbounded:?}");
+        assert!(unbounded.hits > 0, "the rational pass re-reads the memo");
     }
 
     #[test]

@@ -95,6 +95,40 @@ pub fn census_constraints() -> Vec<DenialConstraint> {
     .expect("census constraints parse")
 }
 
+/// Algorithm 1 for the census domain, conditioned like
+/// [`crate::soccer::soccer_algorithm1`]:
+///
+/// 1. D1 ⇒ `EducationYears ← argmax P[EducationYears | Education]`
+/// 2. D2 ⇒ `Relationship ← argmax P[Relationship | MaritalStatus]`
+/// 3. D3 ⇒ `EducationYears ← argmax P[EducationYears | Education]`
+pub fn census_algorithm1() -> trex_repair::RuleRepair {
+    use trex_repair::{FixAction, Rule, RuleRepair};
+    RuleRepair::new(vec![
+        Rule::new(
+            "D1",
+            FixAction::MostCommonGiven {
+                attr: "EducationYears".to_string(),
+                given: "Education".to_string(),
+            },
+        ),
+        Rule::new(
+            "D2",
+            FixAction::MostCommonGiven {
+                attr: "Relationship".to_string(),
+                given: "MaritalStatus".to_string(),
+            },
+        ),
+        Rule::new(
+            "D3",
+            FixAction::MostCommonGiven {
+                attr: "EducationYears".to_string(),
+                given: "Education".to_string(),
+            },
+        ),
+    ])
+    .with_name("census-algorithm1")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

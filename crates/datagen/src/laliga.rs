@@ -132,6 +132,28 @@ pub fn algorithm1() -> RuleRepair {
     ])
 }
 
+/// Scale the paper's single-league world to ≈ `rows` standings rows: one
+/// country (Spain / La Liga), 20 teams in 10 cities, one season per 20
+/// rows (`rows` is rounded up to a whole season). Clean by construction
+/// for all four [`constraints`].
+///
+/// Note the scan-cost caveat: with a single league, C3's equality bucket
+/// is the *entire table*, so violation detection is quadratic in `rows` —
+/// useful as a worst-case stress shape (that is what the giant-bucket
+/// splitter spreads across workers), but keep row counts modest. The
+/// multi-league [`crate::soccer`] generator is the linear-scaling
+/// counterpart.
+pub fn generate_standings(rows: usize, seed: u64) -> Table {
+    let config = crate::soccer::SoccerConfig {
+        countries: 1,
+        cities_per_country: 10,
+        teams_per_city: 2,
+        years: rows.div_ceil(20).max(1),
+        seed,
+    };
+    crate::soccer::generate_clean(&config)
+}
+
 /// The paper's cell of interest: `t5[Country]` (0-based row 4).
 pub fn cell_of_interest(table: &Table) -> CellRef {
     CellRef::new(4, table.schema().id("Country"))

@@ -12,14 +12,27 @@
 //!   in for the demo's "errors will be manually added" protocol (§4).
 //! * [`adult`] — a census-shaped second domain (HoloClean's home turf) to
 //!   show the pipeline generalizes.
+//! * [`sensor`] — Zipf-skewed sensor telemetry: the hot-key workload that
+//!   stresses the equality-bucket splitter, plus unary range constraints.
+//! * [`skew`] — the deterministic Zipfian rank sampler behind the sensor
+//!   keys and the duplicate-donor error kind.
+//! * [`scenario`] — the unified corpus: one [`ScenarioConfig`] spanning
+//!   all four schemas with ground truth, constraints, and the
+//!   schema-matched repairer (what `exp_stress` and `trex datagen` run).
 
 #![warn(missing_docs)]
 
 pub mod adult;
 pub mod errors;
 pub mod laliga;
+pub mod scenario;
+pub mod sensor;
+pub mod skew;
 pub mod soccer;
 
-pub use adult::{census_constraints, generate_census, CensusConfig};
-pub use errors::{inject_errors, ErrorConfig, ErrorKind, InjectionResult};
+pub use adult::{census_algorithm1, census_constraints, generate_census, CensusConfig};
+pub use errors::{inject_errors, ErrorConfig, ErrorKind, ErrorRates, InjectionResult};
+pub use scenario::{generate as generate_scenario, Scenario, ScenarioConfig, SchemaKind};
+pub use sensor::{generate_readings, sensor_algorithm1, sensor_constraints, SensorConfig};
+pub use skew::ZipfSampler;
 pub use soccer::{generate_clean, soccer_algorithm1, soccer_constraints, SoccerConfig};

@@ -39,6 +39,22 @@ impl Default for SoccerConfig {
     }
 }
 
+impl SoccerConfig {
+    /// Derive the country count that brings the generated table to
+    /// ≈ `target_rows` rows with this config's per-country shape
+    /// (`cities_per_country × teams_per_city × years` rows per country,
+    /// at least one country). Per-country bucket sizes stay constant, so
+    /// violation detection scales linearly in the target — the
+    /// million-row-friendly counterpart to
+    /// [`crate::laliga::generate_standings`].
+    pub fn with_target_rows(mut self, target_rows: usize) -> Self {
+        let per_country = self.cities_per_country * self.teams_per_city * self.years;
+        assert!(per_country > 0, "per-country shape must be non-empty");
+        self.countries = (target_rows / per_country).max(1);
+        self
+    }
+}
+
 /// Country names used by the generator, cycled with numeric suffixes when
 /// more are requested.
 const COUNTRY_POOL: [&str; 8] = [
@@ -261,9 +277,10 @@ mod tests {
             &clean,
             &crate::errors::ErrorConfig {
                 rate: 0.02,
-                kind_weights: [0, 0, 1, 0],
+                kind_weights: [0, 0, 1, 0, 0],
                 columns: vec!["Country".to_string()],
                 seed: 77,
+                ..Default::default()
             },
         );
         let r = soccer_algorithm1().repair(&soccer_constraints(), &injected.dirty);

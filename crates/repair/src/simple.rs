@@ -151,6 +151,38 @@ impl RuleRepair {
         self.rules.iter().find(|r| r.constraint == constraint)
     }
 
+    /// Render the rule list in the [`RuleRepair::parse_rules`] syntax, one
+    /// rule per line — `parse_rules(x.rules_text())` reconstructs the same
+    /// rules. This is how `trex datagen` exports a scenario's Algorithm 1
+    /// for the `--engine rules` pipeline.
+    pub fn rules_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for rule in &self.rules {
+            let _ = match &rule.action {
+                FixAction::MostCommon { attr } => {
+                    writeln!(out, "{}: {attr} <- most_common", rule.constraint)
+                }
+                FixAction::MostCommonGiven { attr, given } => {
+                    writeln!(
+                        out,
+                        "{}: {attr} <- most_common_given({given})",
+                        rule.constraint
+                    )
+                }
+                FixAction::SetConstant { attr, value } => {
+                    let rendered = match value {
+                        Value::Int(n) => n.to_string(),
+                        Value::Float(x) => x.to_string(),
+                        other => format!("\"{other}\""),
+                    };
+                    writeln!(out, "{}: {attr} <- const({rendered})", rule.constraint)
+                }
+            };
+        }
+        out
+    }
+
     /// Pick the argmax of `counts` with the repair tie-break: highest count;
     /// ties prefer values *different* from `current`; remaining ties prefer
     /// the smaller value.
@@ -627,6 +659,20 @@ mod tests {
                 value: Value::int(1)
             }
         );
+    }
+
+    #[test]
+    fn rules_text_round_trips_through_parse_rules() {
+        let text = "C1: City <- most_common\n\
+                    C2: Country <- most_common_given(City)\n\
+                    U: City <- const(\"Madrid\")\n\
+                    N: Place <- const(1)\n";
+        let alg = RuleRepair::parse_rules(text).unwrap();
+        assert_eq!(alg.rules_text(), text);
+        let reparsed = RuleRepair::parse_rules(&alg.rules_text()).unwrap();
+        for name in ["C1", "C2", "U", "N"] {
+            assert_eq!(reparsed.rule_for(name), alg.rule_for(name), "{name}");
+        }
     }
 
     #[test]

@@ -31,9 +31,10 @@ fn main() {
         &clean,
         &errors::ErrorConfig {
             rate: 0.04,
-            kind_weights: [0, 0, 1, 0], // out-of-domain garbage, like "España"
+            kind_weights: [0, 0, 1, 0, 0], // out-of-domain garbage, like "España"
             columns: vec!["Country".to_string()],
             seed: 9,
+            ..Default::default()
         },
     );
     println!(

@@ -22,9 +22,10 @@ fn main() {
         &clean,
         &errors::ErrorConfig {
             rate: 0.03,
-            kind_weights: [1, 0, 0, 0], // in-column swaps: realistic entry errors
+            kind_weights: [1, 0, 0, 0, 0], // in-column swaps: realistic entry errors
             columns: vec!["EducationYears".to_string(), "Relationship".to_string()],
             seed: 13,
+            ..Default::default()
         },
     );
     println!(

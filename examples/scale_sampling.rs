@@ -29,9 +29,10 @@ fn main() {
         &clean,
         &errors::ErrorConfig {
             rate: 0.01,
-            kind_weights: [0, 0, 1, 0],
+            kind_weights: [0, 0, 1, 0, 0],
             columns: vec!["Country".to_string()],
             seed: 23,
+            ..Default::default()
         },
     );
     let dirty = &injected.dirty;

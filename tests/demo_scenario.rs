@@ -20,9 +20,10 @@ fn bad_constraint_setup() -> (trex_datagen::InjectionResult, Session) {
         &clean,
         &errors::ErrorConfig {
             rate: 0.04,
-            kind_weights: [0, 0, 1, 0],
+            kind_weights: [0, 0, 1, 0, 0],
             columns: vec!["Country".to_string()],
             seed: 9,
+            ..Default::default()
         },
     );
     let dcs = parse_dcs(

@@ -50,9 +50,10 @@ fn mined_constraints_drive_repair_and_explanation() {
         &clean,
         &errors::ErrorConfig {
             rate: 0.02,
-            kind_weights: [0, 0, 1, 0],
+            kind_weights: [0, 0, 1, 0, 0],
             columns: vec!["Country".to_string()],
             seed: 5,
+            ..Default::default()
         },
     );
     let alg = HoloCleanStyle::new();

@@ -56,9 +56,10 @@ fn generated_workload_end_to_end() {
         &clean,
         &errors::ErrorConfig {
             rate: 0.02,
-            kind_weights: [0, 0, 1, 0],
+            kind_weights: [0, 0, 1, 0, 0],
             columns: vec!["Country".to_string()],
             seed: 77,
+            ..Default::default()
         },
     );
     let dcs = soccer::soccer_constraints();
@@ -93,9 +94,10 @@ fn all_engines_detect_injected_errors() {
         &clean,
         &errors::ErrorConfig {
             rate: 0.03,
-            kind_weights: [0, 0, 1, 0],
+            kind_weights: [0, 0, 1, 0, 0],
             columns: vec!["Country".to_string()],
             seed: 41,
+            ..Default::default()
         },
     );
     let dcs = soccer::soccer_constraints();
