@@ -310,9 +310,10 @@ fn main() {
         let violation_json: Vec<String> = violation_rows
             .iter()
             .map(|(threads, ms, count)| {
+                let rows_per_sec = 2000.0 / (ms / 1e3).max(1e-12);
                 format!(
                     "    {{ \"threads\": {threads}, \"wall_ms\": {ms:.3}, \
-                     \"violations\": {count} }}"
+                     \"rows_per_sec\": {rows_per_sec:.1}, \"violations\": {count} }}"
                 )
             })
             .collect();

@@ -34,7 +34,9 @@
 use std::time::Instant;
 use trex::Session;
 use trex_datagen::{generate_scenario, ErrorRates, ScenarioConfig, SchemaKind};
-use trex_shapley::{parallel, resolve_threads, Schedule};
+use trex_repair::RepairAlgorithm as _;
+use trex_shapley::{parallel, resolve_threads, ExecConfig, Schedule};
+use trex_table::EncodedTable;
 
 struct StressArgs {
     schema: SchemaKind,
@@ -199,22 +201,36 @@ fn main() {
         cells,
     );
 
+    // Dictionary telemetry (not a phase — the encode rides inside the
+    // violation scan in production; this run surfaces its cost and the
+    // per-column cardinalities the columnar core works with).
+    let started = Instant::now();
+    let encoded = EncodedTable::encode(&scenario.injection.dirty);
+    let encode_ms = started.elapsed().as_secs_f64() * 1e3;
+    let distinct = encoded.distinct_counts();
+    println!("  dictionary {encode_ms:>10.1} ms encode, distinct per column {distinct:?}");
+
+    // One execution configuration drives the whole pipeline: the repair
+    // engine's violation scans, the session's detection, and the
+    // explanation's sampling/oracle all read the same knobs.
+    let mut cfg = ExecConfig::new().with_threads(threads);
+    if let Some(s) = args.schedule {
+        cfg = cfg.with_schedule(s);
+    }
+    if let Some(cap) = args.oracle_cap {
+        cfg = cfg.with_oracle_cap(cap);
+    }
+
     // The session drives the remaining phases end to end, exactly like the
     // demo loop: detection and repair on the session's worker threads, the
     // explanation over the bounded sharded oracle.
-    let repairer = scenario.repairer.clone().with_threads(threads);
+    let repairer = scenario.repairer.clone().with_exec(&cfg);
     let mut session = Session::new(
         Box::new(repairer),
         scenario.injection.dirty.clone(),
         scenario.constraints.clone(),
-    );
-    session.set_threads(threads);
-    if let Some(s) = args.schedule {
-        session.set_schedule(s);
-    }
-    if let Some(cap) = args.oracle_cap {
-        session.set_oracle_capacity(cap);
-    }
+    )
+    .with_config(cfg);
 
     // Phase 2: violation detection (the input screen).
     let started = Instant::now();
@@ -310,6 +326,8 @@ fn main() {
                 "  \"elapsed_secs\": {elapsed:.3},\n",
                 "  \"within_budget\": {within},\n",
                 "  \"peak_rss_mb\": {peak:.1},\n",
+                "  \"dictionary\": {{ \"encode_ms\": {encode_ms:.3}, ",
+                "\"distinct_counts\": [{distinct}] }},\n",
                 "  \"phases\": [\n{phases}\n  ]\n",
                 "}}\n",
             ),
@@ -332,6 +350,12 @@ fn main() {
             elapsed = elapsed,
             within = within_budget,
             peak = peak,
+            encode_ms = encode_ms,
+            distinct = distinct
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
             phases = phase_json.join(",\n"),
         );
         std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

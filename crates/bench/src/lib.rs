@@ -71,10 +71,8 @@ impl trex_shapley::Game for RandomBinaryGame {
     }
 
     fn value(&self, coalition: &trex_shapley::Coalition) -> f64 {
-        let mut mask = 0u64;
-        for i in coalition.iter() {
-            mask |= 1 << i;
-        }
+        // n ≤ 60 (asserted in `new`), so the whole membership is word 0.
+        let mask = coalition.words()[0];
         if self.minimal_winning.iter().any(|w| mask & w == *w) {
             1.0
         } else {

@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use trex_shapley::{ExecConfig, Schedule};
 
 /// Parsed command line: subcommand plus flags.
 #[derive(Debug, Clone, Default)]
@@ -90,6 +91,47 @@ impl Args {
         self.get(name).is_some()
     }
 
+    /// Parse the shared execution flags — `--threads`, `--schedule`,
+    /// `--oracle-cap`, `--seed` — into one [`ExecConfig`].
+    ///
+    /// This is the single validation path for every subcommand that takes
+    /// execution knobs: `--threads` absent or `0` resolves to the available
+    /// parallelism (absurd counts are rejected with one error message
+    /// everywhere), `--schedule` accepts `auto | player | budget | steal`
+    /// (`auto` leaves the schedule unset so `Schedule::auto` picks per
+    /// call), `--oracle-cap` bounds the repair-oracle memo cache (`0`
+    /// disables caching), and `--seed` feeds the sampling seed.
+    pub fn exec_config(&self) -> Result<ExecConfig, ArgError> {
+        let requested: usize = self.get_parsed("threads", 0)?;
+        let threads =
+            trex_shapley::resolve_threads(requested).map_err(|e| ArgError(e.to_string()))?;
+        let mut cfg = ExecConfig::new().with_threads(threads);
+        match self.get("schedule").unwrap_or("auto") {
+            "auto" => {}
+            "player" => cfg = cfg.with_schedule(Schedule::PlayerSharded),
+            "budget" => cfg = cfg.with_schedule(Schedule::BudgetSplit),
+            "steal" => cfg = cfg.with_schedule(Schedule::WorkStealing),
+            other => {
+                return Err(ArgError(format!(
+                    "unknown schedule {other:?} (auto | player | budget | steal)"
+                )))
+            }
+        }
+        if let Some(v) = self.get("oracle-cap") {
+            let cap = v
+                .parse::<usize>()
+                .map_err(|_| ArgError(format!("--oracle-cap: cannot parse {v:?}")))?;
+            cfg = cfg.with_oracle_cap(cap);
+        }
+        if let Some(v) = self.get("seed") {
+            let seed = v
+                .parse::<u64>()
+                .map_err(|_| ArgError(format!("--seed: cannot parse {v:?}")))?;
+            cfg = cfg.with_seed(seed);
+        }
+        Ok(cfg)
+    }
+
     /// After all flags are read, error on anything the command didn't use.
     pub fn reject_unknown(&self) -> Result<(), ArgError> {
         let consumed = self.consumed.borrow();
@@ -148,5 +190,66 @@ mod tests {
     #[test]
     fn extra_positional_rejected() {
         assert!(Args::parse(["x", "y"]).is_err());
+    }
+
+    #[test]
+    fn exec_config_defaults_resolve_threads_and_leave_the_rest_unset() {
+        let a = Args::parse(["explain"]).unwrap();
+        let cfg = a.exec_config().unwrap();
+        assert!(cfg.threads() >= 1, "absent --threads resolves to ≥ 1");
+        assert_eq!(cfg.schedule(), None);
+        assert_eq!(cfg.oracle_cap(), None);
+        assert_eq!(cfg.seed(), None);
+        // Explicit 0 also means "available parallelism".
+        let b = Args::parse(["explain", "--threads", "0"]).unwrap();
+        assert!(b.exec_config().unwrap().threads() >= 1);
+    }
+
+    #[test]
+    fn exec_config_parses_every_knob() {
+        let a = Args::parse([
+            "explain",
+            "--threads",
+            "4",
+            "--schedule",
+            "steal",
+            "--oracle-cap",
+            "4096",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        let cfg = a.exec_config().unwrap();
+        assert_eq!(cfg.threads(), 4);
+        assert_eq!(cfg.schedule(), Some(Schedule::WorkStealing));
+        assert_eq!(cfg.oracle_cap(), Some(4096));
+        assert_eq!(cfg.seed(), Some(7));
+        for (flag, value, schedule) in [
+            ("--schedule", "player", Some(Schedule::PlayerSharded)),
+            ("--schedule", "budget", Some(Schedule::BudgetSplit)),
+            ("--schedule", "auto", None),
+        ] {
+            let a = Args::parse(["explain", flag, value]).unwrap();
+            assert_eq!(a.exec_config().unwrap().schedule(), schedule, "{value}");
+        }
+    }
+
+    #[test]
+    fn exec_config_rejects_bad_values_with_one_error_path() {
+        // Absurd thread counts keep the offending value and the cap in the
+        // message, for every subcommand that shares the helper.
+        let a = Args::parse(["violations", "--threads", "999999"]).unwrap();
+        let err = a.exec_config().unwrap_err().to_string();
+        assert!(err.contains("999999"), "{err}");
+        assert!(err.contains("1024"), "{err}");
+        for bad in [
+            vec!["x", "--threads", "many"],
+            vec!["x", "--schedule", "nope"],
+            vec!["x", "--oracle-cap", "lots"],
+            vec!["x", "--seed", "entropy"],
+        ] {
+            let a = Args::parse(bad.clone()).unwrap();
+            assert!(a.exec_config().is_err(), "{bad:?}");
+        }
     }
 }

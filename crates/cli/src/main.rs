@@ -25,20 +25,19 @@ use trex::{
 };
 use trex_constraints::{find_all_violations_par, parse_dcs, DenialConstraint};
 use trex_repair::{FdChaseRepair, HolisticRepair, HoloCleanStyle, RepairAlgorithm, RuleRepair};
-use trex_shapley::{SamplingConfig, Schedule};
+use trex_shapley::{ExecConfig, SamplingConfig};
 use trex_table::{read_csv_strings, CellRef, Table};
 
 const USAGE: &str = "\
 trex — table repair explanations via Shapley values
 
 USAGE:
-  trex violations --table FILE.csv --dcs FILE.txt [--threads N]
-  trex repair     --table FILE.csv --dcs FILE.txt [--threads N] [engine flags]
+  trex violations --table FILE.csv --dcs FILE.txt [exec flags]
+  trex repair     --table FILE.csv --dcs FILE.txt [exec flags] [engine flags]
   trex explain    --table FILE.csv --dcs FILE.txt --cell tROW.Attr
-                  [--cells] [--samples N] [--seed N] [--mask null|distinct|replace]
+                  [--cells] [--samples N] [--mask null|distinct|replace]
                   [--adaptive] [--tolerance F] [--batch N] [--max-samples N]
-                  [--threads N] [--schedule auto|player|budget|steal]
-                  [--oracle-cap N] [engine flags]
+                  [exec flags] [engine flags]
   trex mine       --table FILE.csv [--max-predicates N] [--order]
   trex datagen    --schema laliga|soccer|adult|sensor [--rows N] [--seed N]
                   [--rate F] [--skew F] [--out DIR]
@@ -50,12 +49,16 @@ ENGINE FLAGS:
   --engine chase       FD-chase baseline
   --engine holistic    conflict-hypergraph baseline
 
-THREADS:
-  --threads N is shared by violations, repair, and explain (default: all
-  hardware threads; 0 also means that). For explain it runs cell sampling
-  on N workers; for violations and repair it splits the row-pair violation
-  scan, whose output is identical at any thread count (a wall-time knob
-  only). --schedule picks how explain's sampling distributes work:
+EXEC FLAGS:
+  --threads N, --schedule POLICY, --oracle-cap N, and --seed N form one
+  execution-configuration surface, parsed identically by violations,
+  repair, and explain (each command consumes the knobs that apply to it).
+  --threads N (default: all hardware threads; 0 also means that) runs
+  explain's cell sampling on N workers; for violations and repair it
+  splits the row-pair violation scan, whose output is identical at any
+  thread count (a wall-time knob only). --seed N (default 0) seeds
+  explain's sampling. --schedule picks how explain's sampling distributes
+  work:
   player (workers claim whole cells; output identical to the serial
   estimator at ANY thread count), steal (player-sharding plus round
   stealing on --adaptive runs: idle workers take over rounds of a hot
@@ -142,9 +145,10 @@ fn load_inputs(args: &Args) -> Result<(Table, Vec<DenialConstraint>), ArgError> 
     Ok((table, dcs))
 }
 
-/// Build the selected engine with `threads` violation-detection workers
-/// (`chase` does no violation scanning, so it has no threads knob).
-fn load_engine(args: &Args, threads: usize) -> Result<Box<dyn RepairAlgorithm>, ArgError> {
+/// Build the selected engine under the shared execution configuration
+/// (engines consume its thread count for their violation scans; `chase`
+/// does no violation scanning, so the config is a no-op for it).
+fn load_engine(args: &Args, cfg: &ExecConfig) -> Result<Box<dyn RepairAlgorithm>, ArgError> {
     match args.get("engine").unwrap_or("holoclean") {
         "holoclean" => {
             let engine = if args.has("train") {
@@ -152,7 +156,7 @@ fn load_engine(args: &Args, threads: usize) -> Result<Box<dyn RepairAlgorithm>, 
             } else {
                 HoloCleanStyle::new()
             };
-            Ok(Box::new(engine.with_threads(threads)))
+            Ok(Box::new(engine.with_exec(cfg)))
         }
         "rules" => {
             let path = args
@@ -162,50 +166,13 @@ fn load_engine(args: &Args, threads: usize) -> Result<Box<dyn RepairAlgorithm>, 
                 .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
             let engine =
                 RuleRepair::parse_rules(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
-            Ok(Box::new(engine.with_threads(threads)))
+            Ok(Box::new(engine.with_exec(cfg)))
         }
         "chase" => Ok(Box::new(FdChaseRepair::new())),
-        "holistic" => Ok(Box::new(HolisticRepair::new().with_threads(threads))),
+        "holistic" => Ok(Box::new(HolisticRepair::new().with_exec(cfg))),
         other => Err(ArgError(format!(
             "unknown engine {other:?} (holoclean | rules | chase | holistic)"
         ))),
-    }
-}
-
-/// Resolve the `--threads` flag, shared by the `violations`, `repair`, and
-/// `explain` subcommands: absent or `0` means "use available parallelism";
-/// absurd counts are rejected — with one validation path and one error
-/// message — rather than spawning workers until the OS gives up.
-fn load_threads(args: &Args) -> Result<usize, ArgError> {
-    let requested: usize = args.get_parsed("threads", 0)?;
-    trex_shapley::resolve_threads(requested).map_err(|e| ArgError(e.to_string()))
-}
-
-/// Parse the `--schedule` flag of `explain`: `player` and `budget` pin a
-/// schedule, `auto` (and absent) lets `Schedule::auto` pick from the cell
-/// count.
-fn load_schedule(args: &Args) -> Result<Option<Schedule>, ArgError> {
-    match args.get("schedule").unwrap_or("auto") {
-        "auto" => Ok(None),
-        "player" => Ok(Some(Schedule::PlayerSharded)),
-        "budget" => Ok(Some(Schedule::BudgetSplit)),
-        "steal" => Ok(Some(Schedule::WorkStealing)),
-        other => Err(ArgError(format!(
-            "unknown schedule {other:?} (auto | player | budget | steal)"
-        ))),
-    }
-}
-
-/// Parse the `--oracle-cap` flag of `explain`: an entry bound for the
-/// repair-oracle memo cache (`0` disables caching); absent means the oracle
-/// default.
-fn load_oracle_cap(args: &Args) -> Result<Option<usize>, ArgError> {
-    match args.get("oracle-cap") {
-        None => Ok(None),
-        Some(v) => v
-            .parse::<usize>()
-            .map(Some)
-            .map_err(|_| ArgError(format!("--oracle-cap: cannot parse {v:?}"))),
     }
 }
 
@@ -233,12 +200,12 @@ fn parse_cell(table: &Table, spec: &str) -> Result<CellRef, ArgError> {
 
 fn cmd_violations(args: &Args) -> Result<(), ArgError> {
     let (table, dcs) = load_inputs(args)?;
-    let threads = load_threads(args)?;
+    let cfg = args.exec_config()?;
     args.reject_unknown()?;
     let resolved: Result<Vec<_>, _> = dcs.iter().map(|d| d.resolved(table.schema())).collect();
     let resolved = resolved.map_err(|e| ArgError(e.to_string()))?;
     println!("{}", render_input_screen(&table, &dcs));
-    let violations = find_all_violations_par(&resolved, &table, threads);
+    let violations = find_all_violations_par(&resolved, &table, cfg.threads());
     if violations.is_empty() {
         println!("table is clean: no violations.");
         return Ok(());
@@ -252,8 +219,8 @@ fn cmd_violations(args: &Args) -> Result<(), ArgError> {
 
 fn cmd_repair(args: &Args) -> Result<(), ArgError> {
     let (table, dcs) = load_inputs(args)?;
-    let threads = load_threads(args)?;
-    let engine = load_engine(args, threads)?;
+    let cfg = args.exec_config()?;
+    let engine = load_engine(args, &cfg)?;
     args.reject_unknown()?;
     let result = engine.repair(&dcs, &table);
     println!("engine: {}\n", engine.name());
@@ -263,16 +230,14 @@ fn cmd_repair(args: &Args) -> Result<(), ArgError> {
 
 fn cmd_explain(args: &Args) -> Result<(), ArgError> {
     let (table, dcs) = load_inputs(args)?;
-    let threads = load_threads(args)?;
-    let schedule = load_schedule(args)?;
-    let oracle_cap = load_oracle_cap(args)?;
-    let engine = load_engine(args, threads)?;
+    let cfg = args.exec_config()?;
+    let engine = load_engine(args, &cfg)?;
     let cell_spec = args.require("cell")?.to_string();
     let cell = parse_cell(&table, &cell_spec)?;
     let want_cells = args.has("cells");
     let samples_given = args.get("samples").is_some();
     let samples: usize = args.get_parsed("samples", 500)?;
-    let seed: u64 = args.get_parsed("seed", 0)?;
+    let seed: u64 = cfg.seed().unwrap_or(0);
     let adaptive = args.has("adaptive");
     let adaptive_flags_given = ["tolerance", "batch", "max-samples"]
         .iter()
@@ -309,13 +274,7 @@ fn cmd_explain(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError("--batch must be at least 1".to_string()));
     }
 
-    let mut explainer = Explainer::new(engine.as_ref()).with_threads(threads);
-    if let Some(schedule) = schedule {
-        explainer = explainer.with_schedule(schedule);
-    }
-    if let Some(cap) = oracle_cap {
-        explainer = explainer.with_oracle_capacity(cap);
-    }
+    let explainer = Explainer::new(engine.as_ref()).with_config(cfg);
     let constraints = explainer
         .explain_constraints(&dcs, &table, cell)
         .map_err(|e| ArgError(e.to_string()))?;
@@ -565,55 +524,20 @@ mod tests {
     }
 
     #[test]
-    fn threads_flag_validation() {
-        // One validation path for every subcommand that takes --threads.
+    fn exec_flags_share_one_validation_path_across_subcommands() {
+        // The detailed knob coverage lives in args.rs next to exec_config;
+        // here: every subcommand that takes execution flags goes through it
+        // and reports the same errors.
         for command in ["explain", "repair", "violations"] {
-            // Absent and explicit 0 both mean "available parallelism" (≥ 1).
-            let a = Args::parse([command]).unwrap();
-            assert!(load_threads(&a).unwrap() >= 1);
-            let b = Args::parse([command, "--threads", "0"]).unwrap();
-            assert!(load_threads(&b).unwrap() >= 1);
-            // Explicit counts pass through.
-            let c = Args::parse([command, "--threads", "4"]).unwrap();
-            assert_eq!(load_threads(&c).unwrap(), 4);
-            // Absurd counts are a proper error, not an unbounded spawn —
-            // with the same message everywhere.
+            let a = Args::parse([command, "--threads", "4"]).unwrap();
+            assert_eq!(a.exec_config().unwrap().threads(), 4, "{command}");
             let d = Args::parse([command, "--threads", "999999"]).unwrap();
-            let err = load_threads(&d).unwrap_err();
-            assert!(err.to_string().contains("999999"), "{command}: {err}");
-            assert!(err.to_string().contains("1024"), "{command}: {err}");
-            // Garbage is a parse error.
-            let e = Args::parse([command, "--threads", "many"]).unwrap();
-            assert!(load_threads(&e).is_err());
+            let err = d.exec_config().unwrap_err().to_string();
+            assert!(err.contains("999999"), "{command}: {err}");
+            assert!(err.contains("1024"), "{command}: {err}");
+            let e = Args::parse([command, "--schedule", "nope"]).unwrap();
+            assert!(e.exec_config().is_err(), "{command}");
         }
-    }
-
-    #[test]
-    fn schedule_flag_validation() {
-        let a = Args::parse(["explain"]).unwrap();
-        assert_eq!(load_schedule(&a).unwrap(), None);
-        let b = Args::parse(["explain", "--schedule", "player"]).unwrap();
-        assert_eq!(load_schedule(&b).unwrap(), Some(Schedule::PlayerSharded));
-        let c = Args::parse(["explain", "--schedule", "budget"]).unwrap();
-        assert_eq!(load_schedule(&c).unwrap(), Some(Schedule::BudgetSplit));
-        let d = Args::parse(["explain", "--schedule", "auto"]).unwrap();
-        assert_eq!(load_schedule(&d).unwrap(), None);
-        let s = Args::parse(["explain", "--schedule", "steal"]).unwrap();
-        assert_eq!(load_schedule(&s).unwrap(), Some(Schedule::WorkStealing));
-        let e = Args::parse(["explain", "--schedule", "nope"]).unwrap();
-        assert!(load_schedule(&e).is_err());
-    }
-
-    #[test]
-    fn oracle_cap_flag_validation() {
-        let a = Args::parse(["explain"]).unwrap();
-        assert_eq!(load_oracle_cap(&a).unwrap(), None);
-        let b = Args::parse(["explain", "--oracle-cap", "0"]).unwrap();
-        assert_eq!(load_oracle_cap(&b).unwrap(), Some(0));
-        let c = Args::parse(["explain", "--oracle-cap", "4096"]).unwrap();
-        assert_eq!(load_oracle_cap(&c).unwrap(), Some(4096));
-        let d = Args::parse(["explain", "--oracle-cap", "lots"]).unwrap();
-        assert!(load_oracle_cap(&d).is_err());
     }
 
     #[test]
@@ -672,13 +596,14 @@ mod tests {
 
     #[test]
     fn engine_selection() {
+        let cfg = ExecConfig::new();
         let a = Args::parse(["repair", "--engine", "chase"]).unwrap();
-        assert_eq!(load_engine(&a, 1).unwrap().name(), "fd-chase");
+        assert_eq!(load_engine(&a, &cfg).unwrap().name(), "fd-chase");
         let b = Args::parse(["repair"]).unwrap();
-        assert_eq!(load_engine(&b, 2).unwrap().name(), "holoclean-style");
+        assert_eq!(load_engine(&b, &cfg).unwrap().name(), "holoclean-style");
         let c = Args::parse(["repair", "--engine", "nope"]).unwrap();
-        assert!(load_engine(&c, 1).is_err());
+        assert!(load_engine(&c, &cfg).is_err());
         let d = Args::parse(["repair", "--engine", "rules"]).unwrap();
-        assert!(load_engine(&d, 1).is_err()); // missing --rules
+        assert!(load_engine(&d, &cfg).is_err()); // missing --rules
     }
 }

@@ -18,13 +18,17 @@
 
 use crate::ast::{DenialConstraint, Operand, Predicate, TupleVar};
 use std::fmt;
+use std::sync::Arc;
 use trex_table::{AttrId, CellRef, Table, Value};
 
 /// A single violation witness of one DC.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Name of the violated constraint.
-    pub constraint: String,
+    /// Name of the violated constraint. Shared (`Arc<str>`) rather than
+    /// copied: large tables report tens of thousands of witnesses per DC,
+    /// and a per-witness heap allocation for the same few bytes dominated
+    /// the scan profile.
+    pub constraint: Arc<str>,
     /// Row bound to `t1`.
     pub row1: usize,
     /// Row bound to `t2` (`None` for unary DCs).
@@ -53,7 +57,7 @@ impl fmt::Display for Violation {
     }
 }
 
-fn operand_value<'t>(
+pub(crate) fn operand_value<'t>(
     op: &'t Operand,
     table: &'t Table,
     r1: usize,
@@ -130,7 +134,7 @@ pub(crate) fn violation_for(
         }
     }
     Some(Violation {
-        constraint: dc.name.clone(),
+        constraint: Arc::from(dc.name.as_str()),
         row1: r1,
         row2: if dc.is_binary() { Some(r2) } else { None },
         cells,

@@ -14,33 +14,58 @@
 //! [`crate::eval::find_violations`] (property-tested in `lib.rs`).
 
 use crate::ast::DenialConstraint;
-use crate::eval::{find_violations, violates_binding, Violation};
+use crate::compiled::CompiledDc;
+use crate::eval::{violation_for, Violation};
 use std::collections::HashMap;
-use trex_table::{Table, Value};
+use trex_table::{EncodedTable, Table};
 
-/// Build the partition key of `row` on `attrs`; `None` if any key cell is
-/// null.
-fn key_of(table: &Table, row: usize, attrs: &[trex_table::AttrId]) -> Option<Vec<Value>> {
+/// Build the partition key of `row` on `attrs` as dictionary codes; `None`
+/// if any key cell is null. Code equality is exactly the representational
+/// `Value` equality the old `Vec<Value>` keys used (the dictionary interns
+/// by it), so the buckets are unchanged — only cheaper to build.
+fn key_of(enc: &EncodedTable, row: usize, attrs: &[trex_table::AttrId]) -> Option<Vec<u32>> {
     let mut key = Vec::with_capacity(attrs.len());
     for a in attrs {
-        let v = table.value(row, *a);
-        if v.is_null() {
+        let code = enc.code(row, *a);
+        if enc.dict(*a).null_code() == Some(code) {
             return None;
         }
-        key.push(v.clone());
+        key.push(code);
     }
     Some(key)
 }
 
-/// The equality-join partition of a binary DC: row groups sharing a key on
-/// the DC's equality attributes, sorted by first member (the deterministic
-/// scan order). `None` when the DC is unary, has no equality join, or its
-/// join attributes do not resolve — callers fall back to the nested loop.
+/// [`key_of`] for joins of at most two attributes, packed into one `u64`
+/// (code equality on each attribute ⇔ equality of the packed word). Joins
+/// on one or two columns are the overwhelmingly common shape, and the
+/// oracle re-partitions a tiny masked table on every coalition repair — a
+/// heap-allocated `Vec<u32>` key per row is measurable there.
+fn packed_key_of(enc: &EncodedTable, row: usize, attrs: &[trex_table::AttrId]) -> Option<u64> {
+    let mut key = 0u64;
+    for a in attrs {
+        let code = enc.code(row, *a);
+        if enc.dict(*a).null_code() == Some(code) {
+            return None;
+        }
+        key = (key << 32) | u64::from(code);
+    }
+    Some(key)
+}
+
+/// The equality-join partition of a binary DC: the resolved key attributes
+/// and the row groups sharing a key on them, sorted by first member (the
+/// deterministic scan order). `None` when the DC is unary, has no equality
+/// join, or its join attributes do not resolve — callers fall back to the
+/// nested loop.
 ///
 /// Shared with [`crate::parallel`]: the serial and parallel indexed scans
 /// must partition identically so their outputs match violation-for-
 /// violation.
-pub(crate) fn equality_groups(dc: &DenialConstraint, table: &Table) -> Option<Vec<Vec<usize>>> {
+pub(crate) fn equality_groups(
+    dc: &DenialConstraint,
+    table: &Table,
+    enc: &EncodedTable,
+) -> Option<(Vec<trex_table::AttrId>, Vec<Vec<usize>>)> {
     if !dc.is_binary() {
         return None;
     }
@@ -57,28 +82,44 @@ pub(crate) fn equality_groups(dc: &DenialConstraint, table: &Table) -> Option<Ve
         return None;
     }
 
-    let mut buckets: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-    for row in 0..table.num_rows() {
-        if let Some(key) = key_of(table, row, &attrs) {
-            buckets.entry(key).or_default().push(row);
+    // Same buckets either way — the packed key is just `Vec<u32>` equality
+    // without the per-row allocation when the join is narrow enough.
+    let mut groups: Vec<Vec<usize>> = if attrs.len() <= 2 {
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for row in 0..table.num_rows() {
+            if let Some(key) = packed_key_of(enc, row, &attrs) {
+                buckets.entry(key).or_default().push(row);
+            }
         }
-    }
+        buckets.into_values().collect()
+    } else {
+        let mut buckets: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        for row in 0..table.num_rows() {
+            if let Some(key) = key_of(enc, row, &attrs) {
+                buckets.entry(key).or_default().push(row);
+            }
+        }
+        buckets.into_values().collect()
+    };
 
     // Deterministic order: iterate buckets by their first row index.
-    let mut groups: Vec<Vec<usize>> = buckets.into_values().collect();
     groups.sort_by_key(|g| g[0]);
-    Some(groups)
+    Some((attrs, groups))
 }
 
 /// Scan all ordered pairs within one equality group, appending witnesses in
-/// scan order. Shared with [`crate::parallel`] (see [`equality_groups`]).
+/// scan order. `key` is the partition key of [`equality_groups`] — its
+/// equality-join predicates are skipped, they hold by construction within a
+/// group. Shared with [`crate::parallel`].
 pub(crate) fn scan_group(
-    dc: &DenialConstraint,
+    cdc: &CompiledDc<'_>,
     table: &Table,
+    enc: &EncodedTable,
+    key: &[trex_table::AttrId],
     rows: &[usize],
     out: &mut Vec<Violation>,
 ) {
-    scan_group_block(dc, table, rows, 0..rows.len(), out);
+    scan_group_block(cdc, table, enc, key, rows, 0..rows.len(), out);
 }
 
 /// Scan one *block* of an equality group's pair matrix: the outer rows
@@ -89,90 +130,112 @@ pub(crate) fn scan_group(
 /// (blocks tile the outer loop in order, and each block's inner loop is
 /// the serial inner loop verbatim).
 pub(crate) fn scan_group_block(
-    dc: &DenialConstraint,
+    cdc: &CompiledDc<'_>,
     table: &Table,
+    enc: &EncodedTable,
+    key: &[trex_table::AttrId],
     rows: &[usize],
     outer: std::ops::Range<usize>,
     out: &mut Vec<Violation>,
 ) {
+    let bound = cdc.bind(enc, key);
     for &i in &rows[outer] {
         for &j in rows {
             if i == j {
                 continue;
             }
-            if violates_binding(dc, table, i, j) {
-                out.push(build_violation(dc, table, i, j));
+            if bound.holds(table, i, j) {
+                out.push(cdc.witness(i, j));
             }
         }
     }
 }
 
-/// Find all violations of a resolved DC using equality-key partitioning when
-/// possible; falls back to the nested loop for DCs without an equality join
-/// or for unary DCs.
-///
-/// Output is exactly the violation set of [`find_violations`], though the
-/// order may differ (callers needing a canonical order should sort).
-pub fn find_violations_indexed(dc: &DenialConstraint, table: &Table) -> Vec<Violation> {
-    let Some(groups) = equality_groups(dc, table) else {
-        return find_violations(dc, table);
-    };
+/// Nested-loop scan with the compiled pre-filter: exactly
+/// [`crate::eval::find_violations`] — same witnesses, same order — for DCs
+/// the equality partition cannot help (no join, or unary).
+pub(crate) fn nested_loop_compiled(
+    cdc: &CompiledDc<'_>,
+    table: &Table,
+    enc: &EncodedTable,
+) -> Vec<Violation> {
+    let dc = cdc.dc();
+    let bound = cdc.bind(enc, &[]);
+    let n = table.num_rows();
     let mut out = Vec::new();
-    for rows in groups {
-        scan_group(dc, table, &rows, &mut out);
+    if dc.is_binary() {
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                if bound.holds(table, i, j) {
+                    out.push(violation_for(dc, table, i, j).expect("pre-filter agreed"));
+                }
+            }
+        }
+    } else {
+        for i in 0..n {
+            if bound.holds(table, i, i) {
+                out.push(violation_for(dc, table, i, i).expect("pre-filter agreed"));
+            }
+        }
     }
     out
 }
 
-/// Reconstruct the witness for a known-violating ordered pair.
-pub(crate) fn build_violation(
-    dc: &DenialConstraint,
-    _table: &Table,
-    r1: usize,
-    r2: usize,
-) -> Violation {
-    use crate::ast::{Operand, TupleVar};
-    use trex_table::CellRef;
-    let mut cells: Vec<CellRef> = Vec::new();
-    for p in &dc.predicates {
-        for o in [&p.left, &p.right] {
-            if let Operand::Attr { var, attr_id, .. } = o {
-                let row = match var {
-                    TupleVar::T1 => r1,
-                    TupleVar::T2 => r2,
-                };
-                let c = CellRef::new(row, attr_id.expect("resolved"));
-                if !cells.contains(&c) {
-                    cells.push(c);
-                }
-            }
-        }
-    }
-    Violation {
-        constraint: dc.name.clone(),
-        row1: r1,
-        row2: Some(r2),
-        cells,
-    }
+/// Find all violations of a resolved DC using equality-key partitioning when
+/// possible; falls back to the nested loop for DCs without an equality join
+/// or for unary DCs. Encodes the table once; callers scanning several DCs
+/// over one table should use [`find_all_violations_indexed`], which shares
+/// the encoding.
+///
+/// Output is exactly the violation set of
+/// [`crate::eval::find_violations`], though the order may differ (callers
+/// needing a canonical order should sort).
+pub fn find_violations_indexed(dc: &DenialConstraint, table: &Table) -> Vec<Violation> {
+    let enc = EncodedTable::encode(table);
+    find_violations_indexed_with(dc, table, &enc)
 }
 
-/// Indexed variant of [`crate::eval::find_all_violations`].
+/// [`find_violations_indexed`] against a pre-built encoding of `table`.
+pub(crate) fn find_violations_indexed_with(
+    dc: &DenialConstraint,
+    table: &Table,
+    enc: &EncodedTable,
+) -> Vec<Violation> {
+    let cdc = CompiledDc::compile(dc);
+    let Some((key, groups)) = equality_groups(dc, table, enc) else {
+        return nested_loop_compiled(&cdc, table, enc);
+    };
+    let mut out = Vec::new();
+    for rows in groups {
+        scan_group(&cdc, table, enc, &key, &rows, &mut out);
+    }
+    out
+}
+
+/// Indexed variant of [`crate::eval::find_all_violations`]. The table is
+/// encoded once and shared across all DC scans.
 pub fn find_all_violations_indexed(dcs: &[DenialConstraint], table: &Table) -> Vec<Violation> {
+    let enc = EncodedTable::encode(table);
     dcs.iter()
-        .flat_map(|dc| find_violations_indexed(dc, table))
+        .flat_map(|dc| find_violations_indexed_with(dc, table, &enc))
         .collect()
 }
 
 /// Indexed variant of [`crate::eval::is_clean`]: short-circuits on the first
 /// violation.
 pub fn is_clean_indexed(dcs: &[DenialConstraint], table: &Table) -> bool {
+    let enc = EncodedTable::encode(table);
     dcs.iter()
-        .all(|dc| find_violations_indexed(dc, table).is_empty())
+        .all(|dc| find_violations_indexed_with(dc, table, &enc).is_empty())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::find_violations;
     use crate::parser::parse_dc;
     use trex_table::TableBuilder;
 

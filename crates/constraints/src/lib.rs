@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub(crate) mod compiled;
 pub mod eval;
 pub mod fd;
 pub mod gen;

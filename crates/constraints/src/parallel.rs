@@ -26,10 +26,11 @@
 //! `threads = 1` dispatches straight to the serial code (no spawn).
 
 use crate::ast::DenialConstraint;
+use crate::compiled::CompiledDc;
 use crate::eval::{collect_noisy_cells, violation_for, Violation};
-use crate::index::{equality_groups, find_violations_indexed, scan_group_block};
+use crate::index::{equality_groups, find_violations_indexed_with, scan_group_block};
 use std::ops::Range;
-use trex_table::{CellRef, Table};
+use trex_table::{CellRef, EncodedTable, Table};
 
 /// Split `0..items` into `threads` contiguous ranges whose sizes differ by
 /// at most one (front-loaded remainder).
@@ -104,19 +105,26 @@ where
 /// Parallel nested-loop scan (the fallback for DCs without an equality
 /// join): chunk the outer row range; each worker scans its rows `i` against
 /// every `j`.
-fn nested_loop_par(dc: &DenialConstraint, table: &Table, threads: usize) -> Vec<Violation> {
+fn nested_loop_par(
+    cdc: &CompiledDc<'_>,
+    table: &Table,
+    enc: &EncodedTable,
+    threads: usize,
+) -> Vec<Violation> {
+    let dc = cdc.dc();
     let n = table.num_rows();
     let ranges = chunk_ranges(n, threads);
     if dc.is_binary() {
         scan_on_workers(ranges, |rows| {
+            let bound = cdc.bind(enc, &[]);
             let mut out = Vec::new();
             for i in rows {
                 for j in 0..n {
                     if i == j {
                         continue;
                     }
-                    if let Some(v) = violation_for(dc, table, i, j) {
-                        out.push(v);
+                    if bound.holds(table, i, j) {
+                        out.push(violation_for(dc, table, i, j).expect("pre-filter agreed"));
                     }
                 }
             }
@@ -124,10 +132,11 @@ fn nested_loop_par(dc: &DenialConstraint, table: &Table, threads: usize) -> Vec<
         })
     } else {
         scan_on_workers(ranges, |rows| {
+            let bound = cdc.bind(enc, &[]);
             let mut out = Vec::new();
             for i in rows {
-                if let Some(v) = violation_for(dc, table, i, i) {
-                    out.push(v);
+                if bound.holds(table, i, i) {
+                    out.push(violation_for(dc, table, i, i).expect("pre-filter agreed"));
                 }
             }
             out
@@ -186,15 +195,27 @@ fn pair_blocks(groups: &[Vec<usize>], threads: usize) -> Vec<PairBlock> {
 /// equality-join path splits *within* buckets too ([`pair_blocks`]), so a
 /// degenerate table whose rows all share one key still parallelizes.
 pub fn find_violations_par(dc: &DenialConstraint, table: &Table, threads: usize) -> Vec<Violation> {
+    let enc = EncodedTable::encode(table);
+    find_violations_par_with(dc, table, &enc, threads)
+}
+
+/// [`find_violations_par`] against a pre-built encoding of `table`.
+fn find_violations_par_with(
+    dc: &DenialConstraint,
+    table: &Table,
+    enc: &EncodedTable,
+    threads: usize,
+) -> Vec<Violation> {
     assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
     // Clamp to the available work: spawning more workers than rows (the
     // finest work unit either path has) only burns spawn/join cycles.
     let threads = threads.min(table.num_rows()).max(1);
     if threads == 1 {
-        return find_violations_indexed(dc, table);
+        return find_violations_indexed_with(dc, table, enc);
     }
-    let Some(groups) = equality_groups(dc, table) else {
-        return nested_loop_par(dc, table, threads);
+    let cdc = CompiledDc::compile(dc);
+    let Some((key, groups)) = equality_groups(dc, table, enc) else {
+        return nested_loop_par(&cdc, table, enc, threads);
     };
     let blocks = pair_blocks(&groups, threads);
     let threads = threads.min(blocks.len()).max(1);
@@ -206,7 +227,15 @@ pub fn find_violations_par(dc: &DenialConstraint, table: &Table, threads: usize)
     scan_on_workers(ranges, |range| {
         let mut out = Vec::new();
         for blk in &blocks[range] {
-            scan_group_block(dc, table, &groups[blk.group], blk.outer.clone(), &mut out);
+            scan_group_block(
+                &cdc,
+                table,
+                enc,
+                &key,
+                &groups[blk.group],
+                blk.outer.clone(),
+                &mut out,
+            );
         }
         out
     })
@@ -214,13 +243,15 @@ pub fn find_violations_par(dc: &DenialConstraint, table: &Table, threads: usize)
 
 /// Parallel variant of [`crate::index::find_all_violations_indexed`]: every
 /// DC's scan is split over `threads` workers, DCs are processed in order.
+/// The table is encoded once and shared across all DC scans.
 pub fn find_all_violations_par(
     dcs: &[DenialConstraint],
     table: &Table,
     threads: usize,
 ) -> Vec<Violation> {
+    let enc = EncodedTable::encode(table);
     dcs.iter()
-        .flat_map(|dc| find_violations_par(dc, table, threads))
+        .flat_map(|dc| find_violations_par_with(dc, table, &enc, threads))
         .collect()
 }
 
@@ -233,14 +264,16 @@ pub fn noisy_cells_par(dcs: &[DenialConstraint], table: &Table, threads: usize) 
 
 /// Parallel variant of [`crate::index::is_clean_indexed`].
 pub fn is_clean_par(dcs: &[DenialConstraint], table: &Table, threads: usize) -> bool {
+    let enc = EncodedTable::encode(table);
     dcs.iter()
-        .all(|dc| find_violations_par(dc, table, threads).is_empty())
+        .all(|dc| find_violations_par_with(dc, table, &enc, threads).is_empty())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::eval::{find_violations, noisy_cells};
+    use crate::index::find_violations_indexed;
     use crate::parser::parse_dc;
     use trex_table::{TableBuilder, Value};
 
@@ -412,7 +445,8 @@ mod tests {
         // One 61-row bucket at 4 threads must not be a single work unit.
         let t = giant_bucket_table(61);
         let dc = resolved(DCS[0], &t);
-        let groups = equality_groups(&dc, &t).unwrap();
+        let enc = EncodedTable::encode(&t);
+        let (_, groups) = equality_groups(&dc, &t, &enc).unwrap();
         assert_eq!(groups.len(), 1, "all rows share the Team key");
         let blocks = pair_blocks(&groups, 4);
         assert!(blocks.len() >= 4, "got {} block(s)", blocks.len());

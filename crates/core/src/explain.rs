@@ -12,7 +12,7 @@ use std::fmt;
 use trex_constraints::DenialConstraint;
 use trex_repair::{RepairAlgorithm, RepairResult};
 use trex_shapley::{
-    parallel, shapley_exact, shapley_exact_rational, Game, ParallelConfig, Rational,
+    parallel, shapley_exact, shapley_exact_rational, ExecConfig, Game, ParallelConfig, Rational,
     SamplingConfig, Schedule, StochasticGame,
 };
 use trex_table::{CellRef, Table, Value};
@@ -128,24 +128,23 @@ pub struct CellExplanation {
 ///
 /// Cell explanations run on the parallel sampling engine
 /// (`trex_shapley::parallel`). The default is one worker, which reproduces
-/// the historical serial estimates bit for bit; [`Explainer::with_threads`]
-/// opts into multi-core sampling. The work [`Schedule`] defaults to
-/// [`Schedule::auto`] over the cell count — player-sharded (serial-identical
-/// output at any thread count) when the table has plenty of cells per
-/// worker, budget-split (deterministic per `(seed, threads)` pair)
-/// otherwise; [`Explainer::with_schedule`] pins one explicitly
-/// ([`Schedule::WorkStealing`] additionally steals adaptive rounds between
-/// workers, see the schedule docs for its determinism contract).
+/// the historical serial estimates bit for bit; [`Explainer::with_config`]
+/// with [`ExecConfig::with_threads`] opts into multi-core sampling. The
+/// work [`Schedule`] defaults to [`Schedule::auto`] over the cell count —
+/// player-sharded (serial-identical output at any thread count) when the
+/// table has plenty of cells per worker, budget-split (deterministic per
+/// `(seed, threads)` pair) otherwise; [`ExecConfig::with_schedule`] pins
+/// one explicitly ([`Schedule::WorkStealing`] additionally steals adaptive
+/// rounds between workers, see the schedule docs for its determinism
+/// contract).
 ///
 /// The memoizing repair oracle behind the coalition games grows with the
 /// number of distinct coalition tables visited;
-/// [`Explainer::with_oracle_capacity`] bounds it (entries, second-chance
+/// [`ExecConfig::with_oracle_cap`] bounds it (entries, second-chance
 /// eviction) without changing any result.
 pub struct Explainer<'a> {
     alg: &'a dyn RepairAlgorithm,
-    threads: usize,
-    schedule: Option<Schedule>,
-    oracle_capacity: Option<usize>,
+    cfg: ExecConfig,
 }
 
 impl<'a> Explainer<'a> {
@@ -154,35 +153,49 @@ impl<'a> Explainer<'a> {
     pub fn new(alg: &'a dyn RepairAlgorithm) -> Self {
         Explainer {
             alg,
-            threads: 1,
-            schedule: None,
-            oracle_capacity: None,
+            cfg: ExecConfig::default(),
         }
+    }
+
+    /// Apply an execution configuration wholesale: thread count, schedule,
+    /// and oracle capacity in one value shared with `Session` and the
+    /// repair engines. The config's `seed`, if set, is not consumed here —
+    /// sampling methods take their seed from the explicit
+    /// [`SamplingConfig`] argument.
+    pub fn with_config(mut self, cfg: ExecConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The explainer's execution configuration.
+    pub fn config(&self) -> ExecConfig {
+        self.cfg
     }
 
     /// Use `threads` sampling workers for cell explanations (must be ≥ 1;
     /// resolve user input with `trex_shapley::resolve_threads` first).
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
-        self.threads = threads;
-        self
+    #[deprecated(note = "build an ExecConfig and pass it to with_config")]
+    pub fn with_threads(self, threads: usize) -> Self {
+        let cfg = self.cfg.with_threads(threads);
+        self.with_config(cfg)
     }
 
     /// Pin the all-player sampling schedule instead of letting
     /// [`Schedule::auto`] choose from the cell count.
-    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
-        self.schedule = Some(schedule);
-        self
+    #[deprecated(note = "build an ExecConfig and pass it to with_config")]
+    pub fn with_schedule(self, schedule: Schedule) -> Self {
+        let cfg = self.cfg.with_schedule(schedule);
+        self.with_config(cfg)
     }
 
     /// The configured sampling worker count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.cfg.threads()
     }
 
     /// The pinned schedule, if any (`None` = auto by cell count).
     pub fn schedule(&self) -> Option<Schedule> {
-        self.schedule
+        self.cfg.schedule()
     }
 
     /// Bound the repair-oracle memo cache to `capacity` entries
@@ -190,20 +203,22 @@ impl<'a> Explainer<'a> {
     /// Explanation results are unchanged at any capacity — a smaller cache
     /// only recomputes more. The default is
     /// `trex_repair::ShardedOracle::DEFAULT_CAPACITY`.
-    pub fn with_oracle_capacity(mut self, capacity: usize) -> Self {
-        self.oracle_capacity = Some(capacity);
-        self
+    #[deprecated(note = "build an ExecConfig and pass it to with_config")]
+    pub fn with_oracle_capacity(self, capacity: usize) -> Self {
+        let cfg = self.cfg.with_oracle_cap(capacity);
+        self.with_config(cfg)
     }
 
     /// The pinned oracle capacity, if any (`None` = the oracle default).
     pub fn oracle_capacity(&self) -> Option<usize> {
-        self.oracle_capacity
+        self.cfg.oracle_cap()
     }
 
     /// The schedule an explanation over `players` cells will use.
     fn schedule_for(&self, players: usize) -> Schedule {
-        self.schedule
-            .unwrap_or_else(|| Schedule::auto(players, self.threads))
+        self.cfg
+            .schedule()
+            .unwrap_or_else(|| Schedule::auto(players, self.threads()))
     }
 
     /// Build the constraint game with this explainer's oracle capacity.
@@ -217,7 +232,7 @@ impl<'a> Explainer<'a> {
     where
         'a: 'b,
     {
-        match self.oracle_capacity {
+        match self.cfg.oracle_cap() {
             Some(cap) => {
                 ConstraintGame::with_oracle_capacity(self.alg, dcs, dirty, cell, target, cap)
             }
@@ -237,7 +252,7 @@ impl<'a> Explainer<'a> {
     where
         'a: 'b,
     {
-        match self.oracle_capacity {
+        match self.cfg.oracle_cap() {
             Some(cap) => {
                 CellGameMasked::with_oracle_capacity(self.alg, dcs, dirty, cell, target, mode, cap)
             }
@@ -381,7 +396,7 @@ impl<'a> Explainer<'a> {
         let schedule = self.schedule_for(StochasticGame::num_players(&game));
         let estimates = parallel::estimate_all(
             &game,
-            ParallelConfig::from_sampling(config, self.threads).with_schedule(schedule),
+            ParallelConfig::from_sampling(config, self.threads()).with_schedule(schedule),
         );
         let players = game.players().to_vec();
         let ranking = Ranking::with_errors(
@@ -434,7 +449,7 @@ impl<'a> Explainer<'a> {
             config.batch,
             config.max_samples,
             config.seed,
-            self.threads,
+            self.threads(),
             schedule,
         )
         .into_iter()
@@ -480,7 +495,7 @@ impl<'a> Explainer<'a> {
         let schedule = self.schedule_for(Game::num_players(&game));
         let estimates = parallel::estimate_all_walk(
             &game,
-            ParallelConfig::from_sampling(config, self.threads).with_schedule(schedule),
+            ParallelConfig::from_sampling(config, self.threads()).with_schedule(schedule),
         );
         let players = game.players().to_vec();
         let ranking = Ranking::with_errors(
@@ -524,7 +539,7 @@ impl<'a> Explainer<'a> {
         let schedule = self.schedule_for(players.len());
         let screened = parallel::estimate_all_walk(
             &game,
-            ParallelConfig::from_sampling(screen, self.threads).with_schedule(schedule),
+            ParallelConfig::from_sampling(screen, self.threads()).with_schedule(schedule),
         );
 
         // Leaders by screened value.
@@ -541,7 +556,7 @@ impl<'a> Explainer<'a> {
                 ParallelConfig::new(
                     refine_samples,
                     screen.seed.wrapping_add(1000 + slot as u64),
-                    self.threads,
+                    self.threads(),
                 ),
             );
             values[p] = refined.value;
@@ -908,7 +923,7 @@ mod tests {
         };
         let run = |threads: usize| {
             Explainer::new(&alg)
-                .with_threads(threads)
+                .with_config(ExecConfig::new().with_threads(threads))
                 .explain_cells_masked(&dcs, &dirty, cell, MaskMode::Null, cfg)
                 .unwrap()
         };
@@ -939,7 +954,7 @@ mod tests {
             max_samples: 400,
             ..AdaptiveConfig::default()
         };
-        let ex = Explainer::new(&alg).with_threads(2);
+        let ex = Explainer::new(&alg).with_config(ExecConfig::new().with_threads(2));
         let (a, conv_a) = ex
             .explain_cells_adaptive(&dcs, &dirty, cell, config)
             .unwrap();
@@ -961,24 +976,51 @@ mod tests {
     }
 
     #[test]
-    fn explainer_threads_accessor_and_default() {
+    fn explainer_config_accessors_and_defaults() {
         let alg = laliga::algorithm1();
         assert_eq!(Explainer::new(&alg).threads(), 1);
-        assert_eq!(Explainer::new(&alg).with_threads(8).threads(), 8);
         assert_eq!(Explainer::new(&alg).schedule(), None);
+        assert_eq!(Explainer::new(&alg).oracle_capacity(), None);
+        assert_eq!(Explainer::new(&alg).config(), ExecConfig::default());
+        let cfg = ExecConfig::new()
+            .with_threads(8)
+            .with_schedule(Schedule::PlayerSharded)
+            .with_oracle_cap(64);
+        let ex = Explainer::new(&alg).with_config(cfg);
+        assert_eq!(ex.threads(), 8);
+        assert_eq!(ex.schedule(), Some(Schedule::PlayerSharded));
+        assert_eq!(ex.oracle_capacity(), Some(64));
+        assert_eq!(ex.config(), cfg);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_explainer_shims_delegate_to_the_config() {
+        // Each legacy builder must behave exactly like editing the config.
+        let alg = laliga::algorithm1();
+        assert_eq!(Explainer::new(&alg).with_threads(8).threads(), 8);
         assert_eq!(
             Explainer::new(&alg)
                 .with_schedule(Schedule::PlayerSharded)
                 .schedule(),
             Some(Schedule::PlayerSharded)
         );
-        assert_eq!(Explainer::new(&alg).oracle_capacity(), None);
         assert_eq!(
             Explainer::new(&alg)
                 .with_oracle_capacity(64)
                 .oracle_capacity(),
             Some(64)
         );
+        // Shims and with_config land on the same ExecConfig.
+        let chained = Explainer::new(&alg)
+            .with_threads(2)
+            .with_schedule(Schedule::WorkStealing)
+            .with_oracle_capacity(16);
+        let direct = ExecConfig::new()
+            .with_threads(2)
+            .with_schedule(Schedule::WorkStealing)
+            .with_oracle_cap(16);
+        assert_eq!(chained.config(), direct);
     }
 
     #[test]
@@ -1001,7 +1043,7 @@ mod tests {
             .explain_cells_masked(&dcs, &dirty, cell, MaskMode::Null, cfg)
             .unwrap();
         for capacity in [0usize, 3, 17, 1 << 20] {
-            let ex = Explainer::new(&alg).with_oracle_capacity(capacity);
+            let ex = Explainer::new(&alg).with_config(ExecConfig::new().with_oracle_cap(capacity));
             let cons = ex.explain_constraints(&dcs, &dirty, cell).unwrap();
             assert_eq!(cons.exact, reference_cons.exact, "capacity {capacity}");
             let cells = ex
@@ -1028,8 +1070,11 @@ mod tests {
         };
         let run = |threads: usize| {
             Explainer::new(&alg)
-                .with_threads(threads)
-                .with_schedule(Schedule::WorkStealing)
+                .with_config(
+                    ExecConfig::new()
+                        .with_threads(threads)
+                        .with_schedule(Schedule::WorkStealing),
+                )
                 .explain_cells_adaptive(&dcs, &dirty, cell, config)
                 .unwrap()
         };
@@ -1057,8 +1102,11 @@ mod tests {
         };
         let run = |threads: usize| {
             Explainer::new(&alg)
-                .with_threads(threads)
-                .with_schedule(Schedule::PlayerSharded)
+                .with_config(
+                    ExecConfig::new()
+                        .with_threads(threads)
+                        .with_schedule(Schedule::PlayerSharded),
+                )
                 .explain_cells_masked(&dcs, &dirty, cell, MaskMode::Null, cfg)
                 .unwrap()
         };
@@ -1069,8 +1117,11 @@ mod tests {
         // Same for the replacement-semantics per-player estimator.
         let run_sampled = |threads: usize| {
             Explainer::new(&alg)
-                .with_threads(threads)
-                .with_schedule(Schedule::PlayerSharded)
+                .with_config(
+                    ExecConfig::new()
+                        .with_threads(threads)
+                        .with_schedule(Schedule::PlayerSharded),
+                )
                 .explain_cells_sampled(
                     &dcs,
                     &dirty,
@@ -1106,8 +1157,11 @@ mod tests {
         };
         let run = |threads: usize| {
             Explainer::new(&alg)
-                .with_threads(threads)
-                .with_schedule(Schedule::PlayerSharded)
+                .with_config(
+                    ExecConfig::new()
+                        .with_threads(threads)
+                        .with_schedule(Schedule::PlayerSharded),
+                )
                 .explain_cells_adaptive(&dcs, &dirty, cell, config)
                 .unwrap()
         };

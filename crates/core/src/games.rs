@@ -25,10 +25,20 @@
 //! so there is nothing to cache and every sample pays a full repair.
 
 use rand::RngCore;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use trex_constraints::DenialConstraint;
-use trex_repair::{OracleStats, RepairAlgorithm, ShardedOracle};
+use trex_repair::{hash_value, OracleStats, RepairAlgorithm, ShardedOracle};
 use trex_shapley::{Coalition, Game, StochasticGame};
-use trex_table::{CellRef, Table, TableSamplers, Value};
+use trex_table::{CellRef, EncodedTable, Table, TableSamplers, Value};
+
+/// Sentinel fingerprint for a Null-masked cell whose column dictionary has
+/// no null code (codes are `u32`, so this cannot collide with one).
+const MASK_NULL_SENTINEL: u64 = 1 << 32;
+/// Base fingerprint for a Distinct-masked cell: `BASE | flat_index`. Flat
+/// indices are far below 2^32, so these collide with neither codes nor the
+/// null sentinel.
+const MASK_DISTINCT_BASE: u64 = 1 << 33;
 
 /// How a cell outside the coalition is represented in the masked table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,9 +67,43 @@ pub struct ConstraintGame<'a> {
     dirty: &'a Table,
     cell: CellRef,
     target: Value,
+    /// Precomputed oracle-key components: the table fingerprint and target
+    /// hash are coalition-invariant, and the per-DC display hashes let
+    /// [`Game::value`] fingerprint a subset without cloning it — the DC
+    /// clones happen only inside a cache miss.
+    dirty_fp: u64,
+    target_hash: u64,
+    dc_hashes: Vec<u64>,
 }
 
 impl<'a> ConstraintGame<'a> {
+    fn build(
+        oracle: ShardedOracle<'a>,
+        dcs: &'a [DenialConstraint],
+        dirty: &'a Table,
+        cell: CellRef,
+        target: Value,
+    ) -> Self {
+        let dc_hashes = dcs
+            .iter()
+            .map(|dc| {
+                let mut h = DefaultHasher::new();
+                dc.to_string().hash(&mut h);
+                h.finish()
+            })
+            .collect();
+        ConstraintGame {
+            oracle,
+            dcs,
+            dirty,
+            cell,
+            dirty_fp: dirty.fingerprint(),
+            target_hash: hash_value(&target),
+            target,
+            dc_hashes,
+        }
+    }
+
     /// Build the game. `target` is the clean value `t^c[A]` the repair is
     /// expected to produce (obtain it from a full repair run).
     pub fn new(
@@ -69,13 +113,7 @@ impl<'a> ConstraintGame<'a> {
         cell: CellRef,
         target: Value,
     ) -> Self {
-        ConstraintGame {
-            oracle: ShardedOracle::new(alg),
-            dcs,
-            dirty,
-            cell,
-            target,
-        }
+        Self::build(ShardedOracle::new(alg), dcs, dirty, cell, target)
     }
 
     /// Build the game with an explicit oracle cache capacity (entries):
@@ -91,13 +129,13 @@ impl<'a> ConstraintGame<'a> {
         target: Value,
         capacity: usize,
     ) -> Self {
-        ConstraintGame {
-            oracle: ShardedOracle::with_capacity(alg, capacity),
+        Self::build(
+            ShardedOracle::with_capacity(alg, capacity),
             dcs,
             dirty,
             cell,
             target,
-        }
+        )
     }
 
     /// Disable oracle caching (ablation A1).
@@ -123,11 +161,30 @@ impl Game for ConstraintGame<'_> {
     }
 
     fn value(&self, coalition: &Coalition) -> f64 {
-        let subset: Vec<DenialConstraint> = coalition.iter().map(|i| self.dcs[i].clone()).collect();
-        if self
-            .oracle
-            .repairs_cell_to(&subset, self.dirty, self.cell, &self.target)
-        {
+        // Fingerprint the subset from the precomputed per-DC hashes: two
+        // coalitions share a key exactly when they select the same DC
+        // display sequence, the same sharing `hash_dcs` over the cloned
+        // subset produced. The clone is deferred into the miss closure.
+        let mut h = DefaultHasher::new();
+        let mut len = 0usize;
+        for i in coalition.iter() {
+            self.dc_hashes[i].hash(&mut h);
+            len += 1;
+        }
+        len.hash(&mut h);
+        let key = (h.finish(), self.dirty_fp, self.cell, self.target_hash);
+        let repaired = self.oracle.query_keyed(key, || {
+            let subset: Vec<DenialConstraint> =
+                coalition.iter().map(|i| self.dcs[i].clone()).collect();
+            trex_repair::repairs_cell_to(
+                self.oracle.algorithm(),
+                &subset,
+                self.dirty,
+                self.cell,
+                &self.target,
+            )
+        });
+        if repaired {
             1.0
         } else {
             0.0
@@ -159,9 +216,39 @@ pub struct CellGameMasked<'a> {
     target: Value,
     players: Vec<CellRef>,
     mode: MaskMode,
+    /// Dictionary encoding of `dirty`: coalition fingerprints are packed
+    /// per-cell code vectors hashed straight from here — a cache hit never
+    /// clones or masks a table (see [`CellGameMasked::coalition_key`]).
+    enc: EncodedTable,
+    dirty_fp: u64,
+    dcs_hash: u64,
+    target_hash: u64,
 }
 
 impl<'a> CellGameMasked<'a> {
+    fn build(
+        oracle: ShardedOracle<'a>,
+        dcs: &'a [DenialConstraint],
+        dirty: &'a Table,
+        cell: CellRef,
+        target: Value,
+        mode: MaskMode,
+    ) -> Self {
+        CellGameMasked {
+            oracle,
+            dcs,
+            dirty,
+            cell,
+            players: cell_players(dirty, cell),
+            mode,
+            enc: EncodedTable::encode(dirty),
+            dirty_fp: dirty.fingerprint(),
+            dcs_hash: trex_repair::hash_dcs(dcs),
+            target_hash: hash_value(&target),
+            target,
+        }
+    }
+
     /// Build the game over all cells except the cell of interest.
     pub fn new(
         alg: &'a dyn RepairAlgorithm,
@@ -171,15 +258,7 @@ impl<'a> CellGameMasked<'a> {
         target: Value,
         mode: MaskMode,
     ) -> Self {
-        CellGameMasked {
-            oracle: ShardedOracle::new(alg),
-            dcs,
-            dirty,
-            cell,
-            target,
-            players: cell_players(dirty, cell),
-            mode,
-        }
+        Self::build(ShardedOracle::new(alg), dcs, dirty, cell, target, mode)
     }
 
     /// Build the game with an explicit oracle cache capacity (entries):
@@ -198,15 +277,14 @@ impl<'a> CellGameMasked<'a> {
         mode: MaskMode,
         capacity: usize,
     ) -> Self {
-        CellGameMasked {
-            oracle: ShardedOracle::with_capacity(alg, capacity),
+        Self::build(
+            ShardedOracle::with_capacity(alg, capacity),
             dcs,
             dirty,
             cell,
             target,
-            players: cell_players(dirty, cell),
             mode,
-        }
+        )
     }
 
     /// The player list (cell references), index-aligned with Shapley output.
@@ -236,6 +314,40 @@ impl<'a> CellGameMasked<'a> {
         }
         out
     }
+
+    /// The oracle key of a coalition, computed without materializing the
+    /// masked table: hash the dirty fingerprint, the mask mode, and one
+    /// `u64` per player cell — its dictionary code when in the coalition,
+    /// a mask fingerprint otherwise. A Null-masked cell maps to the
+    /// column's null code (so masking an already-null cell shares its key
+    /// with including it, exactly as the materialized tables coincide) or
+    /// to [`MASK_NULL_SENTINEL`] when the column has no null; a
+    /// Distinct-masked cell maps to [`MASK_DISTINCT_BASE`]`| flat_index`,
+    /// mirroring the pairwise-distinct labeled nulls it would become. Two
+    /// coalitions share a key exactly when their masked tables are equal —
+    /// the same sharing that hashing the materialized table produced.
+    fn coalition_key(&self, coalition: &Coalition) -> trex_repair::OracleKey {
+        let arity = self.dirty.arity();
+        let mut h = DefaultHasher::new();
+        self.dirty_fp.hash(&mut h);
+        (self.mode == MaskMode::Distinct).hash(&mut h);
+        for (idx, player) in self.players.iter().enumerate() {
+            let fp = if coalition.contains(idx) {
+                u64::from(self.enc.code(player.row, player.attr))
+            } else {
+                match self.mode {
+                    MaskMode::Null => self
+                        .enc
+                        .dict(player.attr)
+                        .null_code()
+                        .map_or(MASK_NULL_SENTINEL, u64::from),
+                    MaskMode::Distinct => MASK_DISTINCT_BASE | player.flat_index(arity) as u64,
+                }
+            };
+            fp.hash(&mut h);
+        }
+        (self.dcs_hash, h.finish(), self.cell, self.target_hash)
+    }
 }
 
 impl Game for CellGameMasked<'_> {
@@ -244,11 +356,18 @@ impl Game for CellGameMasked<'_> {
     }
 
     fn value(&self, coalition: &Coalition) -> f64 {
-        let table = self.coalition_table(coalition);
-        if self
-            .oracle
-            .repairs_cell_to(self.dcs, &table, self.cell, &self.target)
-        {
+        let key = self.coalition_key(coalition);
+        let repaired = self.oracle.query_keyed(key, || {
+            let table = self.coalition_table(coalition);
+            trex_repair::repairs_cell_to(
+                self.oracle.algorithm(),
+                self.dcs,
+                &table,
+                self.cell,
+                &self.target,
+            )
+        });
+        if repaired {
             1.0
         } else {
             0.0

@@ -48,3 +48,4 @@ pub use games::{cell_players, CellGameMasked, CellGameSampled, ConstraintGame, M
 pub use ranking::{RankEntry, Ranking, INTENSITY_LEVELS};
 pub use report::{render_explanation_screen, render_input_screen, render_repair_screen};
 pub use session::{HistoryEntry, Session};
+pub use trex_shapley::ExecConfig;

@@ -10,7 +10,7 @@ use crate::explain::{CellExplanation, ConstraintExplanation, ExplainError, Expla
 use crate::games::MaskMode;
 use trex_constraints::{DenialConstraint, ResolveError, Violation};
 use trex_repair::{RepairAlgorithm, RepairResult};
-use trex_shapley::{SamplingConfig, Schedule};
+use trex_shapley::{ExecConfig, SamplingConfig, Schedule};
 use trex_table::{CellRef, Table, Value};
 
 /// One entry of the session's repair history.
@@ -28,38 +28,49 @@ pub struct Session {
     table: Table,
     dcs: Vec<DenialConstraint>,
     history: Vec<HistoryEntry>,
-    threads: usize,
-    schedule: Option<Schedule>,
-    oracle_capacity: Option<usize>,
+    cfg: ExecConfig,
 }
 
 impl Session {
     /// Start a session over a dirty table and constraint set. Explanations
-    /// run single-threaded by default; see [`Session::set_threads`].
+    /// run single-threaded by default; see [`Session::with_config`].
     pub fn new(alg: Box<dyn RepairAlgorithm>, table: Table, dcs: Vec<DenialConstraint>) -> Self {
         Session {
             alg,
             table,
             dcs,
             history: Vec::new(),
-            threads: 1,
-            schedule: None,
-            oracle_capacity: None,
+            cfg: ExecConfig::default(),
         }
+    }
+
+    /// Apply an execution configuration wholesale: thread count, schedule,
+    /// and oracle capacity in one value shared with `Explainer` and the
+    /// repair engines. The config's `seed`, if set, is not consumed here —
+    /// explanation methods take their seed from the explicit
+    /// [`SamplingConfig`] argument.
+    pub fn with_config(mut self, cfg: ExecConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The session's execution configuration.
+    pub fn config(&self) -> ExecConfig {
+        self.cfg
     }
 
     /// Use `threads` sampling workers for the session's cell explanations
     /// (must be ≥ 1; resolve user input with
     /// `trex_shapley::resolve_threads` first). Explanations stay
     /// deterministic per `(seed, threads)` pair.
+    #[deprecated(note = "build an ExecConfig and pass it to with_config")]
     pub fn set_threads(&mut self, threads: usize) {
-        assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
-        self.threads = threads;
+        self.cfg = self.cfg.with_threads(threads);
     }
 
     /// The configured sampling worker count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.cfg.threads()
     }
 
     /// Pin the all-player sampling schedule for the session's cell
@@ -67,13 +78,14 @@ impl Session {
     /// thread count, `Schedule::BudgetSplit` deterministic per
     /// `(seed, threads)`). The default lets `Schedule::auto` choose from
     /// the cell count.
+    #[deprecated(note = "build an ExecConfig and pass it to with_config")]
     pub fn set_schedule(&mut self, schedule: Schedule) {
-        self.schedule = Some(schedule);
+        self.cfg = self.cfg.with_schedule(schedule);
     }
 
     /// The pinned schedule, if any (`None` = auto by cell count).
     pub fn schedule(&self) -> Option<Schedule> {
-        self.schedule
+        self.cfg.schedule()
     }
 
     /// Bound the repair-oracle memo cache of the session's explanations to
@@ -81,26 +93,20 @@ impl Session {
     /// caching). Explanation results are unchanged at any capacity — the
     /// knob trades recomputation time for bounded memory on long sessions
     /// over large tables.
+    #[deprecated(note = "build an ExecConfig and pass it to with_config")]
     pub fn set_oracle_capacity(&mut self, capacity: usize) {
-        self.oracle_capacity = Some(capacity);
+        self.cfg = self.cfg.with_oracle_cap(capacity);
     }
 
     /// The pinned oracle capacity, if any (`None` = the oracle default).
     pub fn oracle_capacity(&self) -> Option<usize> {
-        self.oracle_capacity
+        self.cfg.oracle_cap()
     }
 
-    /// The session's explainer: the wrapped algorithm with the session's
-    /// thread count, schedule, and oracle capacity applied.
+    /// The session's explainer: the wrapped algorithm under the session's
+    /// execution configuration.
     fn explainer(&self) -> Explainer<'_> {
-        let mut ex = Explainer::new(self.alg.as_ref()).with_threads(self.threads);
-        if let Some(s) = self.schedule {
-            ex = ex.with_schedule(s);
-        }
-        if let Some(cap) = self.oracle_capacity {
-            ex = ex.with_oracle_capacity(cap);
-        }
-        ex
+        Explainer::new(self.alg.as_ref()).with_config(self.cfg)
     }
 
     /// The current (possibly user-edited) dirty table.
@@ -132,7 +138,7 @@ impl Session {
         Ok(trex_constraints::find_all_violations_par(
             &resolved?,
             &self.table,
-            self.threads,
+            self.threads(),
         ))
     }
 
@@ -160,7 +166,7 @@ impl Session {
     /// cache counters (hits, misses, evictions) the explanation
     /// accumulated — the cache-pressure telemetry `exp_stress` records.
     /// The explanation itself is identical at any
-    /// [`Session::set_oracle_capacity`] setting.
+    /// [`ExecConfig::with_oracle_cap`] setting.
     pub fn explain_constraints_with_stats(
         &self,
         cell: CellRef,
@@ -378,9 +384,9 @@ mod tests {
 
     #[test]
     fn session_threads_affect_explanations_deterministically() {
-        let mut s = session();
+        let s = session();
         assert_eq!(s.threads(), 1);
-        s.set_threads(2);
+        let s = s.with_config(ExecConfig::new().with_threads(2));
         assert_eq!(s.threads(), 2);
         let cell = laliga::cell_of_interest(s.table());
         let cfg = SamplingConfig {
@@ -395,10 +401,10 @@ mod tests {
 
     #[test]
     fn session_violations_match_direct_detection_at_any_thread_count() {
-        let mut s = session();
+        let s = session();
         let serial = s.violations().unwrap();
         assert!(!serial.is_empty(), "the demo table starts dirty");
-        s.set_threads(4);
+        let mut s = s.with_config(ExecConfig::new().with_threads(4));
         assert_eq!(s.violations().unwrap(), serial);
         // Fixing the table empties the list.
         let r = s.repair();
@@ -410,12 +416,14 @@ mod tests {
 
     #[test]
     fn session_schedule_pin_is_serial_identical() {
-        let mut a = session();
+        let a = session().with_config(
+            ExecConfig::new()
+                .with_threads(4)
+                .with_schedule(Schedule::PlayerSharded),
+        );
         let b = session();
-        a.set_schedule(Schedule::PlayerSharded);
         assert_eq!(a.schedule(), Some(Schedule::PlayerSharded));
         assert_eq!(b.schedule(), None);
-        a.set_threads(4);
         let cell = laliga::cell_of_interest(a.table());
         let cfg = SamplingConfig {
             samples: 200,
@@ -430,9 +438,8 @@ mod tests {
 
     #[test]
     fn session_oracle_capacity_preserves_results() {
-        let mut bounded = session();
+        let bounded = session().with_config(ExecConfig::new().with_oracle_cap(4));
         let reference = session();
-        bounded.set_oracle_capacity(4);
         assert_eq!(bounded.oracle_capacity(), Some(4));
         assert_eq!(reference.oracle_capacity(), None);
         let cell = laliga::cell_of_interest(bounded.table());
@@ -454,8 +461,7 @@ mod tests {
 
     #[test]
     fn explain_with_stats_reports_oracle_pressure() {
-        let mut bounded = session();
-        bounded.set_oracle_capacity(4);
+        let bounded = session().with_config(ExecConfig::new().with_oracle_cap(4));
         let cell = laliga::cell_of_interest(bounded.table());
         let (cons, stats) = bounded.explain_constraints_with_stats(cell).unwrap();
         // Identical explanation to the unbounded session...
@@ -469,6 +475,23 @@ mod tests {
         assert!(stats.evictions > 0, "capacity 4 must evict: {stats:?}");
         assert_eq!(unbounded.evictions, 0, "{unbounded:?}");
         assert!(unbounded.hits > 0, "the rational pass re-reads the memo");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_session_setters_delegate_to_the_config() {
+        // Each legacy setter must behave exactly like editing the config.
+        let mut s = session();
+        s.set_threads(4);
+        s.set_schedule(Schedule::WorkStealing);
+        s.set_oracle_capacity(32);
+        assert_eq!(
+            s.config(),
+            ExecConfig::new()
+                .with_threads(4)
+                .with_schedule(Schedule::WorkStealing)
+                .with_oracle_cap(32)
+        );
     }
 
     #[test]

@@ -224,7 +224,7 @@ mod tests {
             .map(|d| d.resolved(t.schema()).unwrap())
             .collect();
         let vs = trex_constraints::find_all_violations(&dcs, &t);
-        assert!(vs.iter().any(|v| v.constraint == "S3" && v.row1 == 3));
-        assert!(vs.iter().any(|v| v.constraint == "S4" && v.row1 == 7));
+        assert!(vs.iter().any(|v| &*v.constraint == "S3" && v.row1 == 3));
+        assert!(vs.iter().any(|v| &*v.constraint == "S4" && v.row1 == 7));
     }
 }

@@ -57,6 +57,7 @@ impl HolisticRepair {
     /// is identical at any thread count, so the repair result never depends
     /// on it — the greedy loop's violation counts drive *every* step, which
     /// makes this engine the biggest beneficiary of the parallel scan.
+    #[deprecated(note = "build an ExecConfig and pass it to with_exec")]
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
         self.threads = threads;
@@ -112,6 +113,11 @@ impl HolisticRepair {
 impl RepairAlgorithm for HolisticRepair {
     fn name(&self) -> &str {
         "holistic"
+    }
+
+    fn with_exec(mut self, cfg: &trex_shapley::ExecConfig) -> Self {
+        self.threads = cfg.threads();
+        self
     }
 
     fn repair(&self, dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
@@ -282,7 +288,7 @@ mod tests {
         let serial = HolisticRepair::new().repair(&dcs(), &dirty());
         for threads in [2usize, 4] {
             let par = HolisticRepair::new()
-                .with_threads(threads)
+                .with_exec(&trex_shapley::ExecConfig::new().with_threads(threads))
                 .repair(&dcs(), &dirty());
             assert_eq!(serial.clean, par.clean, "threads {threads}");
             assert_eq!(serial.changes, par.changes);

@@ -92,6 +92,7 @@ impl HoloCleanStyle {
 
     /// Detect violations on `threads` workers (must be ≥ 1; resolve user
     /// input with `trex_shapley::resolve_threads` first).
+    #[deprecated(note = "build an ExecConfig and pass it to with_exec")]
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
         self.config.threads = threads;
@@ -102,6 +103,11 @@ impl HoloCleanStyle {
 impl RepairAlgorithm for HoloCleanStyle {
     fn name(&self) -> &str {
         "holoclean-style"
+    }
+
+    fn with_exec(mut self, cfg: &trex_shapley::ExecConfig) -> Self {
+        self.config.threads = cfg.threads();
+        self
     }
 
     fn repair(&self, dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
@@ -239,7 +245,7 @@ mod tests {
     fn threaded_detection_gives_identical_repairs() {
         let serial = HoloCleanStyle::new().repair(&dcs(), &dirty());
         let par = HoloCleanStyle::new()
-            .with_threads(4)
+            .with_exec(&trex_shapley::ExecConfig::new().with_threads(4))
             .repair(&dcs(), &dirty());
         assert_eq!(serial.clean, par.clean);
         assert_eq!(serial.changes, par.changes);

@@ -37,8 +37,8 @@ pub use holoclean::{HoloCleanConfig, HoloCleanStyle};
 pub use metrics::{cell_accuracy, score_repair, score_tables, RepairQuality};
 pub use simple::{FixAction, Rule, RuleParseError, RuleRepair};
 pub use traits::{
-    repairs_cell_to, CachedOracle, NoOpRepair, OracleStats, PanicGuard, RepairAlgorithm,
-    RepairResult, ShardedOracle,
+    hash_dcs, hash_value, repairs_cell_to, CachedOracle, NoOpRepair, OracleKey, OracleStats,
+    PanicGuard, RepairAlgorithm, RepairResult, ShardedOracle,
 };
 
 // Property tests, gated behind the `proptest` feature to keep plain

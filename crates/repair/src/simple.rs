@@ -134,6 +134,7 @@ impl RuleRepair {
     /// input with `trex_shapley::resolve_threads` first). The repair result
     /// is identical at any thread count — parallel detection returns the
     /// serial witness list — so this is purely a wall-time knob.
+    #[deprecated(note = "build an ExecConfig and pass it to with_exec")]
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
         self.threads = threads;
@@ -367,6 +368,11 @@ impl RuleRepair {
 impl RepairAlgorithm for RuleRepair {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn with_exec(mut self, cfg: &trex_shapley::ExecConfig) -> Self {
+        self.threads = cfg.threads();
+        self
     }
 
     fn repair(&self, dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
@@ -690,8 +696,20 @@ mod tests {
     #[test]
     fn threaded_detection_gives_identical_repairs() {
         let serial = rules().repair(&dcs(), &dirty());
-        let par = rules().with_threads(4).repair(&dcs(), &dirty());
+        let cfg = trex_shapley::ExecConfig::new().with_threads(4);
+        let par = rules().with_exec(&cfg).repair(&dcs(), &dirty());
         assert_eq!(serial.clean, par.clean);
         assert_eq!(serial.changes, par.changes);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_threads_matches_with_exec() {
+        // The legacy builder must configure exactly what with_exec does.
+        let cfg = trex_shapley::ExecConfig::new().with_threads(4);
+        let a = rules().with_threads(4).repair(&dcs(), &dirty());
+        let b = rules().with_exec(&cfg).repair(&dcs(), &dirty());
+        assert_eq!(a.clean, b.clean);
+        assert_eq!(a.changes, b.changes);
     }
 }

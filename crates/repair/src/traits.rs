@@ -74,6 +74,24 @@ pub trait RepairAlgorithm: Sync {
     /// `dirty.schema()` themselves. Constraints mentioning attributes that
     /// do not exist in the schema are a caller bug and may panic.
     fn repair(&self, dcs: &[DenialConstraint], dirty: &Table) -> RepairResult;
+
+    /// Apply the shared execution configuration
+    /// ([`trex_shapley::ExecConfig`]) to this engine at construction time.
+    ///
+    /// The default ignores the config — most engines have no execution
+    /// knobs. Engines that parallelize their violation scans
+    /// ([`crate::RuleRepair`], [`crate::HoloCleanStyle`],
+    /// [`crate::HolisticRepair`]) override it to take the thread count;
+    /// every engine ignores the config's schedule, oracle capacity, and
+    /// seed, which configure the explanation layers instead. Builder-style
+    /// (consumes and returns `self`), so it is only callable on concrete
+    /// engines, not `dyn RepairAlgorithm`.
+    fn with_exec(self, _cfg: &trex_shapley::ExecConfig) -> Self
+    where
+        Self: Sized,
+    {
+        self
+    }
 }
 
 /// The binary view `Alg|t[A](C, T^d)` of §2.1: `true` iff running the repair
@@ -96,7 +114,10 @@ pub fn repairs_cell_to(
     result.clean.get(cell) == target
 }
 
-fn hash_dcs(dcs: &[DenialConstraint]) -> u64 {
+/// Order-sensitive hash of a DC list (by display form). Part of the oracle
+/// cache key; public so games can pre-hash per-DC components and assemble
+/// subset keys without cloning the subset (see [`ShardedOracle::query_keyed`]).
+pub fn hash_dcs(dcs: &[DenialConstraint]) -> u64 {
     let mut h = DefaultHasher::new();
     dcs.len().hash(&mut h);
     for dc in dcs {
@@ -105,7 +126,8 @@ fn hash_dcs(dcs: &[DenialConstraint]) -> u64 {
     h.finish()
 }
 
-fn hash_value(v: &Value) -> u64 {
+/// Hash of a single value, as used in the oracle cache key.
+pub fn hash_value(v: &Value) -> u64 {
     let mut h = DefaultHasher::new();
     v.hash(&mut h);
     h.finish()
@@ -214,7 +236,13 @@ impl<'a> CachedOracle<'a> {
 }
 
 /// The memoization key: `(dcs, table, cell, target)` fingerprints.
-type OracleKey = (u64, u64, CellRef, u64);
+///
+/// Callers with a cheaper way to fingerprint a query than hashing a
+/// materialized table — the Shapley games fingerprint coalitions as packed
+/// dictionary-code vectors — build one of these directly and go through
+/// [`ShardedOracle::query_keyed`]; the key layout is theirs to define as
+/// long as equal keys mean equal queries.
+pub type OracleKey = (u64, u64, CellRef, u64);
 
 /// One cached answer plus its second-chance reference bit.
 struct CacheSlot {
@@ -416,6 +444,18 @@ impl<'a> ShardedOracle<'a> {
         target: &Value,
     ) -> bool {
         let key = (hash_dcs(dcs), table.fingerprint(), cell, hash_value(target));
+        self.query_keyed(key, || repairs_cell_to(self.alg, dcs, table, cell, target))
+    }
+
+    /// [`ShardedOracle::repairs_cell_to`] with a caller-built [`OracleKey`]:
+    /// the cache is consulted first and `compute` runs only on a genuine
+    /// miss. This is the hot path of the Shapley games — a hit costs one
+    /// key hash and one shard lock, never a coalition-table clone or a
+    /// repair run. Lock/eviction/statistics behavior is identical to
+    /// [`ShardedOracle::repairs_cell_to`] (the stats contract documented
+    /// there is this method's contract; `compute` must be deterministic and
+    /// equal keys must mean equal queries).
+    pub fn query_keyed(&self, key: OracleKey, compute: impl FnOnce() -> bool) -> bool {
         let idx = self.shard_of(&key);
         {
             let mut shard = self.shards[idx].lock().expect("oracle shard poisoned");
@@ -425,7 +465,7 @@ impl<'a> ShardedOracle<'a> {
                 return slot.answer;
             }
         }
-        let answer = repairs_cell_to(self.alg, dcs, table, cell, target);
+        let answer = compute();
         let mut shard = self.shards[idx].lock().expect("oracle shard poisoned");
         if let Some(slot) = shard.map.get_mut(&key) {
             // Lost a cold-key race: another worker installed the key while

@@ -1,0 +1,140 @@
+//! One execution-configuration surface for every layer.
+//!
+//! Threads, schedule, oracle capacity, and seed used to be scattered across
+//! `Session` setters, `Explainer` builders, per-engine `with_threads`
+//! methods, and three copies of CLI flag parsing. [`ExecConfig`] is the one
+//! value they all accept now: build it once, hand it to
+//! `Session::with_config` / `Explainer::with_config` / an engine's
+//! `with_exec`, and every layer reads the same knobs.
+
+use crate::parallel::Schedule;
+
+/// Execution knobs shared by sessions, explainers, repair engines, and the
+/// CLI: worker count, scheduling policy, oracle cache bound, and sampling
+/// seed.
+///
+/// A plain-old-data builder: all `with_*` methods consume and return the
+/// config, unset options mean "use the layer's default".
+///
+/// ```
+/// use trex_shapley::{ExecConfig, Schedule};
+/// let cfg = ExecConfig::new()
+///     .with_threads(4)
+///     .with_schedule(Schedule::PlayerSharded)
+///     .with_oracle_cap(1 << 16)
+///     .with_seed(42);
+/// assert_eq!(cfg.threads(), 4);
+/// assert_eq!(cfg.schedule(), Some(Schedule::PlayerSharded));
+/// assert_eq!(cfg.oracle_cap(), Some(1 << 16));
+/// assert_eq!(cfg.seed(), Some(42));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    threads: usize,
+    schedule: Option<Schedule>,
+    oracle_cap: Option<usize>,
+    seed: Option<u64>,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            threads: 1,
+            schedule: None,
+            oracle_cap: None,
+            seed: None,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// The default configuration: 1 thread, auto schedule, unbounded oracle
+    /// cache, layer-default seed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker thread count.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`; resolve "all cores" to a concrete count
+    /// first (the CLI maps `--threads 0` to the hardware thread count).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "threads must be >= 1 (resolve 0 first)");
+        self.threads = threads;
+        self
+    }
+
+    /// Pin the sampling schedule (default: [`Schedule::auto`] per call).
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Bound the coalition-oracle cache to `cap` entries (default:
+    /// unbounded). `0` disables caching.
+    pub fn with_oracle_cap(mut self, cap: usize) -> Self {
+        self.oracle_cap = Some(cap);
+        self
+    }
+
+    /// Set the sampling seed (default: each layer's documented default).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Worker thread count (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Pinned schedule, or `None` for auto-selection.
+    pub fn schedule(&self) -> Option<Schedule> {
+        self.schedule
+    }
+
+    /// Oracle cache bound in entries, or `None` for unbounded.
+    pub fn oracle_cap(&self) -> Option<usize> {
+        self.oracle_cap
+    }
+
+    /// Sampling seed, or `None` for the layer default.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_serial_and_unset() {
+        let cfg = ExecConfig::new();
+        assert_eq!(cfg.threads(), 1);
+        assert_eq!(cfg.schedule(), None);
+        assert_eq!(cfg.oracle_cap(), None);
+        assert_eq!(cfg.seed(), None);
+        assert_eq!(cfg, ExecConfig::default());
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let cfg = ExecConfig::new()
+            .with_threads(8)
+            .with_schedule(Schedule::WorkStealing)
+            .with_oracle_cap(0)
+            .with_seed(7);
+        assert_eq!(cfg.threads(), 8);
+        assert_eq!(cfg.schedule(), Some(Schedule::WorkStealing));
+        assert_eq!(cfg.oracle_cap(), Some(0));
+        assert_eq!(cfg.seed(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be >= 1")]
+    fn zero_threads_panics() {
+        let _ = ExecConfig::new().with_threads(0);
+    }
+}

@@ -58,9 +58,27 @@ impl Coalition {
     }
 
     /// Is player `i` in the coalition?
+    #[inline]
     pub fn contains(&self, i: usize) -> bool {
         debug_assert!(i < self.n);
         self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// The membership as raw bitmask words — player `i` is bit `i % 64` of
+    /// word `i / 64`. Lets hot characteristic functions test membership in
+    /// bulk instead of per player.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Remove every player, keeping the allocation (samplers reuse one
+    /// coalition across millions of walks).
+    #[inline]
+    pub fn clear(&mut self) {
+        for w in &mut self.bits {
+            *w = 0;
+        }
     }
 
     /// Add player `i`. Returns whether it was newly added.

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod banzhaf;
+pub mod config;
 pub mod convergence;
 pub mod exact;
 pub mod game;
@@ -39,6 +40,7 @@ pub mod sampling;
 pub mod stratified;
 
 pub use banzhaf::{banzhaf_estimate, banzhaf_exact};
+pub use config::ExecConfig;
 pub use convergence::{ConvergenceTrace, RunningStats, TracePoint};
 pub use exact::{
     shapley_exact, shapley_exact_player, shapley_exact_rational, ExactError, Rational,

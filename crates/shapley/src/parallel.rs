@@ -50,8 +50,7 @@
 use crate::convergence::RunningStats;
 use crate::game::{Coalition, Game, StochasticGame};
 use crate::sampling::{
-    marginal_sample, player_seed, random_permutation, round_seed, splitmix64, walk_once, Estimate,
-    SamplingConfig,
+    marginal_sample, player_seed, round_seed, splitmix64, walk_once, Estimate, SamplingConfig,
 };
 use crate::stratified::{antithetic_chunk, stratified_chunk, stratified_estimate};
 use rand::rngs::StdRng;
@@ -489,9 +488,11 @@ fn walk_replay_player<G: Game + ?Sized>(
     let n = game.num_players();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stats = RunningStats::new();
+    let mut perm: Vec<usize> = Vec::with_capacity(n);
+    let mut pred = Coalition::empty(n);
     for _ in 0..samples {
-        let perm = random_permutation(n, &mut rng);
-        let mut pred = Coalition::empty(n);
+        crate::sampling::random_permutation_into(&mut perm, n, &mut rng);
+        pred.clear();
         for &p in &perm {
             if p == player {
                 break;
@@ -543,8 +544,9 @@ pub fn estimate_all_walk<G: Game + ?Sized>(game: &G, config: ParallelConfig) -> 
                 scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let mut stats = vec![RunningStats::new(); n];
+                    let mut scratch = crate::sampling::WalkScratch::new(n);
                     for _ in 0..chunk {
-                        walk_once(game, &mut rng, &mut stats);
+                        walk_once(game, &mut rng, &mut stats, &mut scratch);
                     }
                     stats
                 })

@@ -120,12 +120,40 @@ pub fn round_seed(seed: u64, round: usize) -> u64 {
 /// consume the RNG identically for the `threads = 1` bit-for-bit contract,
 /// so there is exactly one copy of every sampling primitive.
 pub(crate) fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
-    let mut perm: Vec<usize> = (0..n).collect();
+    let mut perm = Vec::with_capacity(n);
+    random_permutation_into(&mut perm, n, rng);
+    perm
+}
+
+/// [`random_permutation`] into a reused buffer: identical RNG draws and
+/// output, no per-sample allocation.
+pub(crate) fn random_permutation_into<R: Rng + ?Sized>(
+    perm: &mut Vec<usize>,
+    n: usize,
+    rng: &mut R,
+) {
+    perm.clear();
+    perm.extend(0..n);
     for i in (1..n).rev() {
         let j = rng.gen_range(0..=i);
         perm.swap(i, j);
     }
-    perm
+}
+
+/// Reused per-walk buffers: the permutation and the growing prefix
+/// coalition. One allocation per *driver* instead of two per walk.
+pub(crate) struct WalkScratch {
+    perm: Vec<usize>,
+    prefix: Coalition,
+}
+
+impl WalkScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        WalkScratch {
+            perm: Vec::with_capacity(n),
+            prefix: Coalition::empty(n),
+        }
+    }
 }
 
 /// One marginal sample for `player` (Example 2.5): draw a permutation, form
@@ -151,19 +179,22 @@ pub(crate) fn marginal_sample<G: StochasticGame + ?Sized>(
 
 /// One full permutation walk (Castro et al.): visit the players in a fresh
 /// random order, pushing every incremental marginal into `stats`. Shared
-/// with [`crate::parallel`] (see [`random_permutation`]).
+/// with [`crate::parallel`] (see [`random_permutation`]); `scratch` is
+/// reused across walks and does not affect the RNG stream or the output.
 pub(crate) fn walk_once<G: Game + ?Sized>(
     game: &G,
     rng: &mut rand::rngs::StdRng,
     stats: &mut [RunningStats],
+    scratch: &mut WalkScratch,
 ) {
     let n = game.num_players();
-    let perm = random_permutation(n, rng);
-    let mut s = Coalition::empty(n);
-    let mut prev = game.value(&s);
-    for &p in &perm {
+    random_permutation_into(&mut scratch.perm, n, rng);
+    let s = &mut scratch.prefix;
+    s.clear();
+    let mut prev = game.value(s);
+    for &p in &scratch.perm {
         s.insert(p);
-        let cur = game.value(&s);
+        let cur = game.value(s);
         stats[p].push(cur - prev);
         prev = cur;
     }
@@ -219,8 +250,9 @@ pub fn estimate_all_walk<G: Game + ?Sized>(game: &G, config: SamplingConfig) -> 
     let n = game.num_players();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut stats = vec![RunningStats::new(); n];
+    let mut scratch = WalkScratch::new(n);
     for _ in 0..config.samples {
-        walk_once(game, &mut rng, &mut stats);
+        walk_once(game, &mut rng, &mut stats, &mut scratch);
     }
     stats
         .into_iter()

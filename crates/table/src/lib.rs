@@ -20,6 +20,7 @@
 
 pub mod builder;
 pub mod csv;
+pub mod dict;
 pub mod diff;
 pub mod schema;
 pub mod stats;
@@ -28,6 +29,7 @@ pub mod value;
 
 pub use builder::TableBuilder;
 pub use csv::{read_csv, read_csv_strings, write_csv, CsvError};
+pub use dict::{CodeClass, Dictionary, EncodedTable};
 pub use diff::{apply, diff, CellChange};
 pub use schema::{AttrId, Attribute, Schema};
 pub use stats::{ColumnSampler, ColumnStats, ConditionalStats, TableSamplers};
@@ -144,5 +146,98 @@ mod proptests {
             // eq and ne are mutually exclusive
             prop_assert!(!(a.sql_eq(&b) && a.sql_ne(&b)));
         }
+
+        #[test]
+        fn dict_encode_decode_identity(t in arb_mixed_table()) {
+            let enc = EncodedTable::encode(&t);
+            prop_assert_eq!(enc.num_rows(), t.num_rows());
+            prop_assert_eq!(enc.arity(), t.arity());
+            for row in 0..t.num_rows() {
+                for a in 0..t.arity() {
+                    let attr = AttrId(a);
+                    prop_assert_eq!(enc.decode(row, attr), t.value(row, attr));
+                }
+            }
+        }
+
+        #[test]
+        fn dict_codes_agree_with_value_sql_semantics(t in arb_mixed_table()) {
+            // Every same-column pair of codes must answer sql_eq/sql_ne/sql_cmp
+            // exactly as the decoded values do — including Int/Float aliasing,
+            // labeled nulls, and the beyond-2^53 fallback columns.
+            let enc = EncodedTable::encode(&t);
+            for a in 0..t.arity() {
+                let d = enc.dict(AttrId(a));
+                for ca in 0..d.len() as u32 {
+                    for cb in 0..d.len() as u32 {
+                        let (va, vb) = (d.decode(ca), d.decode(cb));
+                        prop_assert_eq!(d.sql_eq_codes(ca, cb), va.sql_eq(vb));
+                        prop_assert_eq!(d.sql_ne_codes(ca, cb), va.sql_ne(vb));
+                        prop_assert_eq!(d.sql_cmp_codes(ca, cb), va.sql_cmp(vb));
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn dict_order_preservation_and_dedup(t in arb_mixed_table()) {
+            // Code order refines the SQL order (where defined), and equal
+            // values share exactly one code.
+            use std::cmp::Ordering;
+            let enc = EncodedTable::encode(&t);
+            for a in 0..t.arity() {
+                let d = enc.dict(AttrId(a));
+                for w in 0..d.len().saturating_sub(1) {
+                    let (lo, hi) = (d.decode(w as u32), d.decode(w as u32 + 1));
+                    prop_assert_ne!(lo, hi, "entries are deduplicated");
+                    prop_assert_ne!(lo.sql_cmp(hi), Some(Ordering::Greater));
+                }
+                for v in t.column(AttrId(a)) {
+                    let code = d.code_of(v).expect("every column value has a code");
+                    prop_assert_eq!(d.decode(code), v);
+                }
+            }
+        }
+
+        #[test]
+        fn dict_labeled_nulls_stay_distinct(labels in proptest::collection::vec(any::<u64>(), 1..6)) {
+            let rows: Vec<Vec<Value>> = labels
+                .iter()
+                .map(|&l| vec![Value::LabeledNull(l)])
+                .collect();
+            let t = Table::from_rows(Schema::of_strings(["A".to_string()]), rows);
+            let enc = EncodedTable::encode(&t);
+            let d = enc.dict(AttrId(0));
+            for &x in &labels {
+                for &y in &labels {
+                    let cx = d.code_of(&Value::LabeledNull(x)).unwrap();
+                    let cy = d.code_of(&Value::LabeledNull(y)).unwrap();
+                    prop_assert_eq!(d.sql_eq_codes(cx, cy), x == y);
+                    prop_assert_eq!(d.sql_ne_codes(cx, cy), x != y);
+                    prop_assert_eq!(d.sql_cmp_codes(cx, cy), None);
+                }
+            }
+        }
+    }
+
+    fn arb_mixed_cell() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<u64>().prop_map(Value::LabeledNull),
+            any::<i64>().prop_map(Value::Int),
+            // Includes integral floats so Int/Float code aliasing is exercised.
+            (-64i64..64).prop_map(|i| Value::Float(i as f64)),
+            (-1e9f64..1e9f64).prop_map(Value::Float),
+            "[a-z]{0,4}".prop_map(Value::Str),
+            any::<bool>().prop_map(Value::Bool),
+        ]
+    }
+
+    fn arb_mixed_table() -> impl Strategy<Value = Table> {
+        (1usize..4, 0usize..10).prop_flat_map(|(arity, rows)| {
+            let names: Vec<String> = (0..arity).map(|i| format!("C{i}")).collect();
+            proptest::collection::vec(proptest::collection::vec(arb_mixed_cell(), arity), rows)
+                .prop_map(move |rows| Table::from_rows(Schema::of_strings(names.clone()), rows))
+        })
     }
 }

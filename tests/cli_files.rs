@@ -59,7 +59,7 @@ fn shipped_files_repair_is_thread_count_invariant() {
         );
         let alg = RuleRepair::parse_rules(&data("algorithm1.rules"))
             .unwrap()
-            .with_threads(threads);
+            .with_exec(&trex::ExecConfig::new().with_threads(threads));
         let result = alg.repair(&dcs, &table);
         assert_eq!(result.changes.len(), 2, "threads {threads}");
     }
