@@ -14,7 +14,10 @@
 
 use std::time::Instant;
 use trex_bench::RandomBinaryGame;
-use trex_constraints::{find_all_violations_par, parse_dcs, DenialConstraint};
+use trex_constraints::{
+    find_all_violations_par, find_all_violations_par_pruned, generate_dcs, parse_dcs,
+    statically_unviolable, DcGenConfig, DenialConstraint,
+};
 use trex_shapley::{
     estimate_player, estimate_player_adaptive_rounds, parallel, player_seed, shapley_exact,
     Estimate, ParallelConfig, SamplingConfig, Schedule, StochasticGame,
@@ -279,6 +282,89 @@ fn main() {
         violation_rows.push((threads, dt.as_secs_f64() * 1e3, violations.len()));
     }
 
+    println!("\n== static pruning: full vs pruned scan (2000 rows, 2 real + 3 dead DCs) ==");
+    println!("(the analyzer proves the injected X* constraints can never be violated;");
+    println!(" --prune-redundant skips their scans. Output is asserted byte-identical");
+    println!(" while we measure — only the dead DCs' wasted pair scans disappear)");
+    // The live constraints are the same two FDs as the curve above; the
+    // generator only injects the dead ones (contradictory order pairs with
+    // no equality join key, so each costs a full nested-loop pass).
+    let gen_cfg = DcGenConfig {
+        count: 0,
+        max_lhs: 2,
+        order_fraction: 0.0,
+        seed: 11,
+        redundant: 0,
+        unsat: 3,
+    };
+    let mut noisy_dcs = violation_dcs(&table);
+    noisy_dcs.extend(
+        generate_dcs(table.schema(), &gen_cfg)
+            .iter()
+            .map(|dc| dc.resolved(table.schema()).unwrap()),
+    );
+    let pruned_away = noisy_dcs
+        .iter()
+        .filter(|dc| statically_unviolable(dc).is_some())
+        .count();
+    assert_eq!(
+        pruned_away, gen_cfg.unsat,
+        "every injected X* constraint must be proven unviolable"
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>12}",
+        "threads", "full", "pruned", "saved", "violations"
+    );
+    // Best of 3 per measurement, same rationale as the steal curve: the
+    // pruned-beats-full assertion gates CI, so a single preempted run must
+    // not flip the comparison.
+    let scan_best_of = |threads: usize, pruned: bool| {
+        let mut best: Option<std::time::Duration> = None;
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            let start = Instant::now();
+            out = if pruned {
+                find_all_violations_par_pruned(&noisy_dcs, &table, threads)
+            } else {
+                find_all_violations_par(&noisy_dcs, &table, threads)
+            };
+            let dt = start.elapsed();
+            if best.is_none_or(|b| dt < b) {
+                best = Some(dt);
+            }
+        }
+        (best.expect("three runs produce a best"), out)
+    };
+    let mut prune_rows: Vec<(usize, f64, f64, usize)> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (full_dt, full) = scan_best_of(threads, false);
+        let (pruned_dt, pruned) = scan_best_of(threads, true);
+        // The pruning contract, asserted while we measure: skipping
+        // statically-unviolable DCs is invisible in the witness list.
+        assert_eq!(
+            full, pruned,
+            "pruned scan changed the output at {threads} threads"
+        );
+        // The injected dead DCs have no equality-join key, so each costs a
+        // full nested-loop pass when unpruned — the pruned scan must win.
+        assert!(
+            pruned_dt < full_dt,
+            "pruning must beat the full scan at {threads} threads \
+             ({pruned_dt:?} vs {full_dt:?})"
+        );
+        println!(
+            "{threads:>8} {full_dt:>14.3?} {pruned_dt:>14.3?} {:>9.2}x {:>12}",
+            full_dt.as_secs_f64() / pruned_dt.as_secs_f64().max(1e-12),
+            full.len()
+        );
+        prune_rows.push((
+            threads,
+            full_dt.as_secs_f64() * 1e3,
+            pruned_dt.as_secs_f64() * 1e3,
+            full.len(),
+        ));
+    }
+
     println!("\ninterpretation: exact doubles per added player; sampling is flat per sample");
     println!("and splits across workers — and so does the violation scan, which is why");
     println!("repair loops (detect → fix → re-detect) take --threads too. This is the");
@@ -317,6 +403,15 @@ fn main() {
                 )
             })
             .collect();
+        let prune_json: Vec<String> = prune_rows
+            .iter()
+            .map(|(threads, full_ms, pruned_ms, count)| {
+                format!(
+                    "    {{ \"threads\": {threads}, \"full_ms\": {full_ms:.3}, \
+                     \"pruned_ms\": {pruned_ms:.3}, \"violations\": {count} }}"
+                )
+            })
+            .collect();
         let json = format!(
             concat!(
                 "{{\n",
@@ -338,6 +433,12 @@ fn main() {
                 "    \"rows\": 2000,\n",
                 "    \"dcs\": 2,\n",
                 "    \"per_thread\": [\n{violations}\n    ]\n",
+                "  }},\n",
+                "  \"prune\": {{\n",
+                "    \"rows\": 2000,\n",
+                "    \"dcs_total\": {dcs_total},\n",
+                "    \"dcs_pruned\": {dcs_pruned},\n",
+                "    \"per_thread\": [\n{prune}\n    ]\n",
                 "  }}\n",
                 "}}\n",
             ),
@@ -346,6 +447,9 @@ fn main() {
             steal_hash = steal_hash,
             steal = steal_json.join(",\n"),
             violations = violation_json.join(",\n"),
+            dcs_total = noisy_dcs.len(),
+            dcs_pruned = pruned_away,
+            prune = prune_json.join(",\n"),
         );
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("\nwrote {path}");

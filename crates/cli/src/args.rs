@@ -100,7 +100,9 @@ impl Args {
     /// everywhere), `--schedule` accepts `auto | player | budget | steal`
     /// (`auto` leaves the schedule unset so `Schedule::auto` picks per
     /// call), `--oracle-cap` bounds the repair-oracle memo cache (`0`
-    /// disables caching), and `--seed` feeds the sampling seed.
+    /// disables caching), `--seed` feeds the sampling seed, and the boolean
+    /// `--prune-redundant` skips violation scans of statically-unviolable
+    /// DCs (identical output, less work).
     pub fn exec_config(&self) -> Result<ExecConfig, ArgError> {
         let requested: usize = self.get_parsed("threads", 0)?;
         let threads =
@@ -128,6 +130,9 @@ impl Args {
                 .parse::<u64>()
                 .map_err(|_| ArgError(format!("--seed: cannot parse {v:?}")))?;
             cfg = cfg.with_seed(seed);
+        }
+        if self.has("prune-redundant") {
+            cfg = cfg.with_prune_redundant(true);
         }
         Ok(cfg)
     }
@@ -200,6 +205,7 @@ mod tests {
         assert_eq!(cfg.schedule(), None);
         assert_eq!(cfg.oracle_cap(), None);
         assert_eq!(cfg.seed(), None);
+        assert!(!cfg.prune_redundant());
         // Explicit 0 also means "available parallelism".
         let b = Args::parse(["explain", "--threads", "0"]).unwrap();
         assert!(b.exec_config().unwrap().threads() >= 1);
@@ -217,6 +223,7 @@ mod tests {
             "4096",
             "--seed",
             "7",
+            "--prune-redundant",
         ])
         .unwrap();
         let cfg = a.exec_config().unwrap();
@@ -224,6 +231,7 @@ mod tests {
         assert_eq!(cfg.schedule(), Some(Schedule::WorkStealing));
         assert_eq!(cfg.oracle_cap(), Some(4096));
         assert_eq!(cfg.seed(), Some(7));
+        assert!(cfg.prune_redundant());
         for (flag, value, schedule) in [
             ("--schedule", "player", Some(Schedule::PlayerSharded)),
             ("--schedule", "budget", Some(Schedule::BudgetSplit)),

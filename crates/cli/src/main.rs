@@ -38,6 +38,7 @@ USAGE:
                   [--cells] [--samples N] [--mask null|distinct|replace]
                   [--adaptive] [--tolerance F] [--batch N] [--max-samples N]
                   [exec flags] [engine flags]
+  trex lint       --table FILE.csv --dcs FILE.txt [--json] [exec flags]
   trex mine       --table FILE.csv [--max-predicates N] [--order]
   trex datagen    --schema laliga|soccer|adult|sensor [--rows N] [--seed N]
                   [--rate F] [--skew F] [--out DIR]
@@ -67,6 +68,18 @@ EXEC FLAGS:
   player's), budget (every cell's sample budget is split across workers;
   deterministic per (--seed, --threads) pair), or auto (default: player
   when the table has at least 4 cells per worker).
+  --prune-redundant skips the violation scans of constraints the static
+  analyzer proves can never be violated (run trex lint to see which);
+  witness output is identical with or without it — only wasted work is
+  skipped.
+
+LINT:
+  trex lint runs the static analyzer over a constraint program: schema
+  typecheck (unknown attributes, type mismatches), per-constraint
+  satisfiability (contradictions, empty intervals, tautologies), pairwise
+  subsumption, and a per-constraint scan-cost plan. Exit code 1 if any
+  error-severity diagnostic is found, 0 otherwise (warnings don't fail).
+  --json emits one machine-readable document instead of text.
 
 ORACLE CAPACITY:
   --oracle-cap N bounds the repair-oracle memo cache of explain to N
@@ -111,20 +124,21 @@ fn main() -> ExitCode {
         }
     };
     let result = match args.command.as_deref() {
-        Some("violations") => cmd_violations(&args),
-        Some("repair") => cmd_repair(&args),
-        Some("explain") => cmd_explain(&args),
-        Some("mine") => cmd_mine(&args),
-        Some("datagen") => cmd_datagen(&args),
-        Some("demo") => cmd_demo(&args),
+        Some("violations") => cmd_violations(&args).map(|()| ExitCode::SUCCESS),
+        Some("repair") => cmd_repair(&args).map(|()| ExitCode::SUCCESS),
+        Some("explain") => cmd_explain(&args).map(|()| ExitCode::SUCCESS),
+        Some("lint") => cmd_lint(&args),
+        Some("mine") => cmd_mine(&args).map(|()| ExitCode::SUCCESS),
+        Some("datagen") => cmd_datagen(&args).map(|()| ExitCode::SUCCESS),
+        Some("demo") => cmd_demo(&args).map(|()| ExitCode::SUCCESS),
         Some("help") | None => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(ArgError(format!("unknown command {other:?}"))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -205,7 +219,11 @@ fn cmd_violations(args: &Args) -> Result<(), ArgError> {
     let resolved: Result<Vec<_>, _> = dcs.iter().map(|d| d.resolved(table.schema())).collect();
     let resolved = resolved.map_err(|e| ArgError(e.to_string()))?;
     println!("{}", render_input_screen(&table, &dcs));
-    let violations = find_all_violations_par(&resolved, &table, cfg.threads());
+    let violations = if cfg.prune_redundant() {
+        trex_constraints::find_all_violations_par_pruned(&resolved, &table, cfg.threads())
+    } else {
+        find_all_violations_par(&resolved, &table, cfg.threads())
+    };
     if violations.is_empty() {
         println!("table is clean: no violations.");
         return Ok(());
@@ -324,6 +342,73 @@ fn cmd_explain(args: &Args) -> Result<(), ArgError> {
         println!("{note}");
     }
     Ok(())
+}
+
+/// `trex lint`: run the static analyzer over a constraint program and
+/// report diagnostics plus the scan-cost plan. Exit code 1 iff any
+/// error-severity diagnostic was found (warnings and infos exit 0).
+fn cmd_lint(args: &Args) -> Result<ExitCode, ArgError> {
+    let (table, dcs) = load_inputs(args)?;
+    // Lint shares the exec-flag group with the scan commands so pipelines
+    // can pass one flag set everywhere; only --prune-redundant affects its
+    // report (the plan marks what a pruned scan would skip).
+    let _cfg = args.exec_config()?;
+    let json = args.has("json");
+    args.reject_unknown()?;
+    let analysis = trex_constraints::analyze_with_table(&dcs, &table);
+    let (errors, warnings, infos) = analysis.counts();
+    if json {
+        let diags = analysis
+            .diagnostics
+            .iter()
+            .map(|d| format!("    {}", d.to_json()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let plans = analysis
+            .plans
+            .iter()
+            .map(|p| format!("    {}", p.to_json()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        println!("{{");
+        println!("  \"diagnostics\": [\n{diags}\n  ],");
+        println!("  \"plans\": [\n{plans}\n  ],");
+        println!(
+            "  \"summary\": {{ \"constraints\": {}, \"errors\": {errors}, \
+             \"warnings\": {warnings}, \"infos\": {infos} }}",
+            dcs.len()
+        );
+        println!("}}");
+    } else {
+        for d in &analysis.diagnostics {
+            println!("{d}");
+        }
+        if !analysis.plans.is_empty() {
+            println!("\nscan plan ({} rows):", table.num_rows());
+            for p in &analysis.plans {
+                let joins = if p.join_attrs.is_empty() {
+                    String::new()
+                } else {
+                    format!(" on {}", p.join_attrs.join(", "))
+                };
+                println!(
+                    "  {:<12} {}{joins}: ~{} candidate pair(s)",
+                    p.name,
+                    p.strategy.label(),
+                    p.estimated_pairs
+                );
+            }
+        }
+        println!(
+            "\n{} constraint(s): {errors} error(s), {warnings} warning(s), {infos} info(s)",
+            dcs.len()
+        );
+    }
+    Ok(if analysis.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_mine(args: &Args) -> Result<(), ArgError> {
@@ -591,6 +676,48 @@ mod tests {
         assert!(!find_all_violations_par(&resolved, &dirty, 2).is_empty());
         let repaired = rules.repair(&dcs, &dirty);
         assert!(!repaired.changes.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lint_exit_codes_follow_diagnostic_severity() {
+        let dir = std::env::temp_dir().join(format!("trex-lint-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("t.csv");
+        std::fs::write(&csv, "Team,Year\nA,2001\nB,2002\n").unwrap();
+        let write_dcs = |name: &str, text: &str| {
+            let p = dir.join(name);
+            std::fs::write(&p, text).unwrap();
+            p.to_str().unwrap().to_string()
+        };
+        let table = csv.to_str().unwrap().to_string();
+
+        // Clean program: no errors → SUCCESS, even with a warning present.
+        let clean = write_dcs(
+            "clean.dcs",
+            "Same: !(t1.Team = t2.Team & t1.Year != t2.Year)\n\
+             Dead: !(t1.Year < t2.Year & t1.Year > t2.Year)\n",
+        );
+        let a = Args::parse(["lint", "--table", &table, "--dcs", &clean]).unwrap();
+        assert_eq!(cmd_lint(&a).unwrap(), ExitCode::SUCCESS);
+
+        // Unknown attribute → error severity → FAILURE, in --json mode too.
+        let broken = write_dcs("broken.dcs", "Bad: !(t1.Teem = t2.Teem)\n");
+        let b = Args::parse(["lint", "--table", &table, "--dcs", &broken, "--json"]).unwrap();
+        assert_eq!(cmd_lint(&b).unwrap(), ExitCode::FAILURE);
+
+        // Lint shares the exec-flag validation path.
+        let c = Args::parse([
+            "lint",
+            "--table",
+            &table,
+            "--dcs",
+            &clean,
+            "--threads",
+            "999999",
+        ])
+        .unwrap();
+        assert!(cmd_lint(&c).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

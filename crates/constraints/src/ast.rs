@@ -18,6 +18,45 @@
 use std::fmt;
 use trex_table::{AttrId, Schema, Value};
 
+/// A half-open byte range `start..end` into the source text a constraint or
+/// predicate was parsed from. Purely diagnostic: spans are ignored by
+/// equality (a parsed DC still equals its re-parsed `Display` form) and by
+/// evaluation. Hand-built ASTs carry the empty default span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// `true` for the default span of hand-built (unparsed) nodes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The span shifted right by `by` bytes — how `parse_dcs` rebases
+    /// per-line spans to whole-input offsets.
+    pub fn offset(self, by: usize) -> Span {
+        Span {
+            start: self.start + by,
+            end: self.end + by,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
 /// Tuple variable of a (at most binary) DC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TupleVar {
@@ -161,7 +200,7 @@ impl fmt::Display for Operand {
 }
 
 /// A single comparison predicate.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Predicate {
     /// Left operand.
     pub left: Operand,
@@ -169,12 +208,34 @@ pub struct Predicate {
     pub op: CmpOp,
     /// Right operand.
     pub right: Operand,
+    /// Source byte range (diagnostic only; empty for hand-built predicates).
+    pub span: Span,
+}
+
+/// Equality ignores [`Predicate::span`]: a parsed predicate equals the same
+/// predicate re-parsed from its `Display` form (or hand-built), whatever
+/// byte offsets each came from.
+impl PartialEq for Predicate {
+    fn eq(&self, other: &Self) -> bool {
+        self.left == other.left && self.op == other.op && self.right == other.right
+    }
 }
 
 impl Predicate {
-    /// Construct a predicate.
+    /// Construct a predicate (with the empty span).
     pub fn new(left: Operand, op: CmpOp, right: Operand) -> Self {
-        Predicate { left, op, right }
+        Predicate {
+            left,
+            op,
+            right,
+            span: Span::default(),
+        }
+    }
+
+    /// Attach a source span (builder style, used by the parser).
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
     }
 
     /// Shorthand: `t1.A op t2.A` (same attribute on both tuples).
@@ -211,12 +272,23 @@ impl fmt::Display for Predicate {
 }
 
 /// A denial constraint: name + conjunction of predicates under negation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DenialConstraint {
     /// Human-readable identifier (`C1`, `C2`, …).
     pub name: String,
     /// The predicates `p1 … pk` under the negation.
     pub predicates: Vec<Predicate>,
+    /// Source byte range of the whole constraint (diagnostic only; empty
+    /// for hand-built DCs).
+    pub span: Span,
+}
+
+/// Equality ignores [`DenialConstraint::span`] (see [`Predicate`]'s
+/// `PartialEq`): display→parse round-trips compare equal.
+impl PartialEq for DenialConstraint {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.predicates == other.predicates
+    }
 }
 
 /// Error produced when resolving a DC against a schema.
@@ -241,11 +313,27 @@ impl fmt::Display for ResolveError {
 impl std::error::Error for ResolveError {}
 
 impl DenialConstraint {
-    /// Construct a DC.
+    /// Construct a DC (with the empty span).
     pub fn new(name: impl Into<String>, predicates: Vec<Predicate>) -> Self {
         DenialConstraint {
             name: name.into(),
             predicates,
+            span: Span::default(),
+        }
+    }
+
+    /// Attach a source span (builder style, used by the parser).
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Shift this DC's span and every predicate span right by `by` bytes —
+    /// how `parse_dcs` rebases per-line parses to whole-input offsets.
+    pub fn offset_spans(&mut self, by: usize) {
+        self.span = self.span.offset(by);
+        for p in &mut self.predicates {
+            p.span = p.span.offset(by);
         }
     }
 

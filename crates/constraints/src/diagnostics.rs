@@ -1,0 +1,243 @@
+//! Structured diagnostics for the DC static analyzer.
+//!
+//! [`Diagnostic`] is the one record every [`crate::analyze`] pass emits:
+//! a stable machine-readable code (`TREX-E001`, …), a severity, the
+//! constraint (by name and input index), the offending predicate (by index
+//! and source [`Span`] when the DC was parsed), a human message, and a fix
+//! hint. Diagnostics order deterministically — by constraint index, then
+//! predicate index, then code — so `trex lint` output is byte-stable across
+//! runs and thread counts.
+
+use crate::ast::Span;
+use std::fmt;
+
+/// How bad a diagnostic is. Ordered most-severe-first so sorting by
+/// severity puts errors on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The constraint cannot work as written (unknown attribute, a
+    /// predicate that can never hold at the table's types). `trex lint`
+    /// exits non-zero.
+    Error,
+    /// The constraint is legal but wasteful or vacuous (unsatisfiable
+    /// conjunction, tautological predicate, subsumed duplicate).
+    Warn,
+    /// Stylistic or informational (degenerate tuple-variable use,
+    /// reflexive null-guard predicates).
+    Info,
+}
+
+impl Severity {
+    /// The lowercase label used by `Display` and the JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Stable diagnostic codes (one per analyzer check; see the README table).
+pub mod codes {
+    /// Unknown attribute: a predicate references a name the schema lacks.
+    pub const UNKNOWN_ATTR: &str = "TREX-E001";
+    /// Attribute-vs-constant type mismatch: the comparison can never hold
+    /// at the column's runtime type.
+    pub const TYPE_MISMATCH: &str = "TREX-E002";
+    /// Attribute-vs-attribute comparison between incomparable columns.
+    pub const INCOMPARABLE_COLUMNS: &str = "TREX-E003";
+    /// The DC's predicate conjunction is unsatisfiable — the constraint can
+    /// never be violated and its scan always returns nothing.
+    pub const UNVIOLABLE: &str = "TREX-W101";
+    /// A predicate holds on every binding (constant tautology) and adds
+    /// nothing to the conjunction.
+    pub const TAUTOLOGY: &str = "TREX-W102";
+    /// The constraint is implied by (or duplicates) another constraint.
+    pub const SUBSUMED: &str = "TREX-W103";
+    /// An order comparison over a text column whose values all look
+    /// numeric: lexicographic order disagrees with numeric order.
+    pub const TEXT_ORDER: &str = "TREX-W104";
+    /// Degenerate tuple-variable use: a row-pair DC that mentions only
+    /// `t2` (it scans all ordered pairs yet reads one row).
+    pub const DEGENERATE_VARS: &str = "TREX-I301";
+    /// A reflexive self-comparison like `t1.A = t1.A`, which only acts as
+    /// a not-null guard.
+    pub const REFLEXIVE: &str = "TREX-I302";
+}
+
+/// One analyzer finding. See the module docs for the ordering contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (see [`codes`]).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Name of the constraint the finding is about.
+    pub constraint: String,
+    /// Index of that constraint in the analyzed slice.
+    pub constraint_index: usize,
+    /// Index of the offending predicate within the constraint, if the
+    /// finding points at one.
+    pub predicate: Option<usize>,
+    /// Source byte range of the offending predicate (or constraint), when
+    /// the DC was parsed from text. `None` for hand-built DCs.
+    pub span: Option<Span>,
+    /// Human-readable description.
+    pub message: String,
+    /// Suggested fix, when the analyzer has one.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// The deterministic report order: input position first (constraint,
+    /// then predicate), then code — so a DC's findings read top to bottom
+    /// and repeated runs emit identical bytes.
+    pub fn sort_key(&self) -> (usize, usize, &'static str, &str) {
+        (
+            self.constraint_index,
+            self.predicate.unwrap_or(usize::MAX),
+            self.code,
+            &self.message,
+        )
+    }
+
+    /// One-line rendering: `error[TREX-E001] C1 predicate 2 @10..24: …
+    /// (hint: …)`.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}[{}] {}", self.severity, self.code, self.constraint);
+        if let Some(p) = self.predicate {
+            out.push_str(&format!(" predicate {}", p + 1));
+        }
+        if let Some(s) = self.span {
+            out.push_str(&format!(" @{s}"));
+        }
+        out.push_str(&format!(": {}", self.message));
+        if let Some(h) = &self.hint {
+            out.push_str(&format!(" (hint: {h})"));
+        }
+        out
+    }
+
+    /// The diagnostic as one JSON object (hand-rolled like every artifact
+    /// writer in this workspace — no serde).
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            format!("\"code\": {}", json_str(self.code)),
+            format!("\"severity\": {}", json_str(self.severity.label())),
+            format!("\"constraint\": {}", json_str(&self.constraint)),
+            format!("\"constraint_index\": {}", self.constraint_index),
+        ];
+        if let Some(p) = self.predicate {
+            fields.push(format!("\"predicate\": {p}"));
+        }
+        if let Some(s) = self.span {
+            fields.push(format!(
+                "\"span\": {{ \"start\": {}, \"end\": {} }}",
+                s.start, s.end
+            ));
+        }
+        fields.push(format!("\"message\": {}", json_str(&self.message)));
+        if let Some(h) = &self.hint {
+            fields.push(format!("\"hint\": {}", json_str(h)));
+        }
+        format!("{{ {} }}", fields.join(", "))
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// JSON string literal with the escapes the diagnostic fields can need.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            code: codes::UNKNOWN_ATTR,
+            severity: Severity::Error,
+            constraint: "C1".to_string(),
+            constraint_index: 0,
+            predicate: Some(1),
+            span: Some(Span::new(10, 24)),
+            message: "unknown attribute \"Citty\"".to_string(),
+            hint: Some("did you mean \"City\"?".to_string()),
+        }
+    }
+
+    #[test]
+    fn render_is_one_line_with_all_parts() {
+        let d = diag();
+        assert_eq!(
+            d.render(),
+            "error[TREX-E001] C1 predicate 2 @10..24: unknown attribute \
+             \"Citty\" (hint: did you mean \"City\"?)"
+        );
+        let bare = Diagnostic {
+            predicate: None,
+            span: None,
+            hint: None,
+            ..d
+        };
+        assert_eq!(
+            bare.render(),
+            "error[TREX-E001] C1: unknown attribute \"Citty\""
+        );
+    }
+
+    #[test]
+    fn severity_orders_errors_first() {
+        assert!(Severity::Error < Severity::Warn);
+        assert!(Severity::Warn < Severity::Info);
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_control_characters() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+        let json = diag().to_json();
+        assert!(json.contains("\"code\": \"TREX-E001\""), "{json}");
+        assert!(
+            json.contains("\"span\": { \"start\": 10, \"end\": 24 }"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn sort_key_orders_by_position_then_code() {
+        let mut a = diag();
+        a.predicate = None;
+        let b = diag();
+        // Same constraint: the whole-DC finding (no predicate) sorts after
+        // per-predicate ones, matching usize::MAX.
+        assert!(b.sort_key() < a.sort_key());
+    }
+}

@@ -23,6 +23,16 @@ pub struct DcGenConfig {
     pub order_fraction: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Number of extra *redundant* DCs to append (`R1, R2, …`): each copies
+    /// a base DC and weakens one predicate's operator, so the static
+    /// analyzer flags it as subsumed. For exercising the analyzer and the
+    /// pruning benchmarks.
+    pub redundant: usize,
+    /// Number of extra *statically unviolable* DCs to append (`X1, X2, …`):
+    /// each has the shape `¬(t1.A < t2.A ∧ t1.A > t2.A)` — contradictory,
+    /// with no equality join key, so an unpruned scan pays the full
+    /// nested-loop cost for provably zero witnesses.
+    pub unsat: usize,
 }
 
 impl Default for DcGenConfig {
@@ -32,6 +42,8 @@ impl Default for DcGenConfig {
             max_lhs: 2,
             order_fraction: 0.0,
             seed: 0,
+            redundant: 0,
+            unsat: 0,
         }
     }
 }
@@ -81,6 +93,35 @@ pub fn generate_dcs(schema: &Schema, config: &DcGenConfig) -> Vec<DenialConstrai
             out.push(candidate);
         }
     }
+    // Injected redundant DCs: a base DC plus a weakened copy of one of its
+    // own predicates (`=`→`<=`, `<`→`<=`, `>`→`>=`). The extra predicate is
+    // implied by the one it weakens, so the copy's conjunction is
+    // equivalent to the base's: every violation it finds, the base already
+    // finds, and the analyzer flags it as subsumed.
+    for k in 0..config.redundant {
+        let base = &out[rng.gen_range(0..config.count.max(1))];
+        let mut preds = base.predicates.clone();
+        let mut extra = preds[rng.gen_range(0..preds.len())].clone();
+        extra.op = match extra.op {
+            CmpOp::Eq | CmpOp::Lt => CmpOp::Leq,
+            CmpOp::Gt => CmpOp::Geq,
+            op => op,
+        };
+        preds.push(extra);
+        out.push(DenialConstraint::new(format!("R{}", k + 1), preds));
+    }
+    // Injected unviolable DCs: contradictory order pair on one attribute,
+    // deliberately without an equality join key.
+    for k in 0..config.unsat {
+        let a = &names[rng.gen_range(0..names.len())];
+        out.push(DenialConstraint::new(
+            format!("X{}", k + 1),
+            vec![
+                Predicate::pair(a.clone(), CmpOp::Lt),
+                Predicate::pair(a.clone(), CmpOp::Gt),
+            ],
+        ));
+    }
     out
 }
 
@@ -107,6 +148,8 @@ mod tests {
                 max_lhs: 2,
                 order_fraction: 0.3,
                 seed: 42,
+                redundant: 0,
+                unsat: 0,
             },
         );
         assert_eq!(dcs.len(), 10);
@@ -134,6 +177,46 @@ mod tests {
             dc.resolve(&s).unwrap();
             assert!(dc.is_binary());
             assert!(!dc.equality_join_attrs().is_empty());
+        }
+    }
+
+    #[test]
+    fn injected_dcs_are_flagged_by_the_analyzer() {
+        let s = schema();
+        let dcs = generate_dcs(
+            &s,
+            &DcGenConfig {
+                count: 3,
+                redundant: 2,
+                unsat: 2,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        assert_eq!(dcs.len(), 7);
+        let analysis = crate::analyze::analyze(&dcs, Some(&s));
+        for dc in &dcs {
+            let verdict = analysis
+                .verdicts
+                .iter()
+                .find(|v| v.name == dc.name)
+                .unwrap();
+            if dc.name.starts_with('X') {
+                assert!(
+                    crate::analyze::statically_unviolable(dc).is_some(),
+                    "{} should be unviolable",
+                    dc.name
+                );
+                assert!(dc.equality_join_attrs().is_empty());
+            } else if dc.name.starts_with('R') {
+                assert!(
+                    verdict.subsumed_by.is_some(),
+                    "{} should be subsumed",
+                    dc.name
+                );
+            } else {
+                assert!(verdict.unviolable.is_none());
+            }
         }
     }
 

@@ -224,6 +224,22 @@ pub fn find_all_violations_indexed(dcs: &[DenialConstraint], table: &Table) -> V
         .collect()
 }
 
+/// [`find_all_violations_indexed`] minus the scans of DCs that
+/// [`crate::analyze::statically_unviolable`] proves can never be violated.
+/// Serial counterpart of
+/// [`crate::parallel::find_all_violations_par_pruned`]; output is
+/// byte-identical to the unpruned scan.
+pub fn find_all_violations_indexed_pruned(
+    dcs: &[DenialConstraint],
+    table: &Table,
+) -> Vec<Violation> {
+    let enc = EncodedTable::encode(table);
+    dcs.iter()
+        .filter(|dc| crate::analyze::statically_unviolable(dc).is_none())
+        .flat_map(|dc| find_violations_indexed_with(dc, table, &enc))
+        .collect()
+}
+
 /// Indexed variant of [`crate::eval::is_clean`]: short-circuits on the first
 /// violation.
 pub fn is_clean_indexed(dcs: &[DenialConstraint], table: &Table) -> bool {

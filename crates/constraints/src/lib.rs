@@ -15,11 +15,16 @@
 //! * [`fd`] — the functional-dependency subset: FD ↔ DC conversion and
 //!   exact FD discovery.
 //! * [`gen`] — random DC generation for scaling benchmarks.
+//! * [`analyze`] / [`diagnostics`] — static analysis of DC programs:
+//!   typechecking, unsatisfiability and tautology detection, subsumption,
+//!   and scan-cost planning, reported as stable-coded [`Diagnostic`]s.
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod ast;
 pub(crate) mod compiled;
+pub mod diagnostics;
 pub mod eval;
 pub mod fd;
 pub mod gen;
@@ -28,16 +33,26 @@ pub mod mine;
 pub mod parallel;
 pub mod parser;
 
-pub use ast::{CmpOp, DenialConstraint, Operand, Predicate, ResolveError, TupleVar};
+pub use analyze::{
+    analyze, analyze_with_table, statically_unviolable, Analysis, DcPlan, DcVerdict, PlanStrategy,
+};
+pub use ast::{CmpOp, DenialConstraint, Operand, Predicate, ResolveError, Span, TupleVar};
+pub use diagnostics::{Diagnostic, Severity};
 pub use eval::{
     find_all_violations, find_violations, is_clean, noisy_cells, violates_binding, violating_rows,
     violation_counts, Violation,
 };
 pub use fd::{discover_fds, discover_fds_approx, fds_of, FunctionalDependency};
 pub use gen::{generate_dcs, DcGenConfig};
-pub use index::{find_all_violations_indexed, find_violations_indexed, is_clean_indexed};
+pub use index::{
+    find_all_violations_indexed, find_all_violations_indexed_pruned, find_violations_indexed,
+    is_clean_indexed,
+};
 pub use mine::{mine_dcs, MineConfig};
-pub use parallel::{find_all_violations_par, find_violations_par, is_clean_par, noisy_cells_par};
+pub use parallel::{
+    find_all_violations_par, find_all_violations_par_pruned, find_violations_par, is_clean_par,
+    noisy_cells_par,
+};
 pub use parser::{parse_dc, parse_dc_named, parse_dcs, ParseError};
 
 // Property tests, gated behind the `proptest` feature to keep plain
@@ -132,6 +147,94 @@ mod proptests {
             dc.resolve(t.schema()).unwrap();
             let masked = t.masked_keep(&vec![false; t.num_cells()]);
             prop_assert!(is_clean(&[dc], &masked));
+        }
+
+        #[test]
+        fn unviolable_verdicts_mean_zero_witnesses(dc in arb_dc(), t in arb_table()) {
+            // The soundness contract pruning rests on: a DC the analyzer
+            // proves statically unviolable has an empty brute-force witness
+            // list on every generated table.
+            if statically_unviolable(&dc).is_some() {
+                let mut dc = dc;
+                dc.resolve(t.schema()).unwrap();
+                prop_assert!(find_violations(&dc, &t).is_empty());
+            }
+        }
+
+        #[test]
+        fn pruned_scan_is_byte_identical_at_any_thread_count(
+            dcs in proptest::collection::vec(arb_dc(), 1..4),
+            t in arb_table(),
+        ) {
+            let dcs: Vec<DenialConstraint> = dcs
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut dc)| {
+                    dc.name = format!("P{i}");
+                    dc.resolve(t.schema()).unwrap();
+                    dc
+                })
+                .collect();
+            let serial = find_all_violations_indexed(&dcs, &t);
+            prop_assert_eq!(&serial, &find_all_violations_indexed_pruned(&dcs, &t));
+            for threads in [1, 2, 4, 8] {
+                prop_assert_eq!(
+                    &serial,
+                    &find_all_violations_par_pruned(&dcs, &t, threads),
+                    "threads = {}", threads
+                );
+            }
+        }
+
+        #[test]
+        fn subsumed_dcs_find_no_new_violation_pairs(
+            dcs in proptest::collection::vec(arb_dc(), 2..4),
+            t in arb_table(),
+        ) {
+            // A subsumption verdict claims every violation pair of the
+            // subsumed DC is already found by its subsumer, so dropping the
+            // subsumed DC loses no (row1, row2) pair — the surviving DCs'
+            // own witness lists are per-DC and untouched by construction.
+            let dcs: Vec<DenialConstraint> = dcs
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut dc)| {
+                    dc.name = format!("P{i}");
+                    dc.resolve(t.schema()).unwrap();
+                    dc
+                })
+                .collect();
+            let analysis = analyze(&dcs, Some(t.schema()));
+            for (i, v) in analysis.verdicts.iter().enumerate() {
+                let Some(by) = &v.subsumed_by else { continue };
+                let subsumer = dcs.iter().find(|d| &d.name == by).unwrap();
+                let wins: std::collections::HashSet<(usize, Option<usize>)> =
+                    find_violations(subsumer, &t)
+                        .into_iter()
+                        .map(|w| {
+                            let (a, b) = (w.row1, w.row2);
+                            // Unordered pair: the t1↔t2 renaming mirrors
+                            // ordered pairs.
+                            if let Some(b) = b {
+                                (a.min(b), Some(a.max(b)))
+                            } else {
+                                (a, None)
+                            }
+                        })
+                        .collect();
+                for w in find_violations(&dcs[i], &t) {
+                    let key = if let Some(b) = w.row2 {
+                        (w.row1.min(b), Some(w.row1.max(b)))
+                    } else {
+                        (w.row1, None)
+                    };
+                    prop_assert!(
+                        wins.contains(&key),
+                        "{} subsumed by {} but pair {:?} is not covered",
+                        dcs[i].name, by, key
+                    );
+                }
+            }
         }
 
         #[test]

@@ -255,6 +255,24 @@ pub fn find_all_violations_par(
         .collect()
 }
 
+/// [`find_all_violations_par`] minus the scans of DCs that
+/// [`crate::analyze::statically_unviolable`] proves can never be violated.
+/// A pruned DC's witness list is provably empty on *every* table, so the
+/// output is byte-identical to the unpruned scan at any thread count —
+/// only the wasted work is skipped. This is the scan behind
+/// `ExecConfig::prune_redundant`.
+pub fn find_all_violations_par_pruned(
+    dcs: &[DenialConstraint],
+    table: &Table,
+    threads: usize,
+) -> Vec<Violation> {
+    let enc = EncodedTable::encode(table);
+    dcs.iter()
+        .filter(|dc| crate::analyze::statically_unviolable(dc).is_none())
+        .flat_map(|dc| find_violations_par_with(dc, table, &enc, threads))
+        .collect()
+}
+
 /// Parallel variant of [`crate::eval::noisy_cells`]: the distinct cells
 /// implicated in any violation, sorted. Identical output at any thread
 /// count (same reduction, shared with the serial path).

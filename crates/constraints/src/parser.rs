@@ -19,7 +19,7 @@
 //! `Display` on [`DenialConstraint`] emits the canonical form of this syntax,
 //! so parse∘display is the identity (property-tested in `lib.rs`).
 
-use crate::ast::{CmpOp, DenialConstraint, Operand, Predicate, TupleVar};
+use crate::ast::{CmpOp, DenialConstraint, Operand, Predicate, Span, TupleVar};
 use std::fmt;
 use trex_table::Value;
 
@@ -250,6 +250,7 @@ impl<'a> Parser<'a> {
 
     fn parse_dc(&mut self, default_name: &str) -> Result<DenialConstraint, ParseError> {
         self.skip_ws();
+        let dc_start = self.pos;
         // Optional `Name:` prefix (identifier followed by ':').
         let save = self.pos;
         let name = match self.ident() {
@@ -275,16 +276,19 @@ impl<'a> Parser<'a> {
         self.expect("(")?;
         let mut predicates = Vec::new();
         loop {
+            self.skip_ws();
+            let pred_start = self.pos;
             let left = self.parse_operand()?;
             let op = self.parse_op()?;
             let right = self.parse_operand()?;
-            predicates.push(Predicate::new(left, op, right));
+            predicates
+                .push(Predicate::new(left, op, right).with_span(Span::new(pred_start, self.pos)));
             if !self.parse_conjunct_separator() {
                 break;
             }
         }
         self.expect(")")?;
-        Ok(DenialConstraint::new(name, predicates))
+        Ok(DenialConstraint::new(name, predicates).with_span(Span::new(dc_start, self.pos)))
     }
 }
 
@@ -331,8 +335,11 @@ pub fn parse_dcs(input: &str) -> Result<Vec<DenialConstraint>, ParseError> {
         while out.iter().any(|d| d.name == format!("C{n}")) {
             n += 1;
         }
-        let dc = parse_dc_named(line, &format!("C{n}"))
+        let mut dc = parse_dc_named(line, &format!("C{n}"))
             .map_err(|e| ParseError::new(text_start + e.position, e.message))?;
+        // Rebase the per-line spans to whole-input byte offsets, matching
+        // the error-position convention above.
+        dc.offset_spans(text_start);
         if out.iter().any(|d| d.name == dc.name) {
             return Err(ParseError::new(
                 text_start,
@@ -535,6 +542,40 @@ mod tests {
         // Tuple variable without an attribute.
         let err = parse_dc("C1: !(t1 = t2.A)").unwrap_err();
         assert!(err.message.contains("'.' or '['"), "{err}");
+    }
+
+    #[test]
+    fn predicate_spans_point_at_the_source_text() {
+        let src = "C1: !(t1.Team = t2.Team & t1.City != t2.City)";
+        let dc = parse_dc(src).unwrap();
+        let text_of = |s: Span| &src[s.start..s.end];
+        assert_eq!(text_of(dc.span), src);
+        assert_eq!(text_of(dc.predicates[0].span), "t1.Team = t2.Team");
+        assert_eq!(text_of(dc.predicates[1].span), "t1.City != t2.City");
+    }
+
+    #[test]
+    fn spans_are_rebased_to_whole_input_offsets_in_parse_dcs() {
+        // Comment line, CRLF terminators, and indentation: the second DC's
+        // spans must still slice the original input exactly.
+        let src = "# header\r\nC1: !(t1.A = t2.A)\r\n  C2: !(t1.B < 5 & t1.B > 9)\r\n";
+        let dcs = parse_dcs(src).unwrap();
+        let text_of = |s: Span| &src[s.start..s.end];
+        assert_eq!(text_of(dcs[0].predicates[0].span), "t1.A = t2.A");
+        assert_eq!(text_of(dcs[1].span), "C2: !(t1.B < 5 & t1.B > 9)");
+        assert_eq!(text_of(dcs[1].predicates[0].span), "t1.B < 5");
+        assert_eq!(text_of(dcs[1].predicates[1].span), "t1.B > 9");
+    }
+
+    #[test]
+    fn spans_do_not_affect_equality() {
+        // The display round-trip produces different spans; the DCs must
+        // still compare equal (spans are diagnostic-only).
+        let a = parse_dc("  C1: !(t1.A = t2.A)").unwrap();
+        let b = parse_dc(&a.to_string()).unwrap();
+        assert_ne!(a.span, b.span);
+        assert_eq!(a, b);
+        assert_eq!(a.predicates, b.predicates);
     }
 
     #[test]

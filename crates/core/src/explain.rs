@@ -214,6 +214,15 @@ impl<'a> Explainer<'a> {
         self.cfg.oracle_cap()
     }
 
+    /// Pre-flight static analysis of a constraint program against the table
+    /// it is about to explain repairs over (see
+    /// [`trex_constraints::analyze_with_table`]). Explanations of a
+    /// mistyped or dead constraint are confusingly all-zero; run this first
+    /// and surface the diagnostics.
+    pub fn analyze(&self, dcs: &[DenialConstraint], table: &Table) -> trex_constraints::Analysis {
+        trex_constraints::analyze_with_table(dcs, table)
+    }
+
     /// The schedule an explanation over `players` cells will use.
     fn schedule_for(&self, players: usize) -> Schedule {
         self.cfg

@@ -135,11 +135,21 @@ impl Session {
             .iter()
             .map(|d| d.resolved(self.table.schema()))
             .collect();
-        Ok(trex_constraints::find_all_violations_par(
-            &resolved?,
-            &self.table,
-            self.threads(),
-        ))
+        let resolved = resolved?;
+        Ok(if self.cfg.prune_redundant() {
+            trex_constraints::find_all_violations_par_pruned(&resolved, &self.table, self.threads())
+        } else {
+            trex_constraints::find_all_violations_par(&resolved, &self.table, self.threads())
+        })
+    }
+
+    /// Pre-flight static analysis of the session's constraint program
+    /// against the session table: typecheck, satisfiability, subsumption,
+    /// and the scan-cost plan report. Cheap (no data scan beyond one
+    /// dictionary encoding) — run it before the first repair to catch
+    /// typos and dead constraints early.
+    pub fn analyze(&self) -> trex_constraints::Analysis {
+        trex_constraints::analyze_with_table(&self.dcs, &self.table)
     }
 
     /// The "Repair" button: run the black box on the current inputs.
@@ -491,6 +501,41 @@ mod tests {
                 .with_threads(4)
                 .with_schedule(Schedule::WorkStealing)
                 .with_oracle_cap(32)
+        );
+    }
+
+    #[test]
+    fn session_analyze_is_clean_on_the_demo_program_and_flags_injected_noise() {
+        let mut s = session();
+        let a = s.analyze();
+        assert!(
+            !a.has_errors(),
+            "demo program should lint clean: {:?}",
+            a.diagnostics
+        );
+        assert_eq!(a.plans.len(), 4);
+        // Inject a dead constraint: flagged, and with pruning enabled the
+        // violation list is unchanged.
+        let before = s.violations().unwrap();
+        s.upsert_constraint(
+            trex_constraints::parse_dc_named(
+                "Dead: !(t1.Year < t2.Year & t1.Year > t2.Year)",
+                "Dead",
+            )
+            .unwrap(),
+        );
+        let a = s.analyze();
+        assert!(a
+            .verdicts
+            .iter()
+            .any(|v| v.name == "Dead" && v.unviolable.is_some()));
+        let unpruned = s.violations().unwrap();
+        assert_eq!(unpruned, before, "a dead DC contributes no witnesses");
+        let s = s.with_config(ExecConfig::new().with_prune_redundant(true).with_threads(2));
+        assert_eq!(
+            s.violations().unwrap(),
+            before,
+            "pruned scan is byte-identical"
         );
     }
 

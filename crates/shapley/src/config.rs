@@ -34,6 +34,7 @@ pub struct ExecConfig {
     schedule: Option<Schedule>,
     oracle_cap: Option<usize>,
     seed: Option<u64>,
+    prune_redundant: bool,
 }
 
 impl Default for ExecConfig {
@@ -43,6 +44,7 @@ impl Default for ExecConfig {
             schedule: None,
             oracle_cap: None,
             seed: None,
+            prune_redundant: false,
         }
     }
 }
@@ -84,6 +86,15 @@ impl ExecConfig {
         self
     }
 
+    /// Skip violation scans of DCs the static analyzer proves can never be
+    /// violated (default: off). Pruned DCs have provably empty witness
+    /// lists, so enabling this never changes scan output — only the wasted
+    /// work is skipped.
+    pub fn with_prune_redundant(mut self, prune: bool) -> Self {
+        self.prune_redundant = prune;
+        self
+    }
+
     /// Worker thread count (≥ 1).
     pub fn threads(&self) -> usize {
         self.threads
@@ -103,6 +114,11 @@ impl ExecConfig {
     pub fn seed(&self) -> Option<u64> {
         self.seed
     }
+
+    /// Whether statically-unviolable DCs are skipped during scans.
+    pub fn prune_redundant(&self) -> bool {
+        self.prune_redundant
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +132,7 @@ mod tests {
         assert_eq!(cfg.schedule(), None);
         assert_eq!(cfg.oracle_cap(), None);
         assert_eq!(cfg.seed(), None);
+        assert!(!cfg.prune_redundant());
         assert_eq!(cfg, ExecConfig::default());
     }
 
@@ -125,11 +142,13 @@ mod tests {
             .with_threads(8)
             .with_schedule(Schedule::WorkStealing)
             .with_oracle_cap(0)
-            .with_seed(7);
+            .with_seed(7)
+            .with_prune_redundant(true);
         assert_eq!(cfg.threads(), 8);
         assert_eq!(cfg.schedule(), Some(Schedule::WorkStealing));
         assert_eq!(cfg.oracle_cap(), Some(0));
         assert_eq!(cfg.seed(), Some(7));
+        assert!(cfg.prune_redundant());
     }
 
     #[test]
