@@ -27,6 +27,8 @@
 //!   --schedule S      player | budget | steal | auto (default auto)
 //!   --oracle-cap N    bound the explain oracle to N entries (default:
 //!                     oracle default; small values force evictions)
+//!   --oracle-batch N  cap the coalition queries per oracle dispatch
+//!                     (>= 1; default unbounded; identical output)
 //!   --budget-secs N   wall-clock budget; exceeding it fails the run
 //!                     (default 1800)
 //!   --json PATH       write the machine-readable artifact
@@ -48,6 +50,7 @@ struct StressArgs {
     schedule: Option<Schedule>,
     schedule_name: String,
     oracle_cap: Option<usize>,
+    oracle_batch: Option<usize>,
     budget_secs: u64,
     json: Option<String>,
 }
@@ -66,6 +69,7 @@ fn parse_args() -> StressArgs {
         schedule: None,
         schedule_name: "auto".to_string(),
         oracle_cap: None,
+        oracle_batch: None,
         budget_secs: 1800,
         json: None,
     };
@@ -96,11 +100,16 @@ fn parse_args() -> StressArgs {
                 };
             }
             "--oracle-cap" => out.oracle_cap = Some(value().parse().expect("--oracle-cap")),
+            "--oracle-batch" => {
+                let batch: usize = value().parse().expect("--oracle-batch");
+                assert!(batch >= 1, "--oracle-batch must be >= 1");
+                out.oracle_batch = Some(batch);
+            }
             "--budget-secs" => out.budget_secs = value().parse().expect("--budget-secs"),
             "--json" => out.json = Some(value()),
             other => panic!(
                 "unknown flag {other:?} (known: --schema --rows --seed --rate --skew \
-                 --threads --schedule --oracle-cap --budget-secs --json)"
+                 --threads --schedule --oracle-cap --oracle-batch --budget-secs --json)"
             ),
         }
     }
@@ -220,6 +229,9 @@ fn main() {
     if let Some(cap) = args.oracle_cap {
         cfg = cfg.with_oracle_cap(cap);
     }
+    if let Some(batch) = args.oracle_batch {
+        cfg = cfg.with_oracle_batch(batch);
+    }
 
     // The session drives the remaining phases end to end, exactly like the
     // demo loop: detection and repair on the session's worker threads, the
@@ -262,8 +274,8 @@ fn main() {
     // constraint half — the solver that stays exact at any table size).
     let cell = repair.changes[0].cell;
     let started = Instant::now();
-    let (explanation, oracle) = session
-        .explain_constraints_with_stats(cell)
+    let (explanation, oracle, batches) = session
+        .explain_constraints_with_batch_stats(cell)
         .expect("a repaired cell explains");
     let top = explanation.ranking.top().expect("non-empty ranking");
     phases.push(finish_phase(
@@ -274,8 +286,9 @@ fn main() {
             format!("\"explained_cell\": \"{cell}\""),
             format!("\"top_constraint\": \"{}\"", top.label),
             format!(
-                "\"oracle\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {} }}",
-                oracle.hits, oracle.misses, oracle.evictions
+                "\"oracle\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+                 \"batches\": {}, \"batched_queries\": {} }}",
+                oracle.hits, oracle.misses, oracle.evictions, batches.batches, batches.queries
             ),
         ],
     ));
@@ -322,6 +335,7 @@ fn main() {
                 "  \"hardware_threads\": {hw},\n",
                 "  \"schedule\": \"{schedule}\",\n",
                 "  \"oracle_capacity\": {cap},\n",
+                "  \"oracle_batch\": {batch},\n",
                 "  \"budget_secs\": {budget},\n",
                 "  \"elapsed_secs\": {elapsed:.3},\n",
                 "  \"within_budget\": {within},\n",
@@ -346,6 +360,9 @@ fn main() {
             cap = args
                 .oracle_cap
                 .map_or("null".to_string(), |c| c.to_string()),
+            batch = args
+                .oracle_batch
+                .map_or("null".to_string(), |b| b.to_string()),
             budget = args.budget_secs,
             elapsed = elapsed,
             within = within_budget,

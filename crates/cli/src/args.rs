@@ -100,9 +100,11 @@ impl Args {
     /// everywhere), `--schedule` accepts `auto | player | budget | steal`
     /// (`auto` leaves the schedule unset so `Schedule::auto` picks per
     /// call), `--oracle-cap` bounds the repair-oracle memo cache (`0`
-    /// disables caching), `--seed` feeds the sampling seed, and the boolean
-    /// `--prune-redundant` skips violation scans of statically-unviolable
-    /// DCs (identical output, less work).
+    /// disables caching), `--oracle-batch` caps how many cache-missing
+    /// coalition queries each oracle dispatch carries (must be ≥ 1;
+    /// identical output at any cap), `--seed` feeds the sampling seed, and
+    /// the boolean `--prune-redundant` skips violation scans of
+    /// statically-unviolable DCs (identical output, less work).
     pub fn exec_config(&self) -> Result<ExecConfig, ArgError> {
         let requested: usize = self.get_parsed("threads", 0)?;
         let threads =
@@ -124,6 +126,18 @@ impl Args {
                 .parse::<usize>()
                 .map_err(|_| ArgError(format!("--oracle-cap: cannot parse {v:?}")))?;
             cfg = cfg.with_oracle_cap(cap);
+        }
+        if let Some(v) = self.get("oracle-batch") {
+            let batch = v
+                .parse::<usize>()
+                .map_err(|_| ArgError(format!("--oracle-batch: cannot parse {v:?}")))?;
+            if batch == 0 {
+                return Err(ArgError(
+                    "--oracle-batch must be >= 1 (every dispatch carries at least one query)"
+                        .to_string(),
+                ));
+            }
+            cfg = cfg.with_oracle_batch(batch);
         }
         if let Some(v) = self.get("seed") {
             let seed = v
@@ -204,6 +218,7 @@ mod tests {
         assert!(cfg.threads() >= 1, "absent --threads resolves to ≥ 1");
         assert_eq!(cfg.schedule(), None);
         assert_eq!(cfg.oracle_cap(), None);
+        assert_eq!(cfg.oracle_batch(), None);
         assert_eq!(cfg.seed(), None);
         assert!(!cfg.prune_redundant());
         // Explicit 0 also means "available parallelism".
@@ -221,6 +236,8 @@ mod tests {
             "steal",
             "--oracle-cap",
             "4096",
+            "--oracle-batch",
+            "64",
             "--seed",
             "7",
             "--prune-redundant",
@@ -230,6 +247,7 @@ mod tests {
         assert_eq!(cfg.threads(), 4);
         assert_eq!(cfg.schedule(), Some(Schedule::WorkStealing));
         assert_eq!(cfg.oracle_cap(), Some(4096));
+        assert_eq!(cfg.oracle_batch(), Some(64));
         assert_eq!(cfg.seed(), Some(7));
         assert!(cfg.prune_redundant());
         for (flag, value, schedule) in [
@@ -254,10 +272,15 @@ mod tests {
             vec!["x", "--threads", "many"],
             vec!["x", "--schedule", "nope"],
             vec!["x", "--oracle-cap", "lots"],
+            vec!["x", "--oracle-batch", "heaps"],
             vec!["x", "--seed", "entropy"],
         ] {
             let a = Args::parse(bad.clone()).unwrap();
             assert!(a.exec_config().is_err(), "{bad:?}");
         }
+        // A zero batch is rejected before it can reach the config's panic.
+        let a = Args::parse(["x", "--oracle-batch", "0"]).unwrap();
+        let err = a.exec_config().unwrap_err().to_string();
+        assert!(err.contains(">= 1"), "{err}");
     }
 }

@@ -51,9 +51,10 @@ ENGINE FLAGS:
   --engine holistic    conflict-hypergraph baseline
 
 EXEC FLAGS:
-  --threads N, --schedule POLICY, --oracle-cap N, and --seed N form one
-  execution-configuration surface, parsed identically by violations,
-  repair, and explain (each command consumes the knobs that apply to it).
+  --threads N, --schedule POLICY, --oracle-cap N, --oracle-batch N, and
+  --seed N form one execution-configuration surface, parsed identically by
+  violations, repair, and explain (each command consumes the knobs that
+  apply to it).
   --threads N (default: all hardware threads; 0 also means that) runs
   explain's cell sampling on N workers; for violations and repair it
   splits the row-pair violation scan, whose output is identical at any
@@ -86,6 +87,11 @@ ORACLE CAPACITY:
   entries (second-chance eviction once full; 0 disables caching). Results
   are identical at any capacity — a smaller cache only recomputes more.
   Default: 1048576 entries.
+  --oracle-batch N (must be >= 1; default unbounded) caps how many
+  cache-missing coalition queries each oracle dispatch carries. Results
+  are identical at any cap — the knob only matters for throughput when a
+  per-call-latency oracle backend answers the batches (see the library's
+  OracleBackend trait; the built-in engines answer inline).
 
 DATAGEN:
   trex datagen generates a scenario-corpus member and writes the files the
@@ -616,12 +622,21 @@ mod tests {
         for command in ["explain", "repair", "violations"] {
             let a = Args::parse([command, "--threads", "4"]).unwrap();
             assert_eq!(a.exec_config().unwrap().threads(), 4, "{command}");
+            let b = Args::parse([command, "--oracle-batch", "16"]).unwrap();
+            assert_eq!(
+                b.exec_config().unwrap().oracle_batch(),
+                Some(16),
+                "{command}"
+            );
             let d = Args::parse([command, "--threads", "999999"]).unwrap();
             let err = d.exec_config().unwrap_err().to_string();
             assert!(err.contains("999999"), "{command}: {err}");
             assert!(err.contains("1024"), "{command}: {err}");
             let e = Args::parse([command, "--schedule", "nope"]).unwrap();
             assert!(e.exec_config().is_err(), "{command}");
+            let f = Args::parse([command, "--oracle-batch", "0"]).unwrap();
+            let err = f.exec_config().unwrap_err().to_string();
+            assert!(err.contains("--oracle-batch"), "{command}: {err}");
         }
     }
 

@@ -806,6 +806,66 @@ fn mentions_t1(dc: &DenialConstraint) -> bool {
     })
 }
 
+/// The cost model shared by [`plan_report`] and [`scan_cost_estimates`]:
+/// one DC's expected scan shape and candidate-binding count against a table
+/// of `n` rows with per-column `distinct` counts (schema order).
+fn dc_scan_plan(dc: &DenialConstraint, schema: &Schema, n: u64, distinct: &[usize]) -> DcPlan {
+    if !dc.is_binary() {
+        return DcPlan {
+            name: dc.name.clone(),
+            strategy: PlanStrategy::UnaryScan,
+            join_attrs: Vec::new(),
+            estimated_pairs: n,
+        };
+    }
+    let join_attrs: Vec<String> = dc
+        .equality_join_attrs()
+        .into_iter()
+        .map(String::from)
+        .collect();
+    if join_attrs.is_empty() {
+        return DcPlan {
+            name: dc.name.clone(),
+            strategy: PlanStrategy::NestedLoop,
+            join_attrs,
+            estimated_pairs: n.saturating_mul(n.saturating_sub(1)),
+        };
+    }
+    // Partition fan-out bound: hashing on keys with Πdᵢ distinct
+    // combinations leaves ≈ n²/min(Πdᵢ, n) candidate pairs (never fewer
+    // partitions than rows can fill).
+    let mut fanout: u64 = 1;
+    for a in &join_attrs {
+        if let Some(id) = schema.resolve(a) {
+            fanout = fanout.saturating_mul(distinct[id.index()] as u64);
+        }
+    }
+    let fanout = fanout.clamp(1, n.max(1));
+    DcPlan {
+        name: dc.name.clone(),
+        strategy: PlanStrategy::EqualityJoin,
+        join_attrs,
+        estimated_pairs: n.saturating_mul(n) / fanout,
+    }
+}
+
+/// Per-DC scan-cost estimates against `table`, in **input order**: the
+/// static analyzer's [`DcPlan::estimated_pairs`] cost model without the
+/// verdict pass (every DC is costed as if it will actually be scanned).
+/// This is the hook batch schedulers use to order coalition scans by
+/// expected work — e.g. `trex-repair`'s batched oracle dispatches the most
+/// expensive coalitions first — instead of treating every DC as equally
+/// expensive. One [`EncodedTable`] encode amortizes across all DCs.
+pub fn scan_cost_estimates(dcs: &[DenialConstraint], table: &Table) -> Vec<u64> {
+    let enc = EncodedTable::encode(table);
+    let distinct = enc.distinct_counts();
+    let schema = table.schema();
+    let n = table.num_rows() as u64;
+    dcs.iter()
+        .map(|dc| dc_scan_plan(dc, schema, n, &distinct).estimated_pairs)
+        .collect()
+}
+
 /// Build the plan report: one entry per DC, most expensive first.
 fn plan_report(
     dcs: &[DenialConstraint],
@@ -826,45 +886,8 @@ fn plan_report(
                     join_attrs: Vec::new(),
                     estimated_pairs: 0,
                 }
-            } else if !dc.is_binary() {
-                DcPlan {
-                    name: dc.name.clone(),
-                    strategy: PlanStrategy::UnaryScan,
-                    join_attrs: Vec::new(),
-                    estimated_pairs: n,
-                }
             } else {
-                let join_attrs: Vec<String> = dc
-                    .equality_join_attrs()
-                    .into_iter()
-                    .map(String::from)
-                    .collect();
-                if join_attrs.is_empty() {
-                    DcPlan {
-                        name: dc.name.clone(),
-                        strategy: PlanStrategy::NestedLoop,
-                        join_attrs,
-                        estimated_pairs: n.saturating_mul(n.saturating_sub(1)),
-                    }
-                } else {
-                    // Partition fan-out bound: hashing on keys with Πdᵢ
-                    // distinct combinations leaves ≈ n²/min(Πdᵢ, n)
-                    // candidate pairs (never fewer partitions than rows
-                    // can fill).
-                    let mut fanout: u64 = 1;
-                    for a in &join_attrs {
-                        if let Some(id) = schema.resolve(a) {
-                            fanout = fanout.saturating_mul(facts.distinct[id.index()] as u64);
-                        }
-                    }
-                    let fanout = fanout.clamp(1, n.max(1));
-                    DcPlan {
-                        name: dc.name.clone(),
-                        strategy: PlanStrategy::EqualityJoin,
-                        join_attrs,
-                        estimated_pairs: n.saturating_mul(n) / fanout,
-                    }
-                }
+                dc_scan_plan(dc, schema, n, &facts.distinct)
             };
             (i, plan)
         })
@@ -1347,6 +1370,11 @@ mod tests {
         assert_eq!(a.plans[1].join_attrs, vec!["Team".to_string()]);
         let json = a.plans[0].to_json();
         assert!(json.contains("\"strategy\": \"nested-loop\""), "{json}");
+
+        // The scheduler hook exposes the same cost model in input order,
+        // without the verdict pass: "Dead" is costed as if scanned.
+        let costs = scan_cost_estimates(&dcs, &table);
+        assert_eq!(costs, vec![100, 380, 20, 380]);
     }
 
     #[test]

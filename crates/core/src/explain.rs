@@ -10,7 +10,7 @@ use crate::games::{CellGameMasked, CellGameSampled, ConstraintGame, MaskMode};
 use crate::ranking::Ranking;
 use std::fmt;
 use trex_constraints::DenialConstraint;
-use trex_repair::{RepairAlgorithm, RepairResult};
+use trex_repair::{BatchStats, OracleBackend, RepairAlgorithm, RepairResult, ShardedOracle};
 use trex_shapley::{
     parallel, shapley_exact, shapley_exact_rational, ExecConfig, Game, ParallelConfig, Rational,
     SamplingConfig, Schedule, StochasticGame,
@@ -142,19 +142,47 @@ pub struct CellExplanation {
 /// number of distinct coalition tables visited;
 /// [`ExecConfig::with_oracle_cap`] bounds it (entries, second-chance
 /// eviction) without changing any result.
+///
+/// Oracle misses are answered by the wrapped algorithm by default.
+/// [`Explainer::with_oracle_backend`] routes them through an
+/// [`OracleBackend`] instead — misses then travel in bounded batches
+/// ([`ExecConfig::with_oracle_batch`]), concurrent identical coalitions
+/// dedup through single-flight, and batch formation orders constraint-game
+/// coalitions by the static analyzer's scan-cost estimates. A faithful
+/// backend (one honoring [`OracleBackend`]'s contract) never changes any
+/// explanation — only who computes it, and how many round trips it takes.
 pub struct Explainer<'a> {
     alg: &'a dyn RepairAlgorithm,
     cfg: ExecConfig,
+    backend: Option<&'a dyn OracleBackend>,
 }
 
 impl<'a> Explainer<'a> {
     /// Wrap a repair algorithm (single sampling worker, auto schedule,
-    /// default oracle capacity).
+    /// default oracle capacity, local oracle dispatch).
     pub fn new(alg: &'a dyn RepairAlgorithm) -> Self {
         Explainer {
             alg,
             cfg: ExecConfig::default(),
+            backend: None,
         }
+    }
+
+    /// Answer coalition oracle misses through `backend` — e.g. a
+    /// `trex_repair::RemoteRepair` whose per-call latency the batching
+    /// layer amortizes — instead of invoking the wrapped algorithm once
+    /// per query. The backend must answer exactly what the wrapped
+    /// algorithm would ([`OracleBackend`]'s fidelity contract); the
+    /// full-table repair that determines a cell's repair target always
+    /// runs on the local algorithm.
+    pub fn with_oracle_backend(mut self, backend: &'a dyn OracleBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// The configured oracle backend, if any.
+    pub fn oracle_backend(&self) -> Option<&'a dyn OracleBackend> {
+        self.backend
     }
 
     /// Apply an execution configuration wholesale: thread count, schedule,
@@ -230,7 +258,36 @@ impl<'a> Explainer<'a> {
             .unwrap_or_else(|| Schedule::auto(players, self.threads()))
     }
 
-    /// Build the constraint game with this explainer's oracle capacity.
+    /// Whether the batched-dispatch machinery is in play (a batch bound or
+    /// a backend is configured) — the only case where computing scan-cost
+    /// estimates for batch ordering buys anything.
+    fn batching_configured(&self) -> bool {
+        self.cfg.oracle_batch().is_some() || self.backend.is_some()
+    }
+
+    /// Build a coalition oracle carrying every configured knob: capacity
+    /// bound, batch bound, and backend.
+    fn build_oracle<'b>(&self) -> ShardedOracle<'b>
+    where
+        'a: 'b,
+    {
+        let mut oracle = match self.cfg.oracle_cap() {
+            Some(cap) => ShardedOracle::with_capacity(self.alg, cap),
+            None => ShardedOracle::new(self.alg),
+        };
+        if let Some(batch) = self.cfg.oracle_batch() {
+            oracle = oracle.with_batch(batch);
+        }
+        if let Some(backend) = self.backend {
+            oracle = oracle.with_backend(backend);
+        }
+        oracle
+    }
+
+    /// Build the constraint game with this explainer's oracle
+    /// configuration. When batching is configured, the static analyzer's
+    /// per-DC scan-cost estimates are attached so batch formation orders
+    /// coalition scans most-expensive-first.
     fn constraint_game<'b>(
         &self,
         dcs: &'b [DenialConstraint],
@@ -241,15 +298,16 @@ impl<'a> Explainer<'a> {
     where
         'a: 'b,
     {
-        match self.cfg.oracle_cap() {
-            Some(cap) => {
-                ConstraintGame::with_oracle_capacity(self.alg, dcs, dirty, cell, target, cap)
-            }
-            None => ConstraintGame::new(self.alg, dcs, dirty, cell, target),
+        let game = ConstraintGame::with_oracle(self.build_oracle(), dcs, dirty, cell, target);
+        if self.batching_configured() {
+            game.with_dc_costs(trex_constraints::scan_cost_estimates(dcs, dirty))
+        } else {
+            game
         }
     }
 
-    /// Build the masked cell game with this explainer's oracle capacity.
+    /// Build the masked cell game with this explainer's oracle
+    /// configuration.
     fn masked_game<'b>(
         &self,
         dcs: &'b [DenialConstraint],
@@ -261,12 +319,7 @@ impl<'a> Explainer<'a> {
     where
         'a: 'b,
     {
-        match self.cfg.oracle_cap() {
-            Some(cap) => {
-                CellGameMasked::with_oracle_capacity(self.alg, dcs, dirty, cell, target, mode, cap)
-            }
-            None => CellGameMasked::new(self.alg, dcs, dirty, cell, target, mode),
-        }
+        CellGameMasked::with_oracle(self.build_oracle(), dcs, dirty, cell, target, mode)
     }
 
     /// The wrapped algorithm.
@@ -324,6 +377,20 @@ impl<'a> Explainer<'a> {
         dirty: &Table,
         cell: CellRef,
     ) -> Result<(ConstraintExplanation, trex_repair::OracleStats), ExplainError> {
+        self.explain_constraints_with_batch_stats(dcs, dirty, cell)
+            .map(|(explanation, stats, _)| (explanation, stats))
+    }
+
+    /// [`Explainer::explain_constraints_with_stats`], additionally
+    /// returning the oracle's batched-dispatch counters ([`BatchStats`]):
+    /// how many backend dispatches ran and how many coalition queries they
+    /// carried. Zero unless a solver path evaluated coalitions in batches.
+    pub fn explain_constraints_with_batch_stats(
+        &self,
+        dcs: &[DenialConstraint],
+        dirty: &Table,
+        cell: CellRef,
+    ) -> Result<(ConstraintExplanation, trex_repair::OracleStats, BatchStats), ExplainError> {
         let target = self.repair_target(dcs, dirty, cell)?;
         let game = self.constraint_game(dcs, dirty, cell, target.clone());
         let values = shapley_exact(&game).expect("constraint sets are small");
@@ -344,7 +411,7 @@ impl<'a> Explainer<'a> {
                 .collect(),
             target,
         };
-        Ok((explanation, game.oracle_stats()))
+        Ok((explanation, game.oracle_stats(), game.oracle_batch_stats()))
     }
 
     /// Pairwise **Shapley interaction indices** of the constraints for the
@@ -1060,6 +1127,46 @@ mod tests {
                 .unwrap();
             assert_eq!(cells.values, reference_cells.values, "capacity {capacity}");
         }
+    }
+
+    #[test]
+    fn batched_and_backend_explanations_match_the_plain_path() {
+        // A faithful backend plus any batch bound must reproduce the
+        // default explainer byte for byte — constraints and cells — while
+        // actually routing misses through the backend.
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let cfg = SamplingConfig {
+            samples: 120,
+            seed: 3,
+        };
+        let reference_cons = Explainer::new(&alg)
+            .explain_constraints(&dcs, &dirty, cell)
+            .unwrap();
+        let reference_cells = Explainer::new(&alg)
+            .explain_cells_masked(&dcs, &dirty, cell, MaskMode::Null, cfg)
+            .unwrap();
+        let remote =
+            trex_repair::MockRemoteRepair::mock(laliga::algorithm1(), std::time::Duration::ZERO);
+        for batch in [1usize, 7, 64] {
+            let ex = Explainer::new(&alg)
+                .with_config(ExecConfig::new().with_oracle_batch(batch))
+                .with_oracle_backend(&remote);
+            assert_eq!(ex.config().oracle_batch(), Some(batch));
+            assert_eq!(ex.oracle_backend().unwrap().name(), "remote(algorithm1)");
+            let (cons, _, batch_stats) = ex
+                .explain_constraints_with_batch_stats(&dcs, &dirty, cell)
+                .unwrap();
+            assert_eq!(cons.exact, reference_cons.exact, "batch {batch}");
+            assert!(batch_stats.batches > 0, "misses must travel in batches");
+            let cells = ex
+                .explain_cells_masked(&dcs, &dirty, cell, MaskMode::Null, cfg)
+                .unwrap();
+            assert_eq!(cells.values, reference_cells.values, "batch {batch}");
+        }
+        assert!(remote.calls() > 0, "the backend answered real queries");
     }
 
     #[test]

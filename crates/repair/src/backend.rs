@@ -1,0 +1,293 @@
+//! Batched oracle backends: the transport boundary of the repair oracle.
+//!
+//! [`crate::RepairAlgorithm`] models a cheap, local, one-repair-at-a-time
+//! black box. Production oracles are not like that: an ML inference service
+//! or a HoloClean-style solver behind an RPC answers *batches* of queries
+//! per round trip and charges per call, not per query. [`OracleBackend`] is
+//! the trait for that boundary — it receives whole batches of coalition
+//! queries ([`CoalitionQuery`]) and answers them index-aligned — and
+//! [`RemoteRepair`] adapts any local algorithm into a per-call-latency
+//! backend (one simulated round trip per `answer_batch` call), with
+//! [`MockRemoteRepair`] as the boxed test/bench double.
+//!
+//! The batching layer in front of a backend lives in
+//! [`crate::ShardedOracle`]: coalition queries accumulate into bounded
+//! batches, concurrent identical coalitions dedup via single-flight, and
+//! batch formation orders scans by static cost estimates. A backend only
+//! ever sees deduplicated, bounded batches.
+//!
+//! **Contract.** A backend must answer exactly what the session's local
+//! [`crate::RepairAlgorithm`] would answer for the same query — it is a
+//! *transport* for the repair function, not a different oracle. Under that
+//! contract batched output is byte-identical to per-call output at any
+//! batch size and thread count (the oracle guarantees the rest:
+//! deterministic keys, order-preserving scatter of batch answers).
+
+use crate::traits::{repairs_cell_to, RepairAlgorithm};
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+use trex_constraints::DenialConstraint;
+use trex_table::{CellRef, Table, Value};
+
+/// One coalition query of the binary view `Alg|cell(dcs, table) == target`
+/// (§2.1), as shipped to an [`OracleBackend`].
+///
+/// Fields are [`Cow`]s because the two T-REx games own different halves of
+/// a query: the constraint game owns its DC subset but borrows the dirty
+/// table, the masked cell game owns its masked table but borrows the DC
+/// list. Backends only read.
+pub struct CoalitionQuery<'q> {
+    /// The coalition's constraint set.
+    pub dcs: Cow<'q, [DenialConstraint]>,
+    /// The (possibly coalition-masked) dirty table to repair.
+    pub table: Cow<'q, Table>,
+    /// The cell whose repair is being asked about.
+    pub cell: CellRef,
+    /// The target value: the answer is whether the repair sets `cell` to
+    /// exactly this (a no-op when the dirty value already equals it).
+    pub target: Cow<'q, Value>,
+}
+
+/// A repair oracle that answers *batches* of coalition queries.
+///
+/// This is the redesigned oracle boundary: instead of one synchronous
+/// [`crate::RepairAlgorithm::repair`] per coalition, a backend receives a
+/// bounded, deduplicated batch and returns one boolean per query,
+/// index-aligned. Per-call-latency backends (anything remote) amortize
+/// their round trip across the whole batch; see [`RemoteRepair`].
+///
+/// `Sync` is a supertrait: the sharded oracle dispatches batches from
+/// several sampling workers sharing one `&dyn OracleBackend`.
+pub trait OracleBackend: Sync {
+    /// Short identifier for telemetry and experiment reports.
+    fn name(&self) -> &str;
+
+    /// Answer every query in `batch`, index-aligned.
+    ///
+    /// Must be a deterministic function of the batch contents and must
+    /// return exactly `batch.len()` answers (the oracle asserts this).
+    fn answer_batch(&self, batch: &[CoalitionQuery<'_>]) -> Vec<bool>;
+}
+
+/// Adapter exposing a local [`RepairAlgorithm`] as an [`OracleBackend`]:
+/// each query in a batch runs one local repair, with no added latency.
+///
+/// Useful to exercise the batched dispatch path against an in-process
+/// engine; a `ShardedOracle` without any backend behaves identically.
+pub struct LocalBackend<A> {
+    inner: A,
+}
+
+impl<A: RepairAlgorithm> LocalBackend<A> {
+    /// Wrap a local algorithm.
+    pub fn new(inner: A) -> Self {
+        LocalBackend { inner }
+    }
+
+    /// The wrapped algorithm.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: RepairAlgorithm> OracleBackend for LocalBackend<A> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn answer_batch(&self, batch: &[CoalitionQuery<'_>]) -> Vec<bool> {
+        batch
+            .iter()
+            .map(|q| repairs_cell_to(&self.inner, &q.dcs, &q.table, q.cell, &q.target))
+            .collect()
+    }
+}
+
+/// Adapter for per-call-latency backends: wraps a local algorithm and
+/// charges a fixed `latency` **once per [`OracleBackend::answer_batch`]
+/// call** — one simulated round trip — regardless of how many queries the
+/// batch carries. Batch size `B` therefore cuts the latency bill by `B×`
+/// versus per-call dispatch, which is exactly the economics of a remote
+/// repair service.
+///
+/// Call and query counters (relaxed atomics) expose the round-trip count
+/// to benches and tests; answers come from the wrapped algorithm, so the
+/// backend honors the [`OracleBackend`] transport contract by
+/// construction.
+pub struct RemoteRepair<A> {
+    inner: A,
+    name: String,
+    latency: Duration,
+    calls: AtomicUsize,
+    queries: AtomicUsize,
+}
+
+impl<A: RepairAlgorithm> RemoteRepair<A> {
+    /// Wrap `inner` behind a simulated remote boundary with the given
+    /// per-call latency (use [`Duration::ZERO`] for a latency-free remote).
+    pub fn new(inner: A, latency: Duration) -> Self {
+        let name = format!("remote({})", inner.name());
+        RemoteRepair {
+            inner,
+            name,
+            latency,
+            calls: AtomicUsize::new(0),
+            queries: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of `answer_batch` round trips so far (empty batches are
+    /// answered locally and not counted).
+    pub fn calls(&self) -> usize {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Total queries answered across all round trips.
+    pub fn queries(&self) -> usize {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// The simulated per-call latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// The wrapped algorithm.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: RepairAlgorithm> OracleBackend for RemoteRepair<A> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn answer_batch(&self, batch: &[CoalitionQuery<'_>]) -> Vec<bool> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(batch.len(), Ordering::Relaxed);
+        if !self.latency.is_zero() {
+            // One round trip per call: the whole batch shares the sleep.
+            std::thread::sleep(self.latency);
+        }
+        batch
+            .iter()
+            .map(|q| repairs_cell_to(&self.inner, &q.dcs, &q.table, q.cell, &q.target))
+            .collect()
+    }
+}
+
+/// The test/bench double named by the roadmap: a [`RemoteRepair`] over a
+/// boxed engine, so fixtures can inject any algorithm plus any latency
+/// without naming the engine type.
+pub type MockRemoteRepair = RemoteRepair<Box<dyn RepairAlgorithm>>;
+
+impl MockRemoteRepair {
+    /// Box `alg` behind a simulated remote boundary with injectable
+    /// latency.
+    pub fn mock(alg: impl RepairAlgorithm + 'static, latency: Duration) -> Self {
+        RemoteRepair::new(Box::new(alg) as Box<dyn RepairAlgorithm>, latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{NoOpRepair, RepairResult};
+    use trex_table::{AttrId, TableBuilder};
+
+    struct Fixer;
+
+    impl RepairAlgorithm for Fixer {
+        fn name(&self) -> &str {
+            "fixer"
+        }
+        fn repair(&self, dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
+            let mut clean = dirty.clone();
+            if !dcs.is_empty() {
+                clean.set(CellRef::new(0, AttrId(0)), Value::str("FIXED"));
+            }
+            RepairResult::from_tables(dirty, clean)
+        }
+    }
+
+    fn table() -> Table {
+        TableBuilder::new()
+            .str_columns(["A"])
+            .str_row(["dirty"])
+            .build()
+    }
+
+    fn dc() -> DenialConstraint {
+        trex_constraints::parse_dc("!(t1.A != t2.A)").unwrap()
+    }
+
+    fn query(dcs: Vec<DenialConstraint>, target: &str) -> CoalitionQuery<'static> {
+        CoalitionQuery {
+            dcs: Cow::Owned(dcs),
+            table: Cow::Owned(table()),
+            cell: CellRef::new(0, AttrId(0)),
+            target: Cow::Owned(Value::str(target)),
+        }
+    }
+
+    #[test]
+    fn local_backend_answers_like_the_algorithm() {
+        let backend = LocalBackend::new(Fixer);
+        let batch = [
+            query(vec![dc()], "FIXED"),
+            query(vec![], "FIXED"),
+            query(vec![dc()], "OTHER"),
+            query(vec![dc()], "dirty"), // already the dirty value → false
+        ];
+        assert_eq!(
+            backend.answer_batch(&batch),
+            vec![true, false, false, false]
+        );
+        assert_eq!(backend.name(), "fixer");
+        assert_eq!(backend.inner().name(), "fixer");
+    }
+
+    #[test]
+    fn remote_repair_counts_one_call_per_batch() {
+        let remote = RemoteRepair::new(Fixer, Duration::ZERO);
+        let batch = [query(vec![dc()], "FIXED"), query(vec![], "FIXED")];
+        assert_eq!(remote.answer_batch(&batch), vec![true, false]);
+        assert_eq!(remote.answer_batch(&batch), vec![true, false]);
+        assert_eq!(remote.calls(), 2, "one round trip per answer_batch call");
+        assert_eq!(remote.queries(), 4);
+        assert_eq!(remote.name(), "remote(fixer)");
+        assert_eq!(remote.inner().name(), "fixer");
+        // Empty batches are free: no round trip.
+        assert!(remote.answer_batch(&[]).is_empty());
+        assert_eq!(remote.calls(), 2);
+    }
+
+    #[test]
+    fn remote_repair_pays_latency_once_per_call() {
+        let remote = RemoteRepair::new(Fixer, Duration::from_millis(20));
+        assert_eq!(remote.latency(), Duration::from_millis(20));
+        let batch: Vec<CoalitionQuery<'_>> = (0..8).map(|_| query(vec![dc()], "FIXED")).collect();
+        let start = std::time::Instant::now();
+        let _ = remote.answer_batch(&batch);
+        let elapsed = start.elapsed();
+        // 8 queries, 1 sleep: well under the 160ms a per-query charge
+        // would cost (generous upper bound against slow CI clocks).
+        assert!(elapsed < Duration::from_millis(160), "{elapsed:?}");
+        assert_eq!(remote.calls(), 1);
+        assert_eq!(remote.queries(), 8);
+    }
+
+    #[test]
+    fn mock_remote_repair_boxes_any_engine() {
+        let mock = MockRemoteRepair::mock(NoOpRepair, Duration::ZERO);
+        assert_eq!(mock.name(), "remote(noop)");
+        let batch = [query(vec![dc()], "FIXED")];
+        assert_eq!(mock.answer_batch(&batch), vec![false], "noop fixes nothing");
+        assert_eq!(mock.calls(), 1);
+    }
+}

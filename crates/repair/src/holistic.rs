@@ -214,6 +214,21 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_threads_matches_with_exec() {
+        // The legacy builder must configure exactly what with_exec does.
+        let cfg = trex_shapley::ExecConfig::new().with_threads(4);
+        let a = HolisticRepair::new()
+            .with_threads(4)
+            .repair(&dcs(), &dirty());
+        let b = HolisticRepair::new()
+            .with_exec(&cfg)
+            .repair(&dcs(), &dirty());
+        assert_eq!(a.clean, b.clean);
+        assert_eq!(a.changes, b.changes);
+    }
+
+    #[test]
     fn eliminates_all_violations() {
         let r = HolisticRepair::new().repair(&dcs(), &dirty());
         assert!(is_clean(&resolved(&r.clean), &r.clean));

@@ -189,6 +189,21 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_threads_matches_with_exec() {
+        // The legacy builder must configure exactly what with_exec does.
+        let cfg = trex_shapley::ExecConfig::new().with_threads(4);
+        let a = HoloCleanStyle::new()
+            .with_threads(4)
+            .repair(&dcs(), &dirty());
+        let b = HoloCleanStyle::new()
+            .with_exec(&cfg)
+            .repair(&dcs(), &dirty());
+        assert_eq!(a.clean, b.clean);
+        assert_eq!(a.changes, b.changes);
+    }
+
+    #[test]
     fn repairs_both_errors() {
         let r = HoloCleanStyle::new().repair(&dcs(), &dirty());
         let t = &r.clean;

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod chase;
 pub mod holistic;
 pub mod holoclean;
@@ -31,14 +32,15 @@ pub mod metrics;
 pub mod simple;
 pub mod traits;
 
+pub use backend::{CoalitionQuery, LocalBackend, MockRemoteRepair, OracleBackend, RemoteRepair};
 pub use chase::FdChaseRepair;
 pub use holistic::HolisticRepair;
 pub use holoclean::{HoloCleanConfig, HoloCleanStyle};
 pub use metrics::{cell_accuracy, score_repair, score_tables, RepairQuality};
 pub use simple::{FixAction, Rule, RuleParseError, RuleRepair};
 pub use traits::{
-    hash_dcs, hash_value, repairs_cell_to, CachedOracle, NoOpRepair, OracleKey, OracleStats,
-    PanicGuard, RepairAlgorithm, RepairResult, ShardedOracle,
+    hash_dcs, hash_value, repairs_cell_to, BatchStats, CachedOracle, NoOpRepair, OracleKey,
+    OracleStats, PanicGuard, RepairAlgorithm, RepairResult, ShardedOracle,
 };
 
 // Property tests, gated behind the `proptest` feature to keep plain

@@ -15,14 +15,19 @@
 //! A1 of DESIGN.md measures the effect). [`ShardedOracle`] is the
 //! thread-safe variant behind the parallel sampling engine: the same
 //! memoization split over mutex-guarded shards so concurrent permutation
-//! workers share hits without serializing on one lock.
+//! workers share hits without serializing on one lock, with single-flight
+//! dedup of concurrent cold keys (one computation, all waiters share the
+//! answer) and a batching layer ([`ShardedOracle::query_keyed_batch`]) that
+//! forms bounded, cost-ordered batches for an optional
+//! [`crate::backend::OracleBackend`].
 
+use crate::backend::{CoalitionQuery, OracleBackend};
 use std::cell::RefCell;
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use trex_constraints::DenialConstraint;
 use trex_table::{CellChange, CellRef, Table, Value};
 
@@ -91,6 +96,21 @@ pub trait RepairAlgorithm: Sync {
         Self: Sized,
     {
         self
+    }
+}
+
+/// Boxed algorithms are algorithms: forwards `name`/`repair` to the boxed
+/// engine so `Box<dyn RepairAlgorithm>` satisfies generic `RepairAlgorithm`
+/// bounds (e.g. [`crate::MockRemoteRepair`] wraps a boxed engine).
+/// `with_exec` keeps its identity default — configure the engine *before*
+/// boxing it.
+impl<A: RepairAlgorithm + ?Sized> RepairAlgorithm for Box<A> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn repair(&self, dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
+        (**self).repair(dcs, dirty)
     }
 }
 
@@ -250,12 +270,75 @@ struct CacheSlot {
     referenced: bool,
 }
 
-/// One mutex-guarded shard: the memo map plus the clock queue ordering its
-/// eviction candidates (the queue always holds exactly the map's keys).
+/// Wait/notify cell of one in-flight oracle computation — the single-flight
+/// rendezvous. The leader computes and [`Flight::resolve`]s; every other
+/// thread wanting the same key [`Flight::wait`]s and shares the answer.
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+enum FlightState {
+    /// The leader is still computing.
+    Pending,
+    /// The leader installed this answer.
+    Done(bool),
+    /// The leader unwound without answering; a waiter must take over.
+    Poisoned,
+}
+
+impl Flight {
+    fn new() -> Arc<Flight> {
+        Arc::new(Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Publish the leader's answer and wake every waiter.
+    fn resolve(&self, answer: bool) {
+        let mut state = self.state.lock().expect("flight lock poisoned");
+        *state = FlightState::Done(answer);
+        self.cv.notify_all();
+    }
+
+    /// Mark the flight failed (leader unwound) and wake every waiter —
+    /// unless it already resolved.
+    fn poison(&self) {
+        let mut state = self.state.lock().expect("flight lock poisoned");
+        if matches!(*state, FlightState::Pending) {
+            *state = FlightState::Poisoned;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until the flight resolves. `None` means the leader failed and
+    /// the caller must retake the key.
+    fn wait(&self) -> Option<bool> {
+        let mut state = self.state.lock().expect("flight lock poisoned");
+        loop {
+            match *state {
+                FlightState::Pending => {
+                    state = self.cv.wait(state).expect("flight lock poisoned");
+                }
+                FlightState::Done(answer) => return Some(answer),
+                FlightState::Poisoned => return None,
+            }
+        }
+    }
+}
+
+/// One mutex-guarded shard: the memo map, the clock queue ordering its
+/// eviction candidates (the queue always holds exactly the map's keys), and
+/// the single-flight registry of keys currently being computed.
 #[derive(Default)]
 struct OracleShard {
     map: HashMap<OracleKey, CacheSlot>,
     clock: VecDeque<OracleKey>,
+    /// Keys some thread is computing right now: later arrivals wait on the
+    /// registered flight instead of recomputing. Disjoint from `map` — a
+    /// key moves from here into the map when its leader installs it.
+    inflight: HashMap<OracleKey, Arc<Flight>>,
 }
 
 impl OracleShard {
@@ -309,8 +392,22 @@ impl OracleShard {
 /// unbounded oracle — eviction only ever costs time, never changes an
 /// answer — and a capacity at least the live-key count of the workload
 /// evicts nothing at all.
+///
+/// **Single-flight & batching.** Concurrent queries of the same cold key
+/// dedup via single-flight: the first arrival computes, everyone else
+/// blocks on its flight and shares the answer — one repair run per key no
+/// matter how many workers race. [`ShardedOracle::query_keyed_batch`]
+/// additionally forms bounded batches of cold keys (size capped by
+/// [`ShardedOracle::with_batch`]), orders them most-expensive-scan-first
+/// when the caller supplies static cost estimates, and dispatches them to
+/// an optional [`OracleBackend`] ([`ShardedOracle::with_backend`]) so
+/// per-call-latency backends amortize their round trip across the batch.
 pub struct ShardedOracle<'a> {
     alg: &'a dyn RepairAlgorithm,
+    /// Batch transport; `None` answers batches with `alg` locally.
+    backend: Option<&'a dyn OracleBackend>,
+    /// Max queries per backend dispatch in `query_keyed_batch`.
+    batch: usize,
     /// Per-shard capacity quotas; index-aligned with `shards` and summing
     /// to the constructor's total capacity.
     shard_caps: Vec<usize>,
@@ -318,6 +415,68 @@ pub struct ShardedOracle<'a> {
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
+    batches: AtomicUsize,
+    batched_queries: AtomicUsize,
+}
+
+/// Batched-dispatch statistics of a [`ShardedOracle`]: how many backend
+/// dispatches the batcher issued and how many (deduplicated) queries they
+/// carried. Kept separate from [`OracleStats`], whose hit/miss/eviction
+/// totals are a pinned scheduling-independent contract — dispatch counts
+/// legitimately depend on batch size and arrival order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Dispatches issued by [`ShardedOracle::query_keyed_batch`] (one
+    /// `answer_batch` round trip each when a backend is attached).
+    pub batches: usize,
+    /// Total queries those dispatches carried. Only genuine misses reach a
+    /// dispatch — cache hits and single-flight joins never do.
+    pub queries: usize,
+}
+
+/// One registered single-flight lead of a batched call: the query's
+/// position in the caller's key slice plus the flight to resolve.
+struct Lead {
+    slot: usize,
+    key: OracleKey,
+    shard: usize,
+    flight: Arc<Flight>,
+    resolved: bool,
+}
+
+/// Unwind guard over a call's registered leads: any lead still unresolved
+/// when the guard drops (the compute or backend panicked) is deregistered
+/// and poisoned, so waiters on other threads wake and retake the key
+/// instead of deadlocking behind a dead leader.
+struct FlightLease<'o, 'a> {
+    oracle: &'o ShardedOracle<'a>,
+    leads: Vec<Lead>,
+}
+
+impl FlightLease<'_, '_> {
+    /// Install lead `j`'s answer in the cache and wake its waiters.
+    fn resolve(&mut self, j: usize, answer: bool) {
+        let lead = &mut self.leads[j];
+        lead.resolved = true;
+        self.oracle
+            .install_and_resolve(lead.shard, lead.key, &lead.flight, answer);
+    }
+}
+
+impl Drop for FlightLease<'_, '_> {
+    fn drop(&mut self) {
+        for lead in &self.leads {
+            if lead.resolved {
+                continue;
+            }
+            // `if let Ok`: a poisoned shard mutex while already unwinding
+            // must not escalate into a double-panic abort.
+            if let Ok(mut shard) = self.oracle.shards[lead.shard].lock() {
+                shard.inflight.remove(&lead.key);
+            }
+            lead.flight.poison();
+        }
+    }
 }
 
 impl<'a> ShardedOracle<'a> {
@@ -375,6 +534,8 @@ impl<'a> ShardedOracle<'a> {
         let shard_caps = (0..shards).map(|i| base + usize::from(i < extra)).collect();
         ShardedOracle {
             alg,
+            backend: None,
+            batch: usize::MAX,
             shard_caps,
             shards: (0..shards)
                 .map(|_| Mutex::new(OracleShard::default()))
@@ -382,7 +543,40 @@ impl<'a> ShardedOracle<'a> {
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
+            batched_queries: AtomicUsize::new(0),
         }
+    }
+
+    /// Route batched dispatches ([`ShardedOracle::query_keyed_batch`])
+    /// through `backend` instead of the local algorithm.
+    ///
+    /// The backend must honor the [`OracleBackend`] transport contract —
+    /// answer exactly what the local algorithm would — so attaching one
+    /// never changes an answer, only where (and how many at a time) the
+    /// misses are computed. Per-query paths
+    /// ([`ShardedOracle::repairs_cell_to`], [`ShardedOracle::query_keyed`])
+    /// stay on their caller-supplied compute.
+    pub fn with_backend(mut self, backend: &'a dyn OracleBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Bound the number of queries per batched dispatch (default:
+    /// unbounded — one dispatch carries every miss of a
+    /// [`ShardedOracle::query_keyed_batch`] call).
+    ///
+    /// # Panics
+    /// If `batch` is 0 (a dispatch must be able to carry a query).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "batch size must be at least 1");
+        self.batch = batch;
+        self
+    }
+
+    /// The attached backend's name, if one is attached.
+    pub fn backend_name(&self) -> Option<&str> {
+        self.backend.map(|b| b.name())
     }
 
     /// The underlying algorithm.
@@ -426,16 +620,19 @@ impl<'a> ShardedOracle<'a> {
     /// Memoized `Alg|cell(dcs, table) == target` query; safe to call from
     /// many threads at once.
     ///
-    /// The shard lock is *not* held while the underlying repair runs: two
-    /// threads racing on the same brand-new key may both compute it (the
-    /// oracle is deterministic, so both get the same answer), but no thread
-    /// ever blocks behind another's repair call. Statistics classify per
-    /// *key*, not per computation: the query that installs a key records
-    /// the miss; a racer that computed redundantly but finds the key
-    /// already installed records a hit, exactly as if it had arrived after
-    /// the insertion. Hit/miss totals are therefore a function of the
-    /// workload alone (as long as the cache is not capacity-saturated),
-    /// identical across runs and thread counts.
+    /// The shard lock is *not* held while the underlying repair runs.
+    /// Concurrent queries of the same brand-new key dedup via
+    /// *single-flight*: the first arrival (the leader) registers a flight
+    /// and computes; every later arrival blocks on that flight and shares
+    /// the leader's answer — one repair run per key, no matter how many
+    /// workers race. Statistics classify per *key*: the leader that
+    /// installs a key records the miss; every waiter records a hit,
+    /// exactly as if it had arrived after the insertion. Hit/miss totals
+    /// are therefore a function of the workload alone (as long as the
+    /// cache is not capacity-saturated), identical across runs and thread
+    /// counts. If a leader panics before answering, its flight is poisoned
+    /// and one waiter takes over as the new leader — an answer is never
+    /// fabricated.
     pub fn repairs_cell_to(
         &self,
         dcs: &[DenialConstraint],
@@ -456,43 +653,230 @@ impl<'a> ShardedOracle<'a> {
     /// there is this method's contract; `compute` must be deterministic and
     /// equal keys must mean equal queries).
     pub fn query_keyed(&self, key: OracleKey, compute: impl FnOnce() -> bool) -> bool {
-        let idx = self.shard_of(&key);
-        {
-            let mut shard = self.shards[idx].lock().expect("oracle shard poisoned");
-            if let Some(slot) = shard.map.get_mut(&key) {
-                slot.referenced = true; // a hit earns its second chance
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return slot.answer;
+        // `compute` must survive wait-retry laps (a poisoned flight sends a
+        // waiter back around the loop); it is taken exactly once, on the
+        // lead path, which always returns.
+        let mut compute = Some(compute);
+        let shard_idx = self.shard_of(&key);
+        enum Turn {
+            Wait(Arc<Flight>),
+            Lead(Arc<Flight>),
+        }
+        loop {
+            let turn = {
+                let mut shard = self.shards[shard_idx]
+                    .lock()
+                    .expect("oracle shard poisoned");
+                if let Some(slot) = shard.map.get_mut(&key) {
+                    slot.referenced = true; // a hit earns its second chance
+                    let answer = slot.answer;
+                    drop(shard);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return answer;
+                }
+                if let Some(flight) = shard.inflight.get(&key) {
+                    Turn::Wait(Arc::clone(flight))
+                } else {
+                    let flight = Flight::new();
+                    shard.inflight.insert(key, Arc::clone(&flight));
+                    Turn::Lead(flight)
+                }
+            };
+            match turn {
+                Turn::Wait(flight) => {
+                    if let Some(answer) = flight.wait() {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return answer;
+                    }
+                    // The leader unwound before answering; go around and
+                    // retake the key.
+                }
+                Turn::Lead(flight) => {
+                    let mut lease = FlightLease {
+                        oracle: self,
+                        leads: vec![Lead {
+                            slot: 0,
+                            key,
+                            shard: shard_idx,
+                            flight,
+                            resolved: false,
+                        }],
+                    };
+                    let answer = (compute.take().expect("the lead path runs at most once"))();
+                    lease.resolve(0, answer);
+                    return answer;
+                }
             }
         }
-        let answer = compute();
-        let mut shard = self.shards[idx].lock().expect("oracle shard poisoned");
-        if let Some(slot) = shard.map.get_mut(&key) {
-            // Lost a cold-key race: another worker installed the key while
-            // this one computed. The installer already recorded the miss;
-            // this query is logically a hit (the deterministic oracle
-            // guarantees `slot.answer == answer`).
-            slot.referenced = true;
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return slot.answer;
+    }
+
+    /// Answer a whole batch of caller-keyed queries, index-aligned with
+    /// `keys` — the batching/coalescing layer in front of an
+    /// [`OracleBackend`].
+    ///
+    /// Per key this resolves exactly like [`ShardedOracle::query_keyed`]
+    /// (cache hit, single-flight join, or lead), but all of the call's
+    /// *leads* — the genuine misses, including the first occurrence of any
+    /// intra-batch duplicate — are dispatched together in bounded chunks
+    /// ([`ShardedOracle::with_batch`]) instead of one at a time:
+    /// to the attached backend's `answer_batch` when one is attached
+    /// ([`ShardedOracle::with_backend`]), else to the local algorithm.
+    /// `materialize(i)` builds the full [`CoalitionQuery`] for `keys[i]`
+    /// and is called only for queries that actually need computing.
+    ///
+    /// `costs` (optional, index-aligned with `keys`) are static
+    /// scan-cost estimates — the analyzer's `DcPlan` pair counts summed
+    /// over the coalition — and order dispatch most-expensive-first
+    /// (stable on ties) so the slowest scans start earliest; they never
+    /// affect *what* is computed, only the order, and answers always come
+    /// back in key order.
+    ///
+    /// Answers and [`ShardedOracle::stats`] are byte-identical to issuing
+    /// the same keys through `query_keyed` one at a time, at any batch
+    /// size and thread count: one miss per installed key, a hit for every
+    /// other query of it. Dispatch telemetry is reported separately via
+    /// [`ShardedOracle::batch_stats`].
+    ///
+    /// # Panics
+    /// If `costs` is present but not index-aligned with `keys`, or if the
+    /// backend answers a different number of queries than it was sent.
+    pub fn query_keyed_batch<'q>(
+        &self,
+        keys: &[OracleKey],
+        costs: Option<&[u64]>,
+        materialize: impl Fn(usize) -> CoalitionQuery<'q>,
+    ) -> Vec<bool> {
+        if let Some(costs) = costs {
+            assert_eq!(costs.len(), keys.len(), "need one cost per key");
+        }
+        let mut answers = vec![false; keys.len()];
+        // Single-flight joins: queries some other call (or an earlier
+        // duplicate in this one) is already computing.
+        let mut joins: Vec<(usize, Arc<Flight>)> = Vec::new();
+        let mut lease = FlightLease {
+            oracle: self,
+            leads: Vec::new(),
+        };
+        for (slot, key) in keys.iter().enumerate() {
+            let shard_idx = self.shard_of(key);
+            let mut shard = self.shards[shard_idx]
+                .lock()
+                .expect("oracle shard poisoned");
+            if let Some(cached) = shard.map.get_mut(key) {
+                cached.referenced = true;
+                let answer = cached.answer;
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                answers[slot] = answer;
+            } else if let Some(flight) = shard.inflight.get(key) {
+                joins.push((slot, Arc::clone(flight)));
+            } else {
+                let flight = Flight::new();
+                shard.inflight.insert(*key, Arc::clone(&flight));
+                lease.leads.push(Lead {
+                    slot,
+                    key: *key,
+                    shard: shard_idx,
+                    flight,
+                    resolved: false,
+                });
+            }
+        }
+        // Dispatch order: most expensive scans first when the caller gave
+        // cost estimates, arrival order otherwise (stable on ties, so the
+        // order — and with it every downstream number — is deterministic).
+        let mut order: Vec<usize> = (0..lease.leads.len()).collect();
+        if let Some(costs) = costs {
+            order.sort_by(|&a, &b| {
+                costs[lease.leads[b].slot]
+                    .cmp(&costs[lease.leads[a].slot])
+                    .then(lease.leads[a].slot.cmp(&lease.leads[b].slot))
+            });
+        }
+        for group in order.chunks(self.batch) {
+            let queries: Vec<CoalitionQuery<'q>> = group
+                .iter()
+                .map(|&j| materialize(lease.leads[j].slot))
+                .collect();
+            let got: Vec<bool> = match self.backend {
+                Some(backend) => backend.answer_batch(&queries),
+                None => queries
+                    .iter()
+                    .map(|q| repairs_cell_to(self.alg, &q.dcs, &q.table, q.cell, &q.target))
+                    .collect(),
+            };
+            assert_eq!(
+                got.len(),
+                queries.len(),
+                "backend must answer every query in the batch"
+            );
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.batched_queries
+                .fetch_add(queries.len(), Ordering::Relaxed);
+            for (&j, answer) in group.iter().zip(got) {
+                answers[lease.leads[j].slot] = answer;
+                lease.resolve(j, answer);
+            }
+        }
+        // Every lead of this call resolved above, so joins can only block
+        // on *other* calls' leaders — never on ourselves.
+        for (slot, flight) in joins {
+            answers[slot] = match flight.wait() {
+                Some(answer) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    answer
+                }
+                // The foreign leader unwound: retake this key per-query.
+                None => self.query_keyed(keys[slot], || self.compute_one(&materialize(slot))),
+            };
+        }
+        answers
+    }
+
+    /// Answer one materialized query outside the batch loop (the fallback
+    /// when a foreign leader failed): through the backend as a batch of
+    /// one when attached, else the local algorithm.
+    fn compute_one(&self, q: &CoalitionQuery<'_>) -> bool {
+        match self.backend {
+            Some(backend) => {
+                let got = backend.answer_batch(std::slice::from_ref(q));
+                assert_eq!(got.len(), 1, "backend must answer every query in the batch");
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                self.batched_queries.fetch_add(1, Ordering::Relaxed);
+                got[0]
+            }
+            None => repairs_cell_to(self.alg, &q.dcs, &q.table, q.cell, &q.target),
+        }
+    }
+
+    /// Install a freshly computed answer (the installer's miss), deregister
+    /// its flight, and wake the waiters. This is the cache's single
+    /// insertion point, shared by the per-query and batched paths — the
+    /// quota/eviction logic lives only here.
+    fn install_and_resolve(&self, shard_idx: usize, key: OracleKey, flight: &Flight, answer: bool) {
+        {
+            let mut shard = self.shards[shard_idx]
+                .lock()
+                .expect("oracle shard poisoned");
+            shard.inflight.remove(&key);
+            let quota = self.shard_caps[shard_idx];
+            if quota > 0 {
+                if shard.map.len() >= quota {
+                    shard.evict_one();
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                shard.map.insert(
+                    key,
+                    CacheSlot {
+                        answer,
+                        referenced: false,
+                    },
+                );
+                shard.clock.push_back(key);
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let quota = self.shard_caps[idx];
-        if quota > 0 {
-            if shard.map.len() >= quota {
-                shard.evict_one();
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
-            shard.map.insert(
-                key,
-                CacheSlot {
-                    answer,
-                    referenced: false,
-                },
-            );
-            shard.clock.push_back(key);
-        }
-        answer
+        flight.resolve(answer);
     }
 
     /// Aggregated cache statistics so far.
@@ -515,7 +899,16 @@ impl<'a> ShardedOracle<'a> {
         }
     }
 
-    /// Drop all cached entries and reset statistics.
+    /// Batched-dispatch telemetry so far (see [`BatchStats`]).
+    pub fn batch_stats(&self) -> BatchStats {
+        BatchStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            queries: self.batched_queries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all cached entries and reset statistics. In-flight computations
+    /// (single-flight registrations) are untouched — they resolve normally.
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut shard = shard.lock().expect("oracle shard poisoned");
@@ -525,6 +918,8 @@ impl<'a> ShardedOracle<'a> {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.batched_queries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -1133,5 +1528,292 @@ mod tests {
         assert_eq!(r.changes.len(), 1);
         assert!(r.change_at(cell).is_some());
         assert_eq!(r.change_at(cell).unwrap().to, Value::str("x"));
+    }
+
+    #[test]
+    fn boxed_algorithm_forwards() {
+        let boxed: Box<dyn RepairAlgorithm> = Box::new(NoOpRepair);
+        assert_eq!(RepairAlgorithm::name(&boxed), "noop");
+        let t = table();
+        let r = RepairAlgorithm::repair(&boxed, &[dc()], &t);
+        assert!(r.changes.is_empty());
+        // And a Box satisfies generic bounds, e.g. as an oracle's engine.
+        let oracle = ShardedOracle::new(&boxed);
+        let cell = CellRef::new(0, AttrId(0));
+        assert!(!oracle.repairs_cell_to(&[dc()], &t, cell, &Value::str("FIXED")));
+    }
+
+    /// Test double with an artificially slow repair: makes cold-key races
+    /// all but certain once a barrier lines the workers up.
+    struct SlowRepair {
+        delay: std::time::Duration,
+        calls: AtomicUsize,
+    }
+
+    impl RepairAlgorithm for SlowRepair {
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn repair(&self, _dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.delay);
+            let mut clean = dirty.clone();
+            clean.set(CellRef::new(0, AttrId(0)), Value::str("FIXED"));
+            RepairResult::from_tables(dirty, clean)
+        }
+    }
+
+    #[test]
+    fn single_flight_computes_concurrent_identical_coalitions_once() {
+        // Barrier-hammered identical cold key: without single-flight every
+        // worker would run the (slow) repair; with it exactly one does and
+        // the waiters share the answer.
+        let alg = SlowRepair {
+            delay: std::time::Duration::from_millis(40),
+            calls: AtomicUsize::new(0),
+        };
+        let oracle = ShardedOracle::new(&alg);
+        let t = table();
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    assert!(oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED")));
+                });
+            }
+        });
+        assert_eq!(alg.calls.load(Ordering::Relaxed), 1, "one computation");
+        let stats = oracle.stats();
+        assert_eq!(stats.misses, 1, "the leader's install");
+        assert_eq!(stats.hits, 7, "every waiter shares the flight's answer");
+    }
+
+    /// Panics on the first repair call, succeeds afterwards.
+    struct FailsOnce {
+        calls: AtomicUsize,
+    }
+
+    impl RepairAlgorithm for FailsOnce {
+        fn name(&self) -> &str {
+            "fails-once"
+        }
+        fn repair(&self, _dcs: &[DenialConstraint], dirty: &Table) -> RepairResult {
+            if self.calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient failure");
+            }
+            let mut clean = dirty.clone();
+            clean.set(CellRef::new(0, AttrId(0)), Value::str("FIXED"));
+            RepairResult::from_tables(dirty, clean)
+        }
+    }
+
+    #[test]
+    fn poisoned_flight_hands_leadership_to_a_waiter() {
+        let alg = FailsOnce {
+            calls: AtomicUsize::new(0),
+        };
+        let oracle = ShardedOracle::new(&alg);
+        let t = table();
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        let barrier = std::sync::Barrier::new(2);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcomes: Vec<Result<bool, ()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED"))
+                        }))
+                        .map_err(|_| ())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("catch_unwind already caught the panic"))
+                .collect()
+        });
+        std::panic::set_hook(prev);
+        // Exactly one thread was the first leader and saw the transient
+        // panic; the flight was poisoned and the other thread retook the
+        // key and computed the real answer — no deadlock, no fabricated
+        // answer.
+        assert_eq!(outcomes.iter().filter(|r| r.is_err()).count(), 1);
+        assert!(outcomes.iter().any(|r| *r == Ok(true)));
+        // The key ends installed with the correct answer and stays hot.
+        assert!(oracle.repairs_cell_to(&dcs, &t, cell, &Value::str("FIXED")));
+        assert_eq!(
+            oracle.stats().misses,
+            1,
+            "only the successful install counts"
+        );
+    }
+
+    fn keyed_query<'q>(
+        dcs: &'q [DenialConstraint],
+        t: &'q Table,
+        cell: CellRef,
+        target: &'q Value,
+    ) -> (OracleKey, crate::backend::CoalitionQuery<'q>) {
+        use std::borrow::Cow;
+        let key = (hash_dcs(dcs), t.fingerprint(), cell, hash_value(target));
+        let query = crate::backend::CoalitionQuery {
+            dcs: Cow::Borrowed(dcs),
+            table: Cow::Borrowed(t),
+            cell,
+            target: Cow::Borrowed(target),
+        };
+        (key, query)
+    }
+
+    #[test]
+    fn batched_queries_match_per_query_answers_and_stats() {
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        let target = Value::str("FIXED");
+        let tables: Vec<Table> = (0..5)
+            .map(|i| {
+                let mut t = table();
+                t.set(cell, Value::str(format!("v{i}")));
+                t
+            })
+            .collect();
+        // Workload with an intra-batch duplicate: tables[0] twice.
+        let picks = [0usize, 1, 0, 2, 3, 4];
+        let run_batched = |batch: usize| {
+            let alg = CountingRepair {
+                need: 1,
+                calls: AtomicUsize::new(0),
+            };
+            let oracle = ShardedOracle::new(&alg).with_batch(batch);
+            let keyed: Vec<(OracleKey, crate::backend::CoalitionQuery<'_>)> = picks
+                .iter()
+                .map(|&i| keyed_query(&dcs, &tables[i], cell, &target))
+                .collect();
+            let keys: Vec<OracleKey> = keyed.iter().map(|(k, _)| *k).collect();
+            let answers = oracle.query_keyed_batch(&keys, None, |i| {
+                let q = &keyed[i].1;
+                crate::backend::CoalitionQuery {
+                    dcs: q.dcs.clone(),
+                    table: q.table.clone(),
+                    cell: q.cell,
+                    target: q.target.clone(),
+                }
+            });
+            (answers, oracle.stats(), oracle.batch_stats(), alg.calls())
+        };
+        // Per-query reference.
+        let alg = CountingRepair {
+            need: 1,
+            calls: AtomicUsize::new(0),
+        };
+        let reference = ShardedOracle::new(&alg);
+        let expect: Vec<bool> = picks
+            .iter()
+            .map(|&i| reference.repairs_cell_to(&dcs, &tables[i], cell, &target))
+            .collect();
+        for batch in [1usize, 2, 3, usize::MAX] {
+            let (answers, stats, batch_stats, calls) = run_batched(batch);
+            assert_eq!(answers, expect, "batch size {batch}");
+            assert_eq!(stats, reference.stats(), "batch size {batch}");
+            assert_eq!(calls, 5, "one computation per distinct key");
+            assert_eq!(batch_stats.queries, 5, "only misses reach dispatch");
+            let expected_batches = if batch == usize::MAX {
+                1
+            } else {
+                5usize.div_ceil(batch)
+            };
+            assert_eq!(batch_stats.batches, expected_batches, "batch size {batch}");
+        }
+        // The intra-batch duplicate joined its own flight: one hit.
+        assert_eq!(reference.stats().misses, 5);
+        assert_eq!(reference.stats().hits, 1);
+    }
+
+    /// Backend double recording the order queries arrive in (by the dirty
+    /// value of cell (0,0)), to observe cost-ordered dispatch.
+    struct RecordingBackend {
+        inner: NoOpRepair,
+        seen: Mutex<Vec<String>>,
+    }
+
+    impl crate::backend::OracleBackend for RecordingBackend {
+        fn name(&self) -> &str {
+            "recording"
+        }
+        fn answer_batch(&self, batch: &[crate::backend::CoalitionQuery<'_>]) -> Vec<bool> {
+            let mut seen = self.seen.lock().unwrap();
+            for q in batch {
+                seen.push(q.table.get(CellRef::new(0, AttrId(0))).to_string());
+            }
+            batch
+                .iter()
+                .map(|q| repairs_cell_to(&self.inner, &q.dcs, &q.table, q.cell, &q.target))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn batched_dispatch_orders_by_descending_cost() {
+        let cell = CellRef::new(0, AttrId(0));
+        let dcs = [dc()];
+        let target = Value::str("FIXED");
+        let tables: Vec<Table> = (0..4)
+            .map(|i| {
+                let mut t = table();
+                t.set(cell, Value::str(format!("v{i}")));
+                t
+            })
+            .collect();
+        let backend = RecordingBackend {
+            inner: NoOpRepair,
+            seen: Mutex::new(Vec::new()),
+        };
+        let alg = NoOpRepair;
+        let oracle = ShardedOracle::new(&alg).with_backend(&backend);
+        assert_eq!(oracle.backend_name(), Some("recording"));
+        let keyed: Vec<(OracleKey, crate::backend::CoalitionQuery<'_>)> = tables
+            .iter()
+            .map(|t| keyed_query(&dcs, t, cell, &target))
+            .collect();
+        let keys: Vec<OracleKey> = keyed.iter().map(|(k, _)| *k).collect();
+        // v2 is the most expensive scan, then v0; v1 and v3 tie at 1 and
+        // keep arrival order.
+        let costs = [7u64, 1, 90, 1];
+        let answers = oracle.query_keyed_batch(&keys, Some(&costs), |i| {
+            let q = &keyed[i].1;
+            crate::backend::CoalitionQuery {
+                dcs: q.dcs.clone(),
+                table: q.table.clone(),
+                cell: q.cell,
+                target: q.target.clone(),
+            }
+        });
+        assert_eq!(answers, vec![false; 4], "noop repairs nothing");
+        assert_eq!(
+            *backend.seen.lock().unwrap(),
+            vec!["v2", "v0", "v1", "v3"],
+            "most expensive first, stable on ties"
+        );
+        assert_eq!(oracle.batch_stats().batches, 1);
+        // Answers land back in key order regardless of dispatch order, and
+        // the cache is warm: a second pass is all hits, no new dispatch.
+        let again = oracle.query_keyed_batch(&keys, Some(&costs), |_| unreachable!("all hits"));
+        assert_eq!(again, answers);
+        assert_eq!(oracle.batch_stats().batches, 1);
+        assert_eq!(oracle.stats().hits, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be at least 1")]
+    fn zero_batch_rejected() {
+        let alg = NoOpRepair;
+        let _ = ShardedOracle::new(&alg).with_batch(0);
     }
 }

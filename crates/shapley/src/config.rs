@@ -22,10 +22,12 @@ use crate::parallel::Schedule;
 ///     .with_threads(4)
 ///     .with_schedule(Schedule::PlayerSharded)
 ///     .with_oracle_cap(1 << 16)
+///     .with_oracle_batch(64)
 ///     .with_seed(42);
 /// assert_eq!(cfg.threads(), 4);
 /// assert_eq!(cfg.schedule(), Some(Schedule::PlayerSharded));
 /// assert_eq!(cfg.oracle_cap(), Some(1 << 16));
+/// assert_eq!(cfg.oracle_batch(), Some(64));
 /// assert_eq!(cfg.seed(), Some(42));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +35,7 @@ pub struct ExecConfig {
     threads: usize,
     schedule: Option<Schedule>,
     oracle_cap: Option<usize>,
+    oracle_batch: Option<usize>,
     seed: Option<u64>,
     prune_redundant: bool,
 }
@@ -43,6 +46,7 @@ impl Default for ExecConfig {
             threads: 1,
             schedule: None,
             oracle_cap: None,
+            oracle_batch: None,
             seed: None,
             prune_redundant: false,
         }
@@ -80,6 +84,19 @@ impl ExecConfig {
         self
     }
 
+    /// Bound the number of coalition queries per batched oracle dispatch
+    /// (default: unbounded — one dispatch per batch-capable solver step).
+    /// Batching never changes any answer, only how many queries share one
+    /// backend round trip; see the oracle-backend docs in `trex-repair`.
+    ///
+    /// # Panics
+    /// Panics if `batch == 0`; a dispatch must be able to carry a query.
+    pub fn with_oracle_batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "oracle batch must be >= 1");
+        self.oracle_batch = Some(batch);
+        self
+    }
+
     /// Set the sampling seed (default: each layer's documented default).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
@@ -110,6 +127,11 @@ impl ExecConfig {
         self.oracle_cap
     }
 
+    /// Batched-dispatch bound in queries, or `None` for unbounded.
+    pub fn oracle_batch(&self) -> Option<usize> {
+        self.oracle_batch
+    }
+
     /// Sampling seed, or `None` for the layer default.
     pub fn seed(&self) -> Option<u64> {
         self.seed
@@ -131,6 +153,7 @@ mod tests {
         assert_eq!(cfg.threads(), 1);
         assert_eq!(cfg.schedule(), None);
         assert_eq!(cfg.oracle_cap(), None);
+        assert_eq!(cfg.oracle_batch(), None);
         assert_eq!(cfg.seed(), None);
         assert!(!cfg.prune_redundant());
         assert_eq!(cfg, ExecConfig::default());
@@ -142,11 +165,13 @@ mod tests {
             .with_threads(8)
             .with_schedule(Schedule::WorkStealing)
             .with_oracle_cap(0)
+            .with_oracle_batch(32)
             .with_seed(7)
             .with_prune_redundant(true);
         assert_eq!(cfg.threads(), 8);
         assert_eq!(cfg.schedule(), Some(Schedule::WorkStealing));
         assert_eq!(cfg.oracle_cap(), Some(0));
+        assert_eq!(cfg.oracle_batch(), Some(32));
         assert_eq!(cfg.seed(), Some(7));
         assert!(cfg.prune_redundant());
     }
@@ -155,5 +180,11 @@ mod tests {
     #[should_panic(expected = "threads must be >= 1")]
     fn zero_threads_panics() {
         let _ = ExecConfig::new().with_threads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle batch must be >= 1")]
+    fn zero_oracle_batch_panics() {
+        let _ = ExecConfig::new().with_oracle_batch(0);
     }
 }

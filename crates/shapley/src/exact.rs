@@ -62,6 +62,36 @@ fn factorials(n: usize) -> Vec<f64> {
     f
 }
 
+/// Coalitions per [`Game::value_batch`] call during full enumeration: large
+/// enough to amortize a batched oracle's per-dispatch round trip, small
+/// enough to keep the materialized coalition chunk cache-resident.
+const EXACT_BATCH: usize = 1 << 10;
+
+/// Evaluate `v` over every mask in `0..size` through the game's batch
+/// entry point, in mask order. Identical to calling `game.value` per mask —
+/// batch-capable games guarantee index-aligned, value-identical answers —
+/// but a batched oracle sees `EXACT_BATCH` coalitions per dispatch instead
+/// of one.
+fn values_by_mask<G: Game + ?Sized>(game: &G, n: usize, size: usize) -> Vec<f64> {
+    let mut values = vec![0.0f64; size];
+    let mut chunk: Vec<Coalition> = Vec::with_capacity(EXACT_BATCH.min(size));
+    let mut start = 0usize;
+    while start < size {
+        let end = size.min(start + EXACT_BATCH);
+        chunk.clear();
+        chunk.extend((start..end).map(|mask| Coalition::from_mask(n, mask as u64)));
+        let got = game.value_batch(&chunk);
+        assert_eq!(
+            got.len(),
+            chunk.len(),
+            "value_batch must answer per coalition"
+        );
+        values[start..end].copy_from_slice(&got);
+        start = end;
+    }
+    values
+}
+
 /// Exact Shapley values of every player, by full subset enumeration.
 ///
 /// Evaluates `v` on all `2^n` coalitions exactly once. Returns the values in
@@ -78,11 +108,8 @@ pub fn shapley_exact<G: Game + ?Sized>(game: &G) -> Result<Vec<f64>, ExactError>
         return Ok(Vec::new());
     }
     let size = 1usize << n;
-    // v over all coalitions, indexed by bitmask.
-    let mut values = vec![0.0f64; size];
-    for (mask, slot) in values.iter_mut().enumerate() {
-        *slot = game.value(&Coalition::from_mask(n, mask as u64));
-    }
+    // v over all coalitions, indexed by bitmask (batched evaluation).
+    let values = values_by_mask(game, n, size);
     let fact = factorials(n);
     let mut phi = vec![0.0f64; n];
     for mask in 0..size {
@@ -158,15 +185,16 @@ pub fn shapley_exact_rational<G: Game + ?Sized>(game: &G) -> Result<Vec<Rational
         return Ok(Vec::new());
     }
     let size = 1usize << n;
-    let mut values = vec![false; size];
-    for (mask, slot) in values.iter_mut().enumerate() {
-        let v = game.value(&Coalition::from_mask(n, mask as u64));
-        assert!(
-            v == 0.0 || v == 1.0,
-            "shapley_exact_rational requires a 0/1 game, got v = {v}"
-        );
-        *slot = v == 1.0;
-    }
+    let values: Vec<bool> = values_by_mask(game, n, size)
+        .into_iter()
+        .map(|v| {
+            assert!(
+                v == 0.0 || v == 1.0,
+                "shapley_exact_rational requires a 0/1 game, got v = {v}"
+            );
+            v == 1.0
+        })
+        .collect();
     let mut fact = vec![1i128; n + 1];
     for i in 1..=n {
         fact[i] = fact[i - 1] * i as i128;

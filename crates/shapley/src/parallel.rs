@@ -145,11 +145,17 @@ pub enum Schedule {
     /// cannot be split across workers — so the two schedules agree
     /// statistically, not bitwise, on adaptive runs.
     ///
-    /// On the fixed-budget drivers ([`estimate_all`],
-    /// [`estimate_all_walk`], [`estimate_all_stratified`],
-    /// [`estimate_all_antithetic`]) per-player budgets are uniform, whole-
-    /// player claiming already balances, and this schedule behaves exactly
-    /// like [`Schedule::PlayerSharded`].
+    /// On the fixed-budget walk driver ([`estimate_all_walk`]) stealing
+    /// splits every player's walk replay into fixed-size *permutation
+    /// blocks* — pure functions of `(seed, player, block)` via skip-ahead
+    /// regeneration — claimed from one atomic queue and folded back in
+    /// block order, so the output stays bit-identical to the serial walk
+    /// at any thread count while workers stay busy whenever another
+    /// worker's batched oracle dispatch is in flight. The remaining
+    /// fixed-budget drivers ([`estimate_all`], [`estimate_all_stratified`],
+    /// [`estimate_all_antithetic`]) have uniform per-player budgets that
+    /// whole-player claiming already balances, so there this schedule
+    /// behaves exactly like [`Schedule::PlayerSharded`].
     WorkStealing,
 }
 
@@ -471,40 +477,159 @@ pub fn estimate_all<G: StochasticGame + ?Sized>(game: &G, config: ParallelConfig
         .collect()
 }
 
-/// One player's replay of the serial permutation-walk stream: regenerate
-/// the `samples` permutations from the *unmodified* seed (the exact
-/// Fisher–Yates draws of [`crate::sampling::estimate_all_walk`] — a walk
-/// consumes the RNG only for its permutation, never for evaluations), and
-/// for each walk evaluate only the two coalitions adjacent to `player` in
-/// it. The pushed marginals, and their order, are bit-for-bit the serial
-/// walk's, because the game is deterministic and `v(pred ∪ {p}) − v(pred)`
-/// is the same subtraction the serial walk performs when it inserts `p`.
+/// Walks per batched replay burst — and the permutation-block size of the
+/// walk-stealing schedule ([`steal_all_walk`]). Large enough that a
+/// batch-capable oracle amortizes its dispatch over `2 × 32` coalition
+/// queries per burst, small enough that a table-sized sample budget still
+/// splits into several stealable blocks per player.
+const WALK_STEAL_BLOCK: usize = 32;
+
+/// Replay a *permutation block* of one player's serial walk stream: skip
+/// the stream's first `start` permutations (generate-and-discard — a walk
+/// consumes the RNG only for its Fisher–Yates draws, never for
+/// evaluations, so discarding replays the exact draw sequence), then
+/// evaluate the next `len` walks and return `player`'s marginals in walk
+/// order. A pure function of `(seed, player, start, len)` — the relocatable
+/// unit of work the walk-stealing schedule moves between workers.
+///
+/// For each walk only the two coalitions adjacent to `player` are
+/// evaluated; evaluations go through [`Game::value_batch`] in bursts so
+/// batch-capable oracles amortize dispatch. Neither changes any marginal:
+/// the coalitions are the serial walk's own prefixes, and
+/// `v(pred ∪ {p}) − v(pred)` is the same subtraction the serial walk
+/// performs when it inserts `p`.
+fn walk_replay_block<G: Game + ?Sized>(
+    game: &G,
+    player: usize,
+    seed: u64,
+    start: usize,
+    len: usize,
+) -> Vec<f64> {
+    let n = game.num_players();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = Vec::with_capacity(n);
+    for _ in 0..start {
+        crate::sampling::random_permutation_into(&mut perm, n, &mut rng);
+    }
+    let mut marginals = Vec::with_capacity(len);
+    let mut pred = Coalition::empty(n);
+    let mut coalitions: Vec<Coalition> = Vec::with_capacity(2 * WALK_STEAL_BLOCK);
+    let mut remaining = len;
+    while remaining > 0 {
+        let burst = remaining.min(WALK_STEAL_BLOCK);
+        coalitions.clear();
+        for _ in 0..burst {
+            crate::sampling::random_permutation_into(&mut perm, n, &mut rng);
+            pred.clear();
+            for &p in &perm {
+                if p == player {
+                    break;
+                }
+                pred.insert(p);
+            }
+            coalitions.push(pred.clone());
+            pred.insert(player);
+            coalitions.push(pred.clone());
+        }
+        let values = game.value_batch(&coalitions);
+        assert_eq!(
+            values.len(),
+            coalitions.len(),
+            "value_batch must answer per coalition"
+        );
+        for pair in values.chunks_exact(2) {
+            marginals.push(pair[1] - pair[0]);
+        }
+        remaining -= burst;
+    }
+    marginals
+}
+
+/// One player's full replay of the serial permutation-walk stream: the
+/// `samples` marginals of [`walk_replay_block`]`(…, 0, samples)` folded in
+/// walk order. Bit-for-bit the serial walk's pushes for this player.
 fn walk_replay_player<G: Game + ?Sized>(
     game: &G,
     player: usize,
     samples: usize,
     seed: u64,
 ) -> RunningStats {
-    let n = game.num_players();
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut stats = RunningStats::new();
-    let mut perm: Vec<usize> = Vec::with_capacity(n);
-    let mut pred = Coalition::empty(n);
-    for _ in 0..samples {
-        crate::sampling::random_permutation_into(&mut perm, n, &mut rng);
-        pred.clear();
-        for &p in &perm {
-            if p == player {
-                break;
-            }
-            pred.insert(p);
-        }
-        let without = game.value(&pred);
-        pred.insert(player);
-        let with = game.value(&pred);
-        stats.push(with - without);
+    for m in walk_replay_block(game, player, seed, 0, samples) {
+        stats.push(m);
     }
     stats
+}
+
+/// The [`Schedule::WorkStealing`] engine behind [`estimate_all_walk`]:
+/// every player's walk replay is split into [`WALK_STEAL_BLOCK`]-sized
+/// permutation blocks and workers claim `(player, block)` units from one
+/// atomic queue. Blocks are pure functions of `(seed, player, block)`
+/// ([`walk_replay_block`] regenerates its stream prefix by skip-ahead), so
+/// workers stay busy while another worker's batched oracle dispatch is in
+/// flight and no player pins its whole budget to one core.
+///
+/// Determinism: block `b` replays walks `b·B .. b·B + len` of the player's
+/// serial stream exactly, and each player's marginals are folded in block
+/// order after the scope joins — the same pushes, in the same order, as
+/// the serial estimator. Output is bit-identical to
+/// [`crate::sampling::estimate_all_walk`] at **any** thread count.
+fn steal_all_walk<G: Game + ?Sized>(game: &G, config: &ParallelConfig) -> Vec<Estimate> {
+    let n = game.num_players();
+    if config.threads <= 1 || n <= 1 {
+        return (0..n)
+            .map(|p| stats_to_estimate(&walk_replay_player(game, p, config.samples, config.seed)))
+            .collect();
+    }
+    let blocks_per_player = config.samples.div_ceil(WALK_STEAL_BLOCK).max(1);
+    let units = n * blocks_per_player;
+    let next = AtomicUsize::new(0);
+    let claimed = std::thread::scope(|scope| {
+        let next = &next;
+        let handles: Vec<_> = (0..config.threads.min(units))
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let u = next.fetch_add(1, Ordering::Relaxed);
+                        if u >= units {
+                            break;
+                        }
+                        let p = u / blocks_per_player;
+                        let start = (u % blocks_per_player) * WALK_STEAL_BLOCK;
+                        let len = WALK_STEAL_BLOCK.min(config.samples - start);
+                        out.push((u, walk_replay_block(game, p, config.seed, start, len)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("walk-stealing worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut slots: Vec<Option<Vec<f64>>> = std::iter::repeat_with(|| None).take(units).collect();
+    for (u, marginals) in claimed.into_iter().flatten() {
+        debug_assert!(slots[u].is_none(), "unit {u} claimed twice");
+        slots[u] = Some(marginals);
+    }
+    let mut slots = slots.into_iter();
+    (0..n)
+        .map(|_| {
+            let mut stats = RunningStats::new();
+            for _ in 0..blocks_per_player {
+                let block = slots
+                    .next()
+                    .flatten()
+                    .expect("the atomic queue claims every block exactly once");
+                for m in block {
+                    stats.push(m);
+                }
+            }
+            stats_to_estimate(&stats)
+        })
+        .collect()
 }
 
 /// Parallel version of [`crate::sampling::estimate_all_walk`] (the
@@ -526,9 +651,18 @@ fn walk_replay_player<G: Game + ?Sized>(
 /// (`trex_repair::ShardedOracle`) pay roughly the serial number of repair
 /// calls; for uncached games that need raw throughput over serial
 /// identity, prefer budget-split.
+///
+/// Under [`Schedule::WorkStealing`], the same replay is additionally split
+/// into permutation blocks claimed from one atomic queue
+/// ([`steal_all_walk`]) — still bit-identical to serial at any thread
+/// count, and the schedule to pick when a batching oracle backend leaves
+/// whole-player workers idle between dispatches.
 pub fn estimate_all_walk<G: Game + ?Sized>(game: &G, config: ParallelConfig) -> Vec<Estimate> {
     let n = game.num_players();
     assert!(config.threads >= 1, "threads must be >= 1");
+    if config.schedule == Schedule::WorkStealing {
+        return steal_all_walk(game, &config);
+    }
     if config.schedule.claims_players() {
         return run_player_sharded(n, config.threads, |p| {
             stats_to_estimate(&walk_replay_player(game, p, config.samples, config.seed))
@@ -1582,25 +1716,23 @@ mod tests {
     }
 
     #[test]
-    fn work_stealing_fixed_budget_drivers_fall_back_to_player_sharding() {
+    fn work_stealing_uniform_budget_drivers_fall_back_to_player_sharding() {
+        // estimate_all / stratified / antithetic have uniform per-player
+        // budgets, so stealing degenerates to whole-player claiming there
+        // (the walk driver has its own block-stealing engine, pinned by
+        // `work_stealing_walk_is_serial_at_any_thread_count`).
         let g = fixtures::majority(9);
         let cfg = SamplingConfig {
             samples: 120,
             seed: 13,
         };
         let serial = sampling::estimate_all(&g, cfg);
-        let walk_serial = sampling::estimate_all_walk(&g, cfg);
         for threads in [1usize, 2, 4] {
             let par = estimate_all(
                 &g,
                 ParallelConfig::from_sampling(cfg, threads).with_schedule(Schedule::WorkStealing),
             );
             assert_estimates_eq(&serial, &par);
-            let walk = estimate_all_walk(
-                &g,
-                ParallelConfig::from_sampling(cfg, threads).with_schedule(Schedule::WorkStealing),
-            );
-            assert_estimates_eq(&walk_serial, &walk);
             assert_estimates_eq(
                 &estimate_all_stratified(&g, 20, 3, threads, Schedule::WorkStealing),
                 &estimate_all_stratified(&g, 20, 3, 1, Schedule::PlayerSharded),
@@ -1609,6 +1741,48 @@ mod tests {
                 &estimate_all_antithetic(&g, 30, 3, threads, Schedule::WorkStealing),
                 &estimate_all_antithetic(&g, 30, 3, 1, Schedule::PlayerSharded),
             );
+        }
+    }
+
+    #[test]
+    fn work_stealing_walk_is_serial_at_any_thread_count() {
+        // Block-stealing replay must be bit-identical to the serial walk
+        // across every budget shape: below one block, exactly one block,
+        // a ragged tail, and several whole blocks per player.
+        let g = fixtures::paper_example_2_3();
+        for samples in [0usize, 5, 32, 33, 100] {
+            let cfg = SamplingConfig { samples, seed: 17 };
+            let serial = sampling::estimate_all_walk(&g, cfg);
+            for threads in [1usize, 2, 4, 8] {
+                let par = estimate_all_walk(
+                    &g,
+                    ParallelConfig::from_sampling(cfg, threads)
+                        .with_schedule(Schedule::WorkStealing),
+                );
+                assert_estimates_eq(&serial, &par);
+            }
+        }
+    }
+
+    #[test]
+    fn walk_replay_blocks_tile_the_serial_stream() {
+        // Concatenating skip-ahead blocks reproduces the full replay's
+        // marginals exactly, wherever the block seams fall.
+        let g = fixtures::gloves(3, 4);
+        let full = walk_replay_block(&g, 2, 77, 0, 70);
+        assert_eq!(full.len(), 70);
+        for splits in [vec![70], vec![32, 32, 6], vec![1, 69], vec![40, 30]] {
+            let mut tiled = Vec::new();
+            let mut start = 0;
+            for len in splits {
+                tiled.extend(walk_replay_block(&g, 2, 77, start, len));
+                start += len;
+            }
+            let same = full
+                .iter()
+                .zip(&tiled)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same && tiled.len() == 70, "seams changed the marginals");
         }
     }
 

@@ -140,11 +140,16 @@ pub(crate) fn random_permutation_into<R: Rng + ?Sized>(
     }
 }
 
-/// Reused per-walk buffers: the permutation and the growing prefix
-/// coalition. One allocation per *driver* instead of two per walk.
+/// Reused per-walk buffers: the permutation, the growing prefix coalition,
+/// and the walk's materialized prefix batch. One set of allocations per
+/// *driver* instead of per walk.
 pub(crate) struct WalkScratch {
     perm: Vec<usize>,
     prefix: Coalition,
+    /// The walk's `n + 1` prefix coalitions, materialized so the whole walk
+    /// evaluates through one [`Game::value_batch`] call; the word buffers
+    /// are reused across walks via `clone_from`.
+    prefixes: Vec<Coalition>,
 }
 
 impl WalkScratch {
@@ -152,6 +157,7 @@ impl WalkScratch {
         WalkScratch {
             perm: Vec::with_capacity(n),
             prefix: Coalition::empty(n),
+            prefixes: vec![Coalition::empty(n); n + 1],
         }
     }
 }
@@ -191,12 +197,20 @@ pub(crate) fn walk_once<G: Game + ?Sized>(
     random_permutation_into(&mut scratch.perm, n, rng);
     let s = &mut scratch.prefix;
     s.clear();
-    let mut prev = game.value(s);
-    for &p in &scratch.perm {
+    // Materialize the walk's n+1 prefix coalitions and evaluate them as one
+    // batch: a batched oracle sees one dispatch per walk instead of n+1,
+    // and the values — hence the pushed marginals and their fold order —
+    // are identical to incremental per-prefix `value` calls.
+    debug_assert_eq!(scratch.prefixes.len(), n + 1);
+    scratch.prefixes[0].clone_from(s);
+    for (i, &p) in scratch.perm.iter().enumerate() {
         s.insert(p);
-        let cur = game.value(s);
-        stats[p].push(cur - prev);
-        prev = cur;
+        scratch.prefixes[i + 1].clone_from(s);
+    }
+    let values = game.value_batch(&scratch.prefixes);
+    assert_eq!(values.len(), n + 1, "value_batch must answer per coalition");
+    for (i, &p) in scratch.perm.iter().enumerate() {
+        stats[p].push(values[i + 1] - values[i]);
     }
 }
 
