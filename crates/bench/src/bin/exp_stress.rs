@@ -116,30 +116,33 @@ fn parse_args() -> StressArgs {
     out
 }
 
-/// One `/proc/self/status` field in kB (`VmRSS`, `VmHWM`). Returns 0 where
-/// procfs is unavailable (non-Linux dev boxes); CI runs on Linux.
-fn proc_status_kb(key: &str) -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
+/// One `/proc/self/status` field in kB (`VmRSS`, `VmHWM`). `None` where
+/// procfs is unavailable (non-Linux dev boxes) or the field is absent —
+/// distinguishable from a genuine 0 kB reading, so the artifact records
+/// `null` instead of a fake measurement.
+fn proc_status_kb(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
     for line in status.lines() {
         if let Some(rest) = line.strip_prefix(key) {
             if let Some(rest) = rest.strip_prefix(':') {
-                if let Some(num) = rest.split_whitespace().next() {
-                    return num.parse().unwrap_or(0);
-                }
+                return rest.split_whitespace().next()?.parse().ok();
             }
         }
     }
-    0
+    None
 }
 
-fn rss_mb() -> f64 {
-    proc_status_kb("VmRSS") as f64 / 1024.0
+fn rss_mb() -> Option<f64> {
+    Some(proc_status_kb("VmRSS")? as f64 / 1024.0)
 }
 
-fn peak_rss_mb() -> f64 {
-    proc_status_kb("VmHWM") as f64 / 1024.0
+fn peak_rss_mb() -> Option<f64> {
+    Some(proc_status_kb("VmHWM")? as f64 / 1024.0)
+}
+
+/// `{x:.1}` for a present measurement, JSON `null` for an absent one.
+fn mb_json(x: Option<f64>) -> String {
+    x.map_or("null".to_string(), |v| format!("{v:.1}"))
 }
 
 /// One finished phase, as reported to stdout and the JSON artifact.
@@ -147,7 +150,7 @@ struct Phase {
     name: &'static str,
     wall_ms: f64,
     rows_per_sec: f64,
-    rss_mb: f64,
+    rss_mb: Option<f64>,
     /// Extra JSON fields, pre-rendered as `"key": value` pairs.
     extra: Vec<String>,
 }
@@ -162,8 +165,12 @@ fn finish_phase(name: &'static str, rows: usize, started: Instant, extra: Vec<St
         extra,
     };
     println!(
-        "{name:>12} {:>12.1} ms {:>14.0} rows/s {:>9.1} MB rss",
-        phase.wall_ms, phase.rows_per_sec, phase.rss_mb
+        "{name:>12} {:>12.1} ms {:>14.0} rows/s {:>9} MB rss",
+        phase.wall_ms,
+        phase.rows_per_sec,
+        phase
+            .rss_mb
+            .map_or("n/a".to_string(), |m| format!("{m:.1}")),
     );
     phase
 }
@@ -297,10 +304,11 @@ fn main() {
     let within_budget = elapsed <= args.budget_secs as f64;
     let peak = peak_rss_mb();
     println!(
-        "\ntotal {elapsed:.1}s of {}s budget ({}); peak rss {peak:.1} MB; \
+        "\ntotal {elapsed:.1}s of {}s budget ({}); peak rss {} MB; \
          top constraint {} for {cell}",
         args.budget_secs,
         if within_budget { "ok" } else { "EXCEEDED" },
+        peak.map_or("n/a".to_string(), |m| format!("{m:.1}")),
         top.label,
     );
 
@@ -312,7 +320,7 @@ fn main() {
                     format!("\"phase\": \"{}\"", p.name),
                     format!("\"wall_ms\": {:.3}", p.wall_ms),
                     format!("\"rows_per_sec\": {:.1}", p.rows_per_sec),
-                    format!("\"rss_mb\": {:.1}", p.rss_mb),
+                    format!("\"rss_mb\": {}", mb_json(p.rss_mb)),
                 ];
                 fields.extend(p.extra.iter().cloned());
                 format!("    {{ {} }}", fields.join(", "))
@@ -339,7 +347,7 @@ fn main() {
                 "  \"budget_secs\": {budget},\n",
                 "  \"elapsed_secs\": {elapsed:.3},\n",
                 "  \"within_budget\": {within},\n",
-                "  \"peak_rss_mb\": {peak:.1},\n",
+                "  \"peak_rss_mb\": {peak},\n",
                 "  \"dictionary\": {{ \"encode_ms\": {encode_ms:.3}, ",
                 "\"distinct_counts\": [{distinct}] }},\n",
                 "  \"phases\": [\n{phases}\n  ]\n",
@@ -366,7 +374,7 @@ fn main() {
             budget = args.budget_secs,
             elapsed = elapsed,
             within = within_budget,
-            peak = peak,
+            peak = mb_json(peak),
             encode_ms = encode_ms,
             distinct = distinct
                 .iter()

@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use trex_shapley::{ExecConfig, Schedule};
+use trex_shapley::ExecConfig;
 
 /// Parsed command line: subcommand plus flags.
 #[derive(Debug, Clone, Default)]
@@ -105,50 +105,12 @@ impl Args {
     /// identical output at any cap), `--seed` feeds the sampling seed, and
     /// the boolean `--prune-redundant` skips violation scans of
     /// statically-unviolable DCs (identical output, less work).
+    /// The knob names, validation rules, and error wording all live in
+    /// [`trex_shapley::exec_config_from_knobs`], which the `trex-server`
+    /// request parser calls too — a bad `?threads=999999` over HTTP reads
+    /// exactly like a bad `--threads 999999` here.
     pub fn exec_config(&self) -> Result<ExecConfig, ArgError> {
-        let requested: usize = self.get_parsed("threads", 0)?;
-        let threads =
-            trex_shapley::resolve_threads(requested).map_err(|e| ArgError(e.to_string()))?;
-        let mut cfg = ExecConfig::new().with_threads(threads);
-        match self.get("schedule").unwrap_or("auto") {
-            "auto" => {}
-            "player" => cfg = cfg.with_schedule(Schedule::PlayerSharded),
-            "budget" => cfg = cfg.with_schedule(Schedule::BudgetSplit),
-            "steal" => cfg = cfg.with_schedule(Schedule::WorkStealing),
-            other => {
-                return Err(ArgError(format!(
-                    "unknown schedule {other:?} (auto | player | budget | steal)"
-                )))
-            }
-        }
-        if let Some(v) = self.get("oracle-cap") {
-            let cap = v
-                .parse::<usize>()
-                .map_err(|_| ArgError(format!("--oracle-cap: cannot parse {v:?}")))?;
-            cfg = cfg.with_oracle_cap(cap);
-        }
-        if let Some(v) = self.get("oracle-batch") {
-            let batch = v
-                .parse::<usize>()
-                .map_err(|_| ArgError(format!("--oracle-batch: cannot parse {v:?}")))?;
-            if batch == 0 {
-                return Err(ArgError(
-                    "--oracle-batch must be >= 1 (every dispatch carries at least one query)"
-                        .to_string(),
-                ));
-            }
-            cfg = cfg.with_oracle_batch(batch);
-        }
-        if let Some(v) = self.get("seed") {
-            let seed = v
-                .parse::<u64>()
-                .map_err(|_| ArgError(format!("--seed: cannot parse {v:?}")))?;
-            cfg = cfg.with_seed(seed);
-        }
-        if self.has("prune-redundant") {
-            cfg = cfg.with_prune_redundant(true);
-        }
-        Ok(cfg)
+        trex_shapley::exec_config_from_knobs(|name| self.get(name)).map_err(ArgError)
     }
 
     /// After all flags are read, error on anything the command didn't use.
@@ -166,6 +128,7 @@ impl Args {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trex_shapley::Schedule;
 
     #[test]
     fn parses_subcommand_and_flags() {

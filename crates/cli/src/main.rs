@@ -21,7 +21,7 @@ use args::{ArgError, Args};
 use std::process::ExitCode;
 use trex::{
     render_explanation_screen, render_input_screen, render_repair_screen, AdaptiveConfig,
-    Explainer, MaskMode,
+    Explainer, MaskMode, Session,
 };
 use trex_constraints::{find_all_violations_par, parse_dcs, DenialConstraint};
 use trex_repair::{FdChaseRepair, HolisticRepair, HoloCleanStyle, RepairAlgorithm, RuleRepair};
@@ -38,6 +38,8 @@ USAGE:
                   [--cells] [--samples N] [--mask null|distinct|replace]
                   [--adaptive] [--tolerance F] [--batch N] [--max-samples N]
                   [exec flags] [engine flags]
+  trex serve      --table FILE.csv --dcs FILE.txt [--addr HOST:PORT]
+                  [--http-threads N] [exec flags] [engine flags]
   trex lint       --table FILE.csv --dcs FILE.txt [--json] [exec flags]
   trex mine       --table FILE.csv [--max-predicates N] [--order]
   trex datagen    --schema laliga|soccer|adult|sensor [--rows N] [--seed N]
@@ -93,6 +95,17 @@ ORACLE CAPACITY:
   per-call-latency oracle backend answers the batches (see the library's
   OracleBackend trait; the built-in engines answer inline).
 
+SERVE:
+  trex serve loads one (table, constraints, engine) triple and answers
+  HTTP/JSON requests on --addr (default 127.0.0.1:7878) with
+  --http-threads workers (default 4) over one shared session: GET
+  /health, GET /violations, POST /repair, GET /explain (add
+  budget_ms=N or stream=1 for the anytime chunked NDJSON stream of
+  running Shapley estimates), POST /cell, POST and DELETE /constraint.
+  Every endpoint takes the exec flags as query parameters (threads=4&
+  seed=7&...), validated exactly like the command-line flags; exec flags
+  given to serve itself set the session defaults.
+
 DATAGEN:
   trex datagen generates a scenario-corpus member and writes the files the
   other subcommands consume: SCHEMA_clean.csv, SCHEMA_dirty.csv (with
@@ -133,6 +146,7 @@ fn main() -> ExitCode {
         Some("violations") => cmd_violations(&args).map(|()| ExitCode::SUCCESS),
         Some("repair") => cmd_repair(&args).map(|()| ExitCode::SUCCESS),
         Some("explain") => cmd_explain(&args).map(|()| ExitCode::SUCCESS),
+        Some("serve") => cmd_serve(&args).map(|()| ExitCode::SUCCESS),
         Some("lint") => cmd_lint(&args),
         Some("mine") => cmd_mine(&args).map(|()| ExitCode::SUCCESS),
         Some("datagen") => cmd_datagen(&args).map(|()| ExitCode::SUCCESS),
@@ -196,6 +210,16 @@ fn load_engine(args: &Args, cfg: &ExecConfig) -> Result<Box<dyn RepairAlgorithm>
     }
 }
 
+/// The CLI never attaches an `OracleBackend`, so a requested
+/// `--oracle-batch` can never group anything — say so instead of silently
+/// ignoring the flag. (The server API rejects the same condition outright;
+/// both sides share this one message.)
+fn warn_unbatchable(cfg: &ExecConfig) {
+    if cfg.oracle_batch().is_some() {
+        eprintln!("warning: {}", ExecConfig::ORACLE_BATCH_WITHOUT_BACKEND);
+    }
+}
+
 /// Parse a cell reference like `t5.Country` or `5.Country` (1-based row).
 fn parse_cell(table: &Table, spec: &str) -> Result<CellRef, ArgError> {
     let (row_part, attr_part) = spec
@@ -255,6 +279,7 @@ fn cmd_repair(args: &Args) -> Result<(), ArgError> {
 fn cmd_explain(args: &Args) -> Result<(), ArgError> {
     let (table, dcs) = load_inputs(args)?;
     let cfg = args.exec_config()?;
+    warn_unbatchable(&cfg);
     let engine = load_engine(args, &cfg)?;
     let cell_spec = args.require("cell")?.to_string();
     let cell = parse_cell(&table, &cell_spec)?;
@@ -347,6 +372,33 @@ fn cmd_explain(args: &Args) -> Result<(), ArgError> {
     if let Some(note) = adaptive_note {
         println!("{note}");
     }
+    Ok(())
+}
+
+/// `trex serve`: load one (table, constraints, engine) triple and answer
+/// HTTP/JSON requests over a shared long-lived session until interrupted.
+fn cmd_serve(args: &Args) -> Result<(), ArgError> {
+    let (table, dcs) = load_inputs(args)?;
+    let cfg = args.exec_config()?;
+    warn_unbatchable(&cfg);
+    let engine = load_engine(args, &cfg)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let http_threads: usize = args.get_parsed("http-threads", 4)?;
+    args.reject_unknown()?;
+    if http_threads == 0 {
+        return Err(ArgError("--http-threads must be at least 1".to_string()));
+    }
+    let session = Session::new(engine, table, dcs).with_config(cfg);
+    let config = trex_server::ServerConfig { addr, http_threads };
+    let handle = trex_server::serve(session, &config)
+        .map_err(|e| ArgError(format!("cannot bind {}: {e}", config.addr)))?;
+    println!("trex-server listening on {}", handle.url());
+    println!("  try: curl '{}/violations'", handle.url());
+    println!(
+        "       curl '{}/explain?cell=tROW.Attr&budget_ms=2000'",
+        handle.url()
+    );
+    handle.join();
     Ok(())
 }
 

@@ -9,11 +9,14 @@
 use crate::games::{CellGameMasked, CellGameSampled, ConstraintGame, MaskMode};
 use crate::ranking::Ranking;
 use std::fmt;
+use std::sync::Arc;
 use trex_constraints::DenialConstraint;
-use trex_repair::{BatchStats, OracleBackend, RepairAlgorithm, RepairResult, ShardedOracle};
+use trex_repair::{
+    BatchStats, OracleBackend, OracleCache, RepairAlgorithm, RepairResult, ShardedOracle,
+};
 use trex_shapley::{
-    parallel, shapley_exact, shapley_exact_rational, ExecConfig, Game, ParallelConfig, Rational,
-    SamplingConfig, Schedule, StochasticGame,
+    parallel, shapley_exact, shapley_exact_rational, AnytimeCheckpoint, AnytimeControl, ExecConfig,
+    Game, ParallelConfig, Rational, SamplingConfig, Schedule, StochasticGame,
 };
 use trex_table::{CellRef, Table, Value};
 
@@ -155,6 +158,7 @@ pub struct Explainer<'a> {
     alg: &'a dyn RepairAlgorithm,
     cfg: ExecConfig,
     backend: Option<&'a dyn OracleBackend>,
+    cache: Option<Arc<OracleCache>>,
 }
 
 impl<'a> Explainer<'a> {
@@ -165,6 +169,7 @@ impl<'a> Explainer<'a> {
             alg,
             cfg: ExecConfig::default(),
             backend: None,
+            cache: None,
         }
     }
 
@@ -183,6 +188,25 @@ impl<'a> Explainer<'a> {
     /// The configured oracle backend, if any.
     pub fn oracle_backend(&self) -> Option<&'a dyn OracleBackend> {
         self.backend
+    }
+
+    /// Memoize coalition repairs in `cache` instead of a fresh private
+    /// cache per oracle. Several explainers (or several requests against
+    /// one long-lived `Session`) sharing one [`OracleCache`] pool their
+    /// coalition answers: oracle keys embed the table fingerprint and the
+    /// DC-set hash, so entries computed under one `(table, constraints)`
+    /// pair can never answer a query for another.
+    ///
+    /// A shared cache carries its own capacity, so it overrides
+    /// [`ExecConfig::with_oracle_cap`] for this explainer.
+    pub fn with_oracle_cache(mut self, cache: Arc<OracleCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The shared oracle cache, if one is attached.
+    pub fn oracle_cache(&self) -> Option<&Arc<OracleCache>> {
+        self.cache.as_ref()
     }
 
     /// Apply an execution configuration wholesale: thread count, schedule,
@@ -271,9 +295,12 @@ impl<'a> Explainer<'a> {
     where
         'a: 'b,
     {
-        let mut oracle = match self.cfg.oracle_cap() {
-            Some(cap) => ShardedOracle::with_capacity(self.alg, cap),
-            None => ShardedOracle::new(self.alg),
+        let mut oracle = match &self.cache {
+            Some(cache) => ShardedOracle::with_shared_cache(self.alg, Arc::clone(cache)),
+            None => match self.cfg.oracle_cap() {
+                Some(cap) => ShardedOracle::with_capacity(self.alg, cap),
+                None => ShardedOracle::new(self.alg),
+            },
         };
         if let Some(batch) = self.cfg.oracle_batch() {
             oracle = oracle.with_batch(batch);
@@ -587,6 +614,59 @@ impl<'a> Explainer<'a> {
             players,
             target,
         })
+    }
+
+    /// Anytime variant of [`Explainer::explain_cells_masked`]: the same
+    /// shared-permutation-walk estimator, but `on_checkpoint` observes the
+    /// in-progress estimates every `checkpoint_every` walks and can stop
+    /// the run early ([`AnytimeControl::Stop`]) — e.g. when a latency
+    /// budget expires or the requesting client disconnects.
+    ///
+    /// Determinism contract: a run that completes (`finished == true`)
+    /// returns exactly what [`Explainer::explain_cells_masked`] returns for
+    /// the same `(seed, threads, schedule)` — checkpointing never perturbs
+    /// the sample stream. A stopped run returns the estimates accumulated
+    /// so far (at least one checkpoint's worth).
+    ///
+    /// The checkpoint's `estimates` are in player order, index-aligned with
+    /// the returned explanation's `players`.
+    #[allow(clippy::too_many_arguments)] // mirrors explain_cells_masked + the anytime pair
+    pub fn explain_cells_masked_anytime(
+        &self,
+        dcs: &[DenialConstraint],
+        dirty: &Table,
+        cell: CellRef,
+        mode: MaskMode,
+        config: SamplingConfig,
+        checkpoint_every: usize,
+        on_checkpoint: impl FnMut(&AnytimeCheckpoint<'_>) -> AnytimeControl,
+    ) -> Result<(CellExplanation, bool), ExplainError> {
+        let target = self.repair_target(dcs, dirty, cell)?;
+        let game = self.masked_game(dcs, dirty, cell, target.clone(), mode);
+        let schedule = self.schedule_for(Game::num_players(&game));
+        let (estimates, finished) = parallel::estimate_all_walk_anytime(
+            &game,
+            ParallelConfig::from_sampling(config, self.threads()).with_schedule(schedule),
+            checkpoint_every,
+            on_checkpoint,
+        );
+        let players = game.players().to_vec();
+        let ranking = Ranking::with_errors(
+            estimates
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (Game::player_label(&game, i), e.value, Some(e.std_error())))
+                .collect(),
+        );
+        Ok((
+            CellExplanation {
+                ranking,
+                values: estimates.iter().map(|e| e.value).collect(),
+                players,
+                target,
+            },
+            finished,
+        ))
     }
 
     /// Two-phase cell explanation (extension): a cheap permutation-walk
@@ -1299,5 +1379,49 @@ mod tests {
             limit: 24,
         };
         assert!(e2.to_string().contains("100"));
+    }
+
+    #[test]
+    fn anytime_completed_run_matches_batch_explain_bit_for_bit() {
+        let dirty = laliga::dirty_table();
+        let dcs = laliga::constraints();
+        let alg = laliga::algorithm1();
+        let cell = laliga::cell_of_interest(&dirty);
+        let config = SamplingConfig {
+            samples: 150,
+            seed: 9,
+        };
+        for schedule in [
+            Schedule::PlayerSharded,
+            Schedule::BudgetSplit,
+            Schedule::WorkStealing,
+        ] {
+            let ex = Explainer::new(&alg)
+                .with_config(ExecConfig::new().with_threads(2).with_schedule(schedule));
+            let batch = ex
+                .explain_cells_masked(&dcs, &dirty, cell, MaskMode::Null, config)
+                .unwrap();
+            let mut checkpoints = 0usize;
+            let (anytime, finished) = ex
+                .explain_cells_masked_anytime(
+                    &dcs,
+                    &dirty,
+                    cell,
+                    MaskMode::Null,
+                    config,
+                    40,
+                    |cp| {
+                        checkpoints += 1;
+                        assert_eq!(cp.estimates.len(), batch.players.len());
+                        assert!(cp.estimates.iter().all(|e| e.value.is_finite()));
+                        trex_shapley::AnytimeControl::Continue
+                    },
+                )
+                .unwrap();
+            assert!(finished, "{schedule:?}");
+            assert!(checkpoints >= 3, "{schedule:?}: {checkpoints}");
+            assert_eq!(anytime.values, batch.values, "{schedule:?}");
+            assert_eq!(anytime.players, batch.players, "{schedule:?}");
+        }
     }
 }

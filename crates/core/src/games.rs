@@ -282,8 +282,16 @@ pub fn cell_players(table: &Table, exclude: CellRef) -> Vec<CellRef> {
     table.cells().filter(|c| *c != exclude).collect()
 }
 
-fn label_of(table: &Table, cell: CellRef) -> String {
+/// The display label of a table cell, in the paper's `t5[League]` notation
+/// (1-based row, attribute name). This is the exact label the cell games
+/// give their players, so out-of-band consumers (the server's anytime
+/// stream most notably) can label raw per-player estimates identically.
+pub fn cell_label(table: &Table, cell: CellRef) -> String {
     format!("t{}[{}]", cell.row + 1, table.schema().attr(cell.attr).name)
+}
+
+fn label_of(table: &Table, cell: CellRef) -> String {
+    cell_label(table, cell)
 }
 
 /// The masked cell game: `Shap(T^d, Alg|t[A], tᵢ[B])` of §2.2, with

@@ -44,7 +44,9 @@ pub mod session;
 pub use explain::{
     AdaptiveConfig, CellExplanation, ConstraintExplanation, ExplainError, Explainer,
 };
-pub use games::{cell_players, CellGameMasked, CellGameSampled, ConstraintGame, MaskMode};
+pub use games::{
+    cell_label, cell_players, CellGameMasked, CellGameSampled, ConstraintGame, MaskMode,
+};
 pub use ranking::{RankEntry, Ranking, INTENSITY_LEVELS};
 pub use report::{render_explanation_screen, render_input_screen, render_repair_screen};
 pub use session::{HistoryEntry, Session};

@@ -8,9 +8,10 @@
 
 use crate::explain::{CellExplanation, ConstraintExplanation, ExplainError, Explainer};
 use crate::games::MaskMode;
+use std::sync::Arc;
 use trex_constraints::{DenialConstraint, ResolveError, Violation};
-use trex_repair::{OracleBackend, RepairAlgorithm, RepairResult};
-use trex_shapley::{ExecConfig, SamplingConfig, Schedule};
+use trex_repair::{OracleBackend, OracleCache, RepairAlgorithm, RepairResult, ShardedOracle};
+use trex_shapley::{AnytimeCheckpoint, AnytimeControl, ExecConfig, SamplingConfig, Schedule};
 use trex_table::{CellRef, Table, Value};
 
 /// One entry of the session's repair history.
@@ -23,6 +24,10 @@ pub struct HistoryEntry {
 }
 
 /// An interactive T-REx session.
+///
+/// `Session` is `Send + Sync`: the server shares one behind an `RwLock`,
+/// explanation methods take `&self`, and concurrent explanations pool
+/// their coalition answers through one shared [`OracleCache`].
 pub struct Session {
     alg: Box<dyn RepairAlgorithm>,
     table: Table,
@@ -30,6 +35,7 @@ pub struct Session {
     history: Vec<HistoryEntry>,
     cfg: ExecConfig,
     backend: Option<Box<dyn OracleBackend>>,
+    oracle_cache: Arc<OracleCache>,
 }
 
 impl Session {
@@ -43,6 +49,7 @@ impl Session {
             history: Vec::new(),
             cfg: ExecConfig::default(),
             backend: None,
+            oracle_cache: Arc::new(OracleCache::new()),
         }
     }
 
@@ -51,8 +58,14 @@ impl Session {
     /// repair engines. The config's `seed`, if set, is not consumed here —
     /// explanation methods take their seed from the explicit
     /// [`SamplingConfig`] argument.
+    ///
+    /// Rebuilds the session's shared coalition cache at the config's
+    /// oracle capacity ([`ShardedOracle::DEFAULT_CAPACITY`] when unset).
     pub fn with_config(mut self, cfg: ExecConfig) -> Self {
         self.cfg = cfg;
+        self.oracle_cache = Arc::new(OracleCache::with_capacity(
+            cfg.oracle_cap().unwrap_or(ShardedOracle::DEFAULT_CAPACITY),
+        ));
         self
     }
 
@@ -121,12 +134,51 @@ impl Session {
         self.backend.as_deref()
     }
 
+    /// The session's shared coalition-answer cache. Every explanation run
+    /// under a compatible oracle capacity memoizes into (and reads from)
+    /// this one cache, so a burst of requests against the same
+    /// `(table, constraints)` pair pays for each distinct coalition repair
+    /// once. Exposed for telemetry ([`OracleCache::stats`]) and explicit
+    /// flushes ([`Session::flush_oracle_cache`]).
+    pub fn oracle_cache(&self) -> &Arc<OracleCache> {
+        &self.oracle_cache
+    }
+
+    /// Drop every memoized coalition answer.
+    ///
+    /// The session calls this itself after every input mutation
+    /// ([`Session::set_cell`], [`Session::upsert_constraint`],
+    /// [`Session::remove_constraint`]): cache keys embed the table
+    /// fingerprint and DC-set hash, so stale entries were already
+    /// unreachable, but flushing returns their memory and keeps the
+    /// hit-rate telemetry honest about the new inputs.
+    pub fn flush_oracle_cache(&self) {
+        self.oracle_cache.clear();
+    }
+
     /// The session's explainer: the wrapped algorithm under the session's
     /// execution configuration.
     fn explainer(&self) -> Explainer<'_> {
-        let mut ex = Explainer::new(self.alg.as_ref()).with_config(self.cfg);
+        self.explainer_for(&self.cfg)
+    }
+
+    /// An explainer for one request's execution configuration — the
+    /// session default or a per-request override (the server parses
+    /// `?threads=…&seed=…` into an [`ExecConfig`] per request).
+    ///
+    /// The session's shared coalition cache is attached whenever the
+    /// request's oracle capacity agrees with the cache's; a request
+    /// demanding a different capacity gets a private, correctly-sized
+    /// oracle instead (results are identical either way — only memo
+    /// reuse differs).
+    fn explainer_for(&self, exec: &ExecConfig) -> Explainer<'_> {
+        let mut ex = Explainer::new(self.alg.as_ref()).with_config(*exec);
         if let Some(backend) = self.backend.as_deref() {
             ex = ex.with_oracle_backend(backend);
+        }
+        let requested = exec.oracle_cap().unwrap_or(ShardedOracle::DEFAULT_CAPACITY);
+        if requested == self.oracle_cache.capacity() {
+            ex = ex.with_oracle_cache(Arc::clone(&self.oracle_cache));
         }
         ex
     }
@@ -152,16 +204,23 @@ impl Session {
     /// cheaply after each edit, which is what keeps the §4 debugging loop
     /// interactive on large tables.
     pub fn violations(&self) -> Result<Vec<Violation>, ResolveError> {
+        self.violations_for(&self.cfg)
+    }
+
+    /// [`Session::violations`] under a per-request execution configuration
+    /// (thread count and redundant-scan pruning; identical output at any
+    /// setting).
+    pub fn violations_for(&self, exec: &ExecConfig) -> Result<Vec<Violation>, ResolveError> {
         let resolved: Result<Vec<_>, _> = self
             .dcs
             .iter()
             .map(|d| d.resolved(self.table.schema()))
             .collect();
         let resolved = resolved?;
-        Ok(if self.cfg.prune_redundant() {
-            trex_constraints::find_all_violations_par_pruned(&resolved, &self.table, self.threads())
+        Ok(if exec.prune_redundant() {
+            trex_constraints::find_all_violations_par_pruned(&resolved, &self.table, exec.threads())
         } else {
-            trex_constraints::find_all_violations_par(&resolved, &self.table, self.threads())
+            trex_constraints::find_all_violations_par(&resolved, &self.table, exec.threads())
         })
     }
 
@@ -191,6 +250,18 @@ impl Session {
         cell: CellRef,
     ) -> Result<ConstraintExplanation, ExplainError> {
         self.explainer()
+            .explain_constraints(&self.dcs, &self.table, cell)
+    }
+
+    /// [`Session::explain_constraints`] under a per-request execution
+    /// configuration. Results are independent of the configuration (the
+    /// constraint game is exact); the knobs only steer resource use.
+    pub fn explain_constraints_for(
+        &self,
+        cell: CellRef,
+        exec: &ExecConfig,
+    ) -> Result<ConstraintExplanation, ExplainError> {
+        self.explainer_for(exec)
             .explain_constraints(&self.dcs, &self.table, cell)
     }
 
@@ -250,6 +321,49 @@ impl Session {
             .explain_cells_masked(&self.dcs, &self.table, cell, mode, config)
     }
 
+    /// [`Session::explain_cells_masked`] under a per-request execution
+    /// configuration: the request's thread count and schedule drive the
+    /// parallel estimator (deterministic per `(seed, threads, schedule)`),
+    /// its oracle capacity decides whether the session's shared coalition
+    /// cache is used.
+    pub fn explain_cells_masked_for(
+        &self,
+        cell: CellRef,
+        mode: MaskMode,
+        config: SamplingConfig,
+        exec: &ExecConfig,
+    ) -> Result<CellExplanation, ExplainError> {
+        self.explainer_for(exec)
+            .explain_cells_masked(&self.dcs, &self.table, cell, mode, config)
+    }
+
+    /// Anytime cell explanation: [`Session::explain_cells_masked_for`],
+    /// but `on_checkpoint` observes the in-progress per-cell estimates
+    /// every `checkpoint_every` permutation walks and can stop the run
+    /// ([`AnytimeControl::Stop`]) when a latency budget expires or the
+    /// requesting client goes away. A run that completes (`finished ==
+    /// true`) returns bit-for-bit what [`Session::explain_cells_masked_for`]
+    /// returns under the same `(seed, threads, schedule)`.
+    pub fn explain_cells_masked_anytime(
+        &self,
+        cell: CellRef,
+        mode: MaskMode,
+        config: SamplingConfig,
+        exec: &ExecConfig,
+        checkpoint_every: usize,
+        on_checkpoint: impl FnMut(&AnytimeCheckpoint<'_>) -> AnytimeControl,
+    ) -> Result<(CellExplanation, bool), ExplainError> {
+        self.explainer_for(exec).explain_cells_masked_anytime(
+            &self.dcs,
+            &self.table,
+            cell,
+            mode,
+            config,
+            checkpoint_every,
+            on_checkpoint,
+        )
+    }
+
     /// User edit: overwrite a cell of the input table ("changing specific
     /// cells to make the repair more accurate", §1). Returns the previous
     /// value.
@@ -258,6 +372,7 @@ impl Session {
             action: format!("set {cell} := {value}"),
             cells_repaired: 0,
         });
+        self.flush_oracle_cache();
         self.table.set(cell, value)
     }
 
@@ -269,6 +384,7 @@ impl Session {
             action: format!("remove constraint {name}"),
             cells_repaired: 0,
         });
+        self.flush_oracle_cache();
         Some(self.dcs.remove(idx))
     }
 
@@ -309,6 +425,7 @@ impl Session {
             action: format!("upsert constraint {}", dc.name),
             cells_repaired: 0,
         });
+        self.flush_oracle_cache();
         match self.dcs.iter_mut().find(|d| d.name == dc.name) {
             Some(slot) => *slot = dc,
             None => self.dcs.push(dc),
@@ -626,5 +743,128 @@ mod tests {
         let mut s = session();
         assert!(s.remove_constraint("C9").is_none());
         assert_eq!(s.history().len(), 0);
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        // The server shares one Session behind an RwLock across request
+        // threads; both auto traits are load-bearing.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+    }
+
+    #[test]
+    fn shared_cache_pools_answers_across_requests() {
+        let s = session();
+        let cell = laliga::cell_of_interest(s.table());
+        let _ = s.explain_constraints(cell).unwrap();
+        let first = s.oracle_cache().stats();
+        assert!(first.misses > 0);
+        // A second identical request must be answered from the shared
+        // cache: no new misses, only hits.
+        let _ = s.explain_constraints(cell).unwrap();
+        let second = s.oracle_cache().stats();
+        assert_eq!(second.misses, first.misses, "{second:?}");
+        assert!(second.hits > first.hits, "{second:?}");
+        // A request pinning a different oracle capacity gets a private
+        // oracle and leaves the shared cache untouched.
+        let exec = ExecConfig::new().with_oracle_cap(4);
+        let _ = s.explain_constraints_for(cell, &exec).unwrap();
+        assert_eq!(s.oracle_cache().stats(), second);
+    }
+
+    #[test]
+    fn mutations_flush_the_shared_cache_and_explanations_stay_fresh() {
+        // Satellite: a long-lived session that mutates its inputs must not
+        // serve explanations influenced by pre-mutation oracle state. The
+        // cache keys already embed the inputs; this pins the flush *and*
+        // the freshness of the answers.
+        let mut s = session();
+        let cell = laliga::cell_of_interest(s.table());
+        let before = s.explain_constraints(cell).unwrap();
+        assert_eq!(before.ranking.top().unwrap().label, "C3");
+        assert!(!s.oracle_cache().is_empty());
+
+        // Remove C3: the cache flushes, and the re-explanation matches a
+        // fresh session over the mutated inputs exactly.
+        s.remove_constraint("C3").unwrap();
+        assert!(s.oracle_cache().is_empty(), "mutation must flush");
+        let after = s.explain_constraints(cell).unwrap();
+        let mut fresh = session();
+        fresh.remove_constraint("C3").unwrap();
+        let want = fresh.explain_constraints(cell).unwrap();
+        assert_eq!(after.exact, want.exact);
+        assert_eq!(after.exact[0].1.to_string(), "1/2");
+
+        // Same for a cell edit (different table fingerprint)...
+        let year = s.table().schema().id("Year");
+        s.set_cell(CellRef::new(0, year), Value::Int(1999));
+        assert!(s.oracle_cache().is_empty(), "set_cell must flush");
+        // ...and a constraint upsert.
+        let _ = s.explain_constraints(cell);
+        s.upsert_constraint(trex_constraints::parse_dc_named("C9: !(t1.Place < 1)", "C9").unwrap());
+        assert!(s.oracle_cache().is_empty(), "upsert must flush");
+    }
+
+    #[test]
+    fn concurrent_explanations_match_solo_runs_bit_for_bit() {
+        // Satellite: N threads hammer one shared Session (one shared
+        // coalition cache) with mixed seeds and schedules; every result
+        // must equal the same request run solo against its own session.
+        let s = session().with_config(ExecConfig::new().with_threads(2));
+        let cell = laliga::cell_of_interest(s.table());
+        let requests: Vec<ExecConfig> = vec![
+            ExecConfig::new().with_threads(1).with_seed(3),
+            ExecConfig::new()
+                .with_threads(2)
+                .with_schedule(Schedule::PlayerSharded)
+                .with_seed(3),
+            ExecConfig::new()
+                .with_threads(2)
+                .with_schedule(Schedule::BudgetSplit)
+                .with_seed(11),
+            ExecConfig::new()
+                .with_threads(3)
+                .with_schedule(Schedule::WorkStealing)
+                .with_seed(7),
+            ExecConfig::new().with_threads(4).with_seed(11),
+            ExecConfig::new()
+                .with_threads(1)
+                .with_schedule(Schedule::PlayerSharded)
+                .with_seed(7),
+        ];
+        let shared: Vec<CellExplanation> = std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .iter()
+                .map(|exec| {
+                    let s = &s;
+                    scope.spawn(move || {
+                        let cfg = SamplingConfig {
+                            samples: 120,
+                            seed: exec.seed().unwrap(),
+                        };
+                        s.explain_cells_masked_for(cell, MaskMode::Null, cfg, exec)
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (exec, got) in requests.iter().zip(&shared) {
+            let solo = session().with_config(*exec);
+            let cfg = SamplingConfig {
+                samples: 120,
+                seed: exec.seed().unwrap(),
+            };
+            let want = solo
+                .explain_cells_masked(cell, MaskMode::Null, cfg)
+                .unwrap();
+            assert_eq!(got.values, want.values, "{exec:?}");
+            assert_eq!(got.players, want.players, "{exec:?}");
+        }
+        assert!(
+            s.oracle_cache().stats().hits > 0,
+            "the hammer must actually share the cache"
+        );
     }
 }

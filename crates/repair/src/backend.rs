@@ -57,9 +57,11 @@ pub struct CoalitionQuery<'q> {
 /// index-aligned. Per-call-latency backends (anything remote) amortize
 /// their round trip across the whole batch; see [`RemoteRepair`].
 ///
-/// `Sync` is a supertrait: the sharded oracle dispatches batches from
-/// several sampling workers sharing one `&dyn OracleBackend`.
-pub trait OracleBackend: Sync {
+/// `Send + Sync` are supertraits: the sharded oracle dispatches batches
+/// from several sampling workers sharing one `&dyn OracleBackend`, and a
+/// long-lived session owns its boxed backend while request threads borrow
+/// it.
+pub trait OracleBackend: Send + Sync {
     /// Short identifier for telemetry and experiment reports.
     fn name(&self) -> &str;
 

@@ -39,8 +39,8 @@ pub use holoclean::{HoloCleanConfig, HoloCleanStyle};
 pub use metrics::{cell_accuracy, score_repair, score_tables, RepairQuality};
 pub use simple::{FixAction, Rule, RuleParseError, RuleRepair};
 pub use traits::{
-    hash_dcs, hash_value, repairs_cell_to, BatchStats, CachedOracle, NoOpRepair, OracleKey,
-    OracleStats, PanicGuard, RepairAlgorithm, RepairResult, ShardedOracle,
+    hash_dcs, hash_value, repairs_cell_to, BatchStats, CachedOracle, NoOpRepair, OracleCache,
+    OracleKey, OracleStats, PanicGuard, RepairAlgorithm, RepairResult, ShardedOracle,
 };
 
 // Property tests, gated behind the `proptest` feature to keep plain

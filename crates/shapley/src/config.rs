@@ -141,6 +141,85 @@ impl ExecConfig {
     pub fn prune_redundant(&self) -> bool {
         self.prune_redundant
     }
+
+    /// The one warning/rejection message for an oracle batch size configured
+    /// where no oracle backend (`trex-repair`'s `OracleBackend`) is attached.
+    ///
+    /// Batching only groups *backend* dispatches; without a backend every
+    /// coalition query runs the local repair directly, so the knob is inert.
+    /// The CLI warns with this message (local runs still work), the server
+    /// API rejects the request with it (a remote client asking for batching
+    /// it cannot get deserves an error, not silence). One string, so the two
+    /// surfaces can never drift apart.
+    pub const ORACLE_BATCH_WITHOUT_BACKEND: &'static str =
+        "--oracle-batch is set but no oracle backend is attached; batching only groups \
+         backend dispatches, so the setting has no effect";
+}
+
+/// Build an [`ExecConfig`] from string-valued execution knobs — the single
+/// validation path shared by the CLI flags and the server's per-request
+/// query parameters.
+///
+/// `get(name)` looks up the raw value of knob `name` (`None` when absent);
+/// recognized names are `threads`, `schedule`, `oracle-cap`, `oracle-batch`,
+/// `seed`, and `prune-redundant` (presence alone enables pruning, matching
+/// the CLI's boolean-flag behavior). Validation and error wording are the
+/// contract here: `threads` absent or `0` resolves to the available
+/// parallelism via [`crate::parallel::resolve_threads`] (absurd counts keep
+/// the offending value and the cap in the message), `schedule` accepts
+/// `auto | player | budget | steal`, `oracle-batch` must be ≥ 1. Callers
+/// surface the returned message verbatim, so a bad `?threads=999999` on the
+/// server reads exactly like a bad `--threads 999999` on the CLI.
+pub fn exec_config_from_knobs<'v>(
+    get: impl Fn(&str) -> Option<&'v str>,
+) -> Result<ExecConfig, String> {
+    let requested: usize = match get("threads") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--threads: cannot parse {v:?}"))?,
+    };
+    let threads = crate::parallel::resolve_threads(requested).map_err(|e| e.to_string())?;
+    let mut cfg = ExecConfig::new().with_threads(threads);
+    match get("schedule").unwrap_or("auto") {
+        "auto" => {}
+        "player" => cfg = cfg.with_schedule(Schedule::PlayerSharded),
+        "budget" => cfg = cfg.with_schedule(Schedule::BudgetSplit),
+        "steal" => cfg = cfg.with_schedule(Schedule::WorkStealing),
+        other => {
+            return Err(format!(
+                "unknown schedule {other:?} (auto | player | budget | steal)"
+            ))
+        }
+    }
+    if let Some(v) = get("oracle-cap") {
+        let cap = v
+            .parse::<usize>()
+            .map_err(|_| format!("--oracle-cap: cannot parse {v:?}"))?;
+        cfg = cfg.with_oracle_cap(cap);
+    }
+    if let Some(v) = get("oracle-batch") {
+        let batch = v
+            .parse::<usize>()
+            .map_err(|_| format!("--oracle-batch: cannot parse {v:?}"))?;
+        if batch == 0 {
+            return Err(
+                "--oracle-batch must be >= 1 (every dispatch carries at least one query)"
+                    .to_string(),
+            );
+        }
+        cfg = cfg.with_oracle_batch(batch);
+    }
+    if let Some(v) = get("seed") {
+        let seed = v
+            .parse::<u64>()
+            .map_err(|_| format!("--seed: cannot parse {v:?}"))?;
+        cfg = cfg.with_seed(seed);
+    }
+    if get("prune-redundant").is_some() {
+        cfg = cfg.with_prune_redundant(true);
+    }
+    Ok(cfg)
 }
 
 #[cfg(test)]

@@ -41,9 +41,17 @@ impl RunningStats {
     /// Unbiased sample variance (0 with fewer than two observations).
     pub fn variance(&self) -> f64 {
         if self.count < 2 {
+            // Degenerate counts have no spread to report. Returning 0.0
+            // (not NaN from a 0/0) keeps every downstream consumer —
+            // std_dev, std_error, confidence intervals, and the anytime
+            // checkpoint JSON — finite and serializable.
             0.0
         } else {
-            self.m2 / (self.count - 1) as f64
+            // Welford's m2 is mathematically non-negative, but catastrophic
+            // cancellation on near-constant large-magnitude streams (and
+            // merges of such accumulators) can leave it a hair below zero;
+            // sqrt would then turn the epsilon into NaN. Clamp at 0.
+            (self.m2 / (self.count - 1) as f64).max(0.0)
         }
     }
 
@@ -182,6 +190,44 @@ mod tests {
         s1.push(5.0);
         assert_eq!(s1.mean(), 5.0);
         assert_eq!(s1.variance(), 0.0);
+    }
+
+    #[test]
+    fn spread_is_finite_and_non_negative_on_adversarial_streams() {
+        // Degenerate counts, constant streams, huge magnitudes, and merges
+        // of all of those: variance/std_dev/std_error must come back finite
+        // and ≥ 0 (never the NaN a sqrt of a rounding-negative m2 or a 0/0
+        // would produce). These values flow straight into serialized anytime
+        // checkpoint payloads, where NaN would be invalid JSON.
+        let streams: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![2.5],
+            vec![1e15 + 0.1; 100],
+            vec![3.14e18; 7],
+            vec![f64::MIN_POSITIVE; 9],
+            vec![1e300, 1e300, 1e300],
+        ];
+        let mut accs: Vec<RunningStats> = Vec::new();
+        for xs in &streams {
+            let mut s = RunningStats::new();
+            for &x in xs {
+                s.push(x);
+            }
+            assert!(s.variance().is_finite() && s.variance() >= 0.0, "{xs:?}");
+            assert!(s.std_dev().is_finite() && s.std_dev() >= 0.0, "{xs:?}");
+            assert!(s.std_error().is_finite() && s.std_error() >= 0.0, "{xs:?}");
+            accs.push(s);
+        }
+        let mut merged = RunningStats::new();
+        for s in &accs[..4] {
+            // The huge-magnitude streams stay un-merged: their *means*
+            // genuinely overflow when combined, which is the caller's
+            // problem, not the accumulator's.
+            merged.merge(s);
+        }
+        assert!(merged.variance().is_finite() && merged.variance() >= 0.0);
+        assert!(merged.std_dev().is_finite() && merged.std_dev() >= 0.0);
+        assert!(merged.std_error().is_finite() && merged.std_error() >= 0.0);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod sampling;
 pub mod stratified;
 
 pub use banzhaf::{banzhaf_estimate, banzhaf_exact};
-pub use config::ExecConfig;
+pub use config::{exec_config_from_knobs, ExecConfig};
 pub use convergence::{ConvergenceTrace, RunningStats, TracePoint};
 pub use exact::{
     shapley_exact, shapley_exact_player, shapley_exact_rational, ExactError, Rational,
@@ -49,7 +49,8 @@ pub use exact::{
 pub use game::{Coalition, FnGame, Game, StochasticGame};
 pub use interaction::shapley_interaction_exact;
 pub use parallel::{
-    available_threads, resolve_threads, ParallelConfig, Schedule, ThreadsError, MAX_THREADS,
+    available_threads, estimate_all_walk_anytime, resolve_threads, AnytimeCheckpoint,
+    AnytimeControl, ParallelConfig, Schedule, ThreadsError, MAX_THREADS,
 };
 pub use perm::{shapley_permutation_exact, MAX_PERM_PLAYERS};
 pub use sampling::{

@@ -702,6 +702,261 @@ pub fn estimate_all_walk<G: Game + ?Sized>(game: &G, config: ParallelConfig) -> 
         .collect()
 }
 
+/// One snapshot of a running [`estimate_all_walk_anytime`] estimate,
+/// handed to the checkpoint callback between sampling rounds.
+///
+/// `estimates` is index-aligned with the game's players and carries the
+/// exact values a completed run would report at this sample count —
+/// including finite (possibly 0.0) standard deviations at degenerate
+/// counts, so a checkpoint can always be serialized.
+pub struct AnytimeCheckpoint<'s> {
+    /// Permutation walks folded so far (per player under the replay
+    /// schedules; summed across workers under budget-split).
+    pub completed: usize,
+    /// The full walk budget of the run (`config.samples` under the replay
+    /// schedules; the total across workers under budget-split).
+    pub total: usize,
+    /// Current per-player estimates, in player order.
+    pub estimates: &'s [Estimate],
+}
+
+/// What the checkpoint callback tells the anytime driver to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnytimeControl {
+    /// Keep sampling toward the full budget.
+    Continue,
+    /// Stop after this checkpoint and return the current estimates —
+    /// deadline exhausted, client gone, or the caller is satisfied.
+    Stop,
+}
+
+/// Anytime version of [`estimate_all_walk`]: run the same schedules, but
+/// pause after every `checkpoint_every` walks to hand the caller a
+/// [`AnytimeCheckpoint`] snapshot of all current per-player estimates. The
+/// callback returns [`AnytimeControl::Stop`] to cut the run short (deadline,
+/// disconnect); the driver then returns whatever it has. The second return
+/// value is `true` iff the full budget ran.
+///
+/// **Determinism contract.** A run that completes its budget returns
+/// *bit-for-bit* the same estimates as [`estimate_all_walk`] with the same
+/// `(seed, threads, schedule)` — checkpoints only observe the state between
+/// rounds, they never perturb the RNG streams or the fold order. Under
+/// [`Schedule::PlayerSharded`] / [`Schedule::WorkStealing`] each player's
+/// persistent replay stream continues across rounds exactly where it
+/// stopped, so even every *intermediate* snapshot equals a completed run
+/// with that smaller budget. Under [`Schedule::BudgetSplit`] workers
+/// advance proportionally each round and the snapshot merges their partial
+/// accumulators in worker order; intermediate snapshots are well-defined
+/// estimates, and the final one matches the batch driver exactly.
+///
+/// `checkpoint_every = 0` means a single checkpoint at the end.
+/// Cancellation granularity is the checkpoint: the callback runs between
+/// rounds, on the calling thread (it needs no `Send`/`Sync`).
+pub fn estimate_all_walk_anytime<G: Game + ?Sized>(
+    game: &G,
+    config: ParallelConfig,
+    checkpoint_every: usize,
+    mut on_checkpoint: impl FnMut(&AnytimeCheckpoint<'_>) -> AnytimeControl,
+) -> (Vec<Estimate>, bool) {
+    assert!(config.threads >= 1, "threads must be >= 1");
+    let every = if checkpoint_every == 0 {
+        config.samples.max(1)
+    } else {
+        checkpoint_every
+    };
+    match config.schedule {
+        Schedule::BudgetSplit => anytime_budget_split(game, &config, every, &mut on_checkpoint),
+        // PlayerSharded and WorkStealing both replay the serial walk
+        // stream per player; an incremental replay with persistent RNGs is
+        // the same stream, so one driver serves both.
+        _ => anytime_replay(game, &config, every, &mut on_checkpoint),
+    }
+}
+
+/// One player's persistent replay stream of the anytime driver: the RNG
+/// and permutation buffer sit exactly `stats.count()` walks into the
+/// serial stream, so continuing is free (no skip-ahead).
+struct ReplayState {
+    rng: StdRng,
+    perm: Vec<usize>,
+    stats: RunningStats,
+}
+
+/// Continue one player's serial-stream replay by `len` walks, folding the
+/// marginals into `stats` in walk order. The moral equivalent of
+/// [`walk_replay_block`] minus the skip-ahead: the persistent `rng` *is*
+/// the stream position. Values are evaluated through [`Game::value_batch`]
+/// in [`WALK_STEAL_BLOCK`]-sized bursts, which never changes a marginal —
+/// only how many coalitions share a dispatch.
+fn walk_replay_continue<G: Game + ?Sized>(
+    game: &G,
+    player: usize,
+    rng: &mut StdRng,
+    perm: &mut Vec<usize>,
+    len: usize,
+    stats: &mut RunningStats,
+) {
+    let n = game.num_players();
+    let mut pred = Coalition::empty(n);
+    let mut coalitions: Vec<Coalition> = Vec::with_capacity(2 * WALK_STEAL_BLOCK);
+    let mut remaining = len;
+    while remaining > 0 {
+        let burst = remaining.min(WALK_STEAL_BLOCK);
+        coalitions.clear();
+        for _ in 0..burst {
+            crate::sampling::random_permutation_into(perm, n, rng);
+            pred.clear();
+            for &p in perm.iter() {
+                if p == player {
+                    break;
+                }
+                pred.insert(p);
+            }
+            coalitions.push(pred.clone());
+            pred.insert(player);
+            coalitions.push(pred.clone());
+        }
+        let values = game.value_batch(&coalitions);
+        assert_eq!(
+            values.len(),
+            coalitions.len(),
+            "value_batch must answer per coalition"
+        );
+        for pair in values.chunks_exact(2) {
+            stats.push(pair[1] - pair[0]);
+        }
+        remaining -= burst;
+    }
+}
+
+/// The replay-schedule half of [`estimate_all_walk_anytime`]: every round
+/// advances every player's persistent stream by up to `every` walks (the
+/// players of a round are claimed player-sharded, like
+/// [`estimate_all_walk`]'s PlayerSharded path), then the calling thread
+/// snapshots and checkpoints.
+fn anytime_replay<G: Game + ?Sized>(
+    game: &G,
+    config: &ParallelConfig,
+    every: usize,
+    on_checkpoint: &mut dyn FnMut(&AnytimeCheckpoint<'_>) -> AnytimeControl,
+) -> (Vec<Estimate>, bool) {
+    let n = game.num_players();
+    let states: Vec<Mutex<ReplayState>> = (0..n)
+        .map(|_| {
+            Mutex::new(ReplayState {
+                rng: StdRng::seed_from_u64(config.seed),
+                perm: Vec::with_capacity(n),
+                stats: RunningStats::new(),
+            })
+        })
+        .collect();
+    let mut done = 0;
+    loop {
+        let len = every.min(config.samples - done);
+        if len > 0 {
+            run_player_sharded(n, config.threads, |p| {
+                let mut state = states[p].lock().expect("anytime replay state poisoned");
+                let state = &mut *state;
+                walk_replay_continue(
+                    game,
+                    p,
+                    &mut state.rng,
+                    &mut state.perm,
+                    len,
+                    &mut state.stats,
+                );
+            });
+            done += len;
+        }
+        let estimates: Vec<Estimate> = states
+            .iter()
+            .map(|s| stats_to_estimate(&s.lock().expect("anytime replay state poisoned").stats))
+            .collect();
+        let finished = done >= config.samples;
+        let checkpoint = AnytimeCheckpoint {
+            completed: done,
+            total: config.samples,
+            estimates: &estimates,
+        };
+        let control = on_checkpoint(&checkpoint);
+        if finished || control == AnytimeControl::Stop {
+            return (estimates, finished);
+        }
+    }
+}
+
+/// The budget-split half of [`estimate_all_walk_anytime`]: workers own
+/// persistent RNG streams and per-player accumulators
+/// (exactly [`estimate_all_walk`]'s worker state, kept across rounds), and
+/// each round advances every worker to a proportional share of its final
+/// chunk, so the last round lands every worker on precisely the walk count
+/// the batch driver gives it.
+fn anytime_budget_split<G: Game + ?Sized>(
+    game: &G,
+    config: &ParallelConfig,
+    every: usize,
+    on_checkpoint: &mut dyn FnMut(&AnytimeCheckpoint<'_>) -> AnytimeControl,
+) -> (Vec<Estimate>, bool) {
+    let n = game.num_players();
+    let chunks = chunk_sizes(config.samples, config.threads);
+    let rounds = config.samples.div_ceil(every).max(1);
+    struct WorkerState {
+        rng: StdRng,
+        stats: Vec<RunningStats>,
+        scratch: crate::sampling::WalkScratch,
+        done: usize,
+    }
+    let mut workers: Vec<WorkerState> = (0..config.threads)
+        .map(|w| WorkerState {
+            rng: StdRng::seed_from_u64(worker_seed(config.seed, w)),
+            stats: vec![RunningStats::new(); n],
+            scratch: crate::sampling::WalkScratch::new(n),
+            done: 0,
+        })
+        .collect();
+    for round in 1..=rounds {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .iter_mut()
+                .enumerate()
+                .map(|(w, state)| {
+                    let target = chunks[w] * round / rounds;
+                    scope.spawn(move || {
+                        while state.done < target {
+                            walk_once(game, &mut state.rng, &mut state.stats, &mut state.scratch);
+                            state.done += 1;
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("sampling worker panicked");
+            }
+        });
+        let completed = workers.iter().map(|state| state.done).sum();
+        let estimates: Vec<Estimate> = (0..n)
+            .map(|p| {
+                let mut total = RunningStats::new();
+                for state in &workers {
+                    total.merge(&state.stats[p]);
+                }
+                stats_to_estimate(&total)
+            })
+            .collect();
+        let finished = round == rounds;
+        let checkpoint = AnytimeCheckpoint {
+            completed,
+            total: config.samples,
+            estimates: &estimates,
+        };
+        let control = on_checkpoint(&checkpoint);
+        if finished || control == AnytimeControl::Stop {
+            return (estimates, finished);
+        }
+    }
+    unreachable!("the loop returns on its final round");
+}
+
 /// Parallel version of [`crate::sampling::estimate_player_adaptive`]:
 /// keep sampling in synchronized rounds of `threads × batch` samples until
 /// the `z`-confidence half-width of the *merged* estimate drops below
@@ -1816,5 +2071,90 @@ mod tests {
             let want: Vec<usize> = (0..n).map(|p| p * p).collect();
             assert_eq!(got, want, "n {n}, threads {threads}");
         }
+    }
+
+    #[test]
+    fn anytime_final_checkpoint_matches_batch_for_every_schedule() {
+        let g = fixtures::gloves(3, 4);
+        for schedule in [
+            Schedule::BudgetSplit,
+            Schedule::PlayerSharded,
+            Schedule::WorkStealing,
+        ] {
+            for threads in [1, 4] {
+                let cfg = ParallelConfig::new(70, 99, threads).with_schedule(schedule);
+                let batch = estimate_all_walk(&g, cfg);
+                let mut checkpoints = 0;
+                let mut last_completed = 0;
+                let (anytime, finished) = estimate_all_walk_anytime(&g, cfg, 17, |cp| {
+                    checkpoints += 1;
+                    assert!(
+                        cp.completed > last_completed,
+                        "checkpoints must make progress"
+                    );
+                    last_completed = cp.completed;
+                    assert_eq!(cp.total, 70);
+                    for e in cp.estimates {
+                        assert!(e.value.is_finite() && e.std_dev.is_finite());
+                    }
+                    AnytimeControl::Continue
+                });
+                assert!(finished, "{schedule} t{threads}: full budget must run");
+                assert!(checkpoints >= 2, "70/17 walks means several checkpoints");
+                assert_eq!(anytime.len(), batch.len());
+                for (a, b) in anytime.iter().zip(&batch) {
+                    assert_eq!(
+                        a.value.to_bits(),
+                        b.value.to_bits(),
+                        "{schedule} t{threads}: anytime final must be bit-identical"
+                    );
+                    assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits());
+                    assert_eq!(a.samples, b.samples);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn anytime_stop_returns_the_partial_estimate() {
+        let g = fixtures::gloves(3, 4);
+        let cfg = ParallelConfig::new(500, 5, 2).with_schedule(Schedule::PlayerSharded);
+        let mut seen = 0;
+        let (partial, finished) = estimate_all_walk_anytime(&g, cfg, 20, |cp| {
+            seen = cp.completed;
+            AnytimeControl::Stop
+        });
+        assert!(!finished, "stopping early must report an unfinished run");
+        assert_eq!(seen, 20, "stopped at the first checkpoint");
+        // The partial estimate is exactly a completed 20-walk run: the
+        // replay schedules' intermediate-snapshot contract.
+        let small = estimate_all_walk(
+            &g,
+            ParallelConfig::new(20, 5, 2).with_schedule(Schedule::PlayerSharded),
+        );
+        for (a, b) in partial.iter().zip(&small) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+            assert_eq!(a.samples, 20);
+            assert_eq!(b.samples, 20);
+        }
+    }
+
+    #[test]
+    fn anytime_zero_budget_checkpoints_once_and_finishes() {
+        let g = fixtures::gloves(2, 2);
+        let cfg = ParallelConfig::new(0, 1, 2).with_schedule(Schedule::BudgetSplit);
+        let mut checkpoints = 0;
+        let (out, finished) = estimate_all_walk_anytime(&g, cfg, 10, |cp| {
+            checkpoints += 1;
+            assert_eq!(cp.completed, 0);
+            for e in cp.estimates {
+                assert_eq!(e.samples, 0);
+                assert!(e.value.is_finite() && e.std_dev.is_finite());
+            }
+            AnytimeControl::Continue
+        });
+        assert!(finished);
+        assert_eq!(checkpoints, 1);
+        assert!(out.iter().all(|e| e.samples == 0));
     }
 }
